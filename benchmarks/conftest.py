@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark both *times* a run (pytest-benchmark) and *asserts* the
+paper's shape claims on the results, so ``pytest benchmarks/
+--benchmark-only`` regenerates and checks every table and figure.
+
+Analog runs are expensive; they execute once per session and are shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import common
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "analog: benchmark drives the analog (slow) engine"
+    )
+
+
+@pytest.fixture(scope="session")
+def analog_run_seq1():
+    """One analog simulation of the Figure 6 stimulus (shared)."""
+    return common.run_analog(1)
+
+
+@pytest.fixture(scope="session")
+def analog_run_seq2():
+    """One analog simulation of the Figure 7 stimulus (shared)."""
+    return common.run_analog(2)
+
+
+@pytest.fixture(scope="session")
+def mult4():
+    return common.multiplier_netlist()

@@ -1,0 +1,45 @@
+"""Ablation C — event-queue implementation: binary heap vs sorted list.
+
+The kernel's hot path is queue push/pop/cancel.  Both implementations
+must order events identically (also property-tested in tests/); here we
+measure the throughput difference on the full Table 1 workload.
+"""
+
+import pytest
+
+from repro.config import DelayMode, ddm_config
+from repro.core.engine import simulate
+from repro.experiments import common
+from repro.stimuli.vectors import multiplication_sequence
+
+
+@pytest.mark.parametrize("queue_kind", ["heap", "sorted-list"])
+def test_queue_throughput(benchmark, queue_kind):
+    stimulus = multiplication_sequence(common.SEQUENCE_OPERANDS[2])
+    config = ddm_config(record_traces=False)
+    result = benchmark(
+        simulate, common.multiplier_netlist(), stimulus,
+        config=config, queue_kind=queue_kind,
+    )
+    assert result.stats.events_executed > 0
+
+
+def test_queue_kinds_identical_results(benchmark):
+    stimulus = multiplication_sequence(common.SEQUENCE_OPERANDS[1])
+
+    def run_both():
+        heap = simulate(
+            common.multiplier_netlist(), stimulus,
+            config=ddm_config(), queue_kind="heap",
+        )
+        sorted_list = simulate(
+            common.multiplier_netlist(), stimulus,
+            config=ddm_config(), queue_kind="sorted-list",
+        )
+        return heap, sorted_list
+
+    heap, sorted_list = benchmark(run_both)
+    assert heap.stats.events_executed == sorted_list.stats.events_executed
+    assert heap.stats.events_filtered == sorted_list.stats.events_filtered
+    for name in common.output_nets():
+        assert heap.traces[name].edges() == sorted_list.traces[name].edges()

@@ -1,0 +1,66 @@
+"""Corner study — how process corners move the IDDM's glitch filtering.
+
+Not a paper artefact: derates the library to fast/typical/slow corners
+and re-runs the Table 1 workload.  Expectations:
+
+* activity ordering is stable (CDM > DDM at every corner),
+* the slow corner filters *more* glitches than the fast one — slower
+  gates both generate wider internal glitch spacing and recover more
+  slowly (eq. 2 A/B scale with delay).
+"""
+
+import pytest
+
+from repro.circuit import modules
+from repro.circuit.corners import corner_library
+from repro.circuit.library import default_library
+from repro.config import cdm_config, ddm_config
+from repro.core.engine import simulate
+from repro.stimuli.vectors import multiplication_sequence
+
+SEQUENCE = [(0, 0), (15, 15), (0, 0), (15, 15), (0, 0)]
+
+
+def _run(corner_name, config):
+    library = corner_library(default_library(), corner_name)
+    netlist = modules.array_multiplier(4, library=library)
+    stimulus = multiplication_sequence(SEQUENCE, period=6.0)
+    return simulate(netlist, stimulus, config=config)
+
+
+@pytest.mark.parametrize("corner", ["ff", "tt", "ss"])
+def test_corner_throughput(benchmark, corner):
+    result = benchmark.pedantic(
+        _run, args=(corner, ddm_config(record_traces=False)),
+        rounds=2, iterations=1,
+    )
+    assert result.final_values["s0"] == 0
+
+
+def test_corner_activity_ordering(benchmark):
+    def run_all():
+        outcome = {}
+        for corner in ("ff", "tt", "ss"):
+            ddm = _run(corner, ddm_config(record_traces=False))
+            cdm = _run(corner, cdm_config(record_traces=False))
+            outcome[corner] = (ddm.stats, cdm.stats)
+        return outcome
+
+    outcome = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for corner, (ddm_stats, cdm_stats) in outcome.items():
+        assert cdm_stats.events_executed > ddm_stats.events_executed, corner
+        assert ddm_stats.events_filtered > cdm_stats.events_filtered, corner
+    print(
+        "\nCorners: filtered DDM ff/tt/ss = %d / %d / %d"
+        % tuple(outcome[c][0].events_filtered for c in ("ff", "tt", "ss"))
+    )
+
+
+def test_corners_settle_within_stretched_period(benchmark):
+    """Even the slow corner settles within the 6 ns period used here."""
+    result = benchmark.pedantic(
+        _run, args=("ss", ddm_config()), rounds=1, iterations=1,
+    )
+    for index, (a, b) in enumerate(SEQUENCE):
+        at_time = (index + 1) * 6.0 - 0.1
+        assert result.traces.word_at(at_time, "s", 8) == a * b

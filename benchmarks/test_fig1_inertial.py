@@ -1,0 +1,83 @@
+"""Paper Figure 1 — inertial delay wrong results.
+
+Regenerates the experiment and asserts the figure's claim:
+
+* the electrical truth is *selective* — the runt propagates through the
+  high-threshold chain only,
+* HALOTIS-IDDM agrees with the electrical truth per chain,
+* the classical inertial baseline is wrong for at least one chain.
+
+The timed quantity is the IDDM simulation of the Figure 1 circuit.
+"""
+
+import pytest
+
+from repro.baselines.inertial_simulator import DelaySemantics, classical_simulate
+from repro.circuit import modules
+from repro.config import ddm_config
+from repro.core.engine import simulate
+from repro.experiments import fig1
+from repro.stimuli.patterns import pulse
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return fig1.run(include_panels=False)
+
+
+def test_fig1_shape(benchmark, fig1_result):
+    netlist = modules.fig1_circuit()
+    stimulus = pulse(
+        "in", start=fig1.PULSE_START, width=fig1.DEFAULT_PULSE_WIDTH,
+        slew=fig1.PULSE_SLEW, tail=4.0,
+    )
+    benchmark(simulate, netlist, stimulus, config=ddm_config())
+
+    assert fig1_result.analog_is_selective, (
+        "the analog truth must distinguish the two chains at the default "
+        "pulse width"
+    )
+    assert fig1_result.iddm_matches_analog, (
+        "HALOTIS-IDDM must agree with the electrical simulation per chain "
+        "(paper Figure 1b)"
+    )
+    assert not fig1_result.classical_matches_analog, (
+        "the classical inertial model must fail (paper Figure 1c)"
+    )
+    assert fig1_result.analog.high_threshold_chain
+    assert not fig1_result.analog.low_threshold_chain
+
+
+def test_fig1_sweep_agreement(benchmark):
+    """Across the full pulse-width sweep the IDDM tracks the electrical
+    verdicts far better than the classical model."""
+    results = benchmark.pedantic(
+        fig1.sweep_widths, kwargs={"analog_dt": 0.002}, rounds=1, iterations=1
+    )
+    iddm_correct = sum(1 for r in results if r.iddm_matches_analog)
+    classical_correct = sum(1 for r in results if r.classical_matches_analog)
+    selective = [r for r in results if r.analog_is_selective]
+    assert len(selective) >= 2, "sweep must cover the selective window"
+    assert iddm_correct >= classical_correct + 2
+    assert all(r.iddm_matches_analog for r in selective)
+    assert not any(r.classical_matches_analog for r in selective)
+    print(
+        "\nFig1 sweep: IDDM correct %d/%d, classical correct %d/%d, "
+        "selective widths: %s"
+        % (
+            iddm_correct, len(results), classical_correct, len(results),
+            ["%.2f" % r.pulse_width for r in selective],
+        )
+    )
+
+
+def test_fig1_classical_baseline_speed(benchmark):
+    netlist = modules.fig1_circuit()
+    stimulus = pulse(
+        "in", start=fig1.PULSE_START, width=fig1.DEFAULT_PULSE_WIDTH,
+        slew=fig1.PULSE_SLEW, tail=4.0,
+    )
+    benchmark(
+        classical_simulate, netlist, stimulus,
+        semantics=DelaySemantics.INERTIAL,
+    )

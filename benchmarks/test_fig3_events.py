@@ -1,0 +1,51 @@
+"""Paper Figure 3 — one transition, one event per receiving threshold.
+
+Asserts the figure's event table (ordering by threshold on a falling
+ramp) and times the kernel's event-generation primitive at high fanout.
+"""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.config import ddm_config
+from repro.core.engine import HalotisSimulator
+from repro.core.transition import Transition
+from repro.experiments import fig3
+
+
+def test_fig3_event_table(benchmark):
+    result = benchmark(fig3.run)
+    assert [row.gate for row in result.rows] == ["G2", "G3", "G1"]
+    thresholds = [row.threshold_v for row in result.rows]
+    assert thresholds == sorted(thresholds, reverse=True), (
+        "a falling ramp must cross the highest threshold first"
+    )
+    times = [row.time for row in result.rows]
+    assert times == sorted(times)
+    assert len(result.rows) == 3
+
+
+def test_broadcast_throughput_high_fanout(benchmark):
+    """Event generation cost for one transition driving 64 inputs."""
+    builder = CircuitBuilder(name="fanout64")
+    source = builder.input("src")
+    for index in range(64):
+        cell = ("INV", "INV_LT", "INV_HT")[index % 3]
+        builder.output(
+            builder.gate(cell, source, name="g%d" % index), "o%d" % index
+        )
+    netlist = builder.build()
+    simulator = HalotisSimulator(netlist, config=ddm_config())
+    simulator.initialize({"src": 1})
+    net = netlist.net("src")
+
+    counter = [0]
+
+    def broadcast_once():
+        counter[0] += 1
+        transition = Transition(
+            t50=float(counter[0]), duration=0.3,
+            rising=(counter[0] % 2 == 0), net_name="src",
+        )
+        simulator._broadcast(transition, net)
+
+    benchmark(broadcast_once)
+    assert simulator.stats.events_scheduled >= 64

@@ -1,0 +1,76 @@
+"""Paper Figure 6 — multiplier waveforms, sequence 0x0, 7x7, 5xA, Ex6, FxF.
+
+Asserts the figure's claims against a shared analog run:
+
+* every engine settles to the correct product at each period end,
+* HALOTIS-DDM's output activity is close to the analog truth while
+  HALOTIS-CDM shows far more transitions (the glitch forest of panel c),
+* DDM's edges match the digitised analog edges with high agreement.
+
+The timed quantity is the DDM simulation (panel b).
+"""
+
+import pytest
+
+from repro.analysis.compare import match_edges
+from repro.config import DelayMode
+from repro.experiments import common
+
+WHICH = 1
+
+
+@pytest.fixture(scope="module")
+def runs(analog_run_seq1):
+    ddm = common.run_halotis(WHICH, DelayMode.DDM)
+    cdm = common.run_halotis(WHICH, DelayMode.CDM)
+    return analog_run_seq1, ddm, cdm
+
+
+@pytest.mark.analog
+def test_fig6_settled_words(benchmark, runs):
+    analog, ddm, cdm = runs
+    benchmark(common.run_halotis, WHICH, DelayMode.DDM)
+    expected = common.expected_words(WHICH)
+    assert common.settled_words_logic(ddm, WHICH) == expected
+    assert common.settled_words_logic(cdm, WHICH) == expected
+    assert common.settled_words_analog(analog, WHICH) == expected
+
+
+@pytest.mark.analog
+def test_fig6_activity_shape(benchmark, runs):
+    analog, ddm, cdm = runs
+    benchmark(common.run_halotis, WHICH, DelayMode.CDM)
+    outputs = common.output_nets()
+    analog_edges = sum(
+        len(analog.waveform(name).digitize()) for name in outputs
+    )
+    ddm_edges = sum(ddm.traces[n].toggle_count() for n in outputs)
+    cdm_edges = sum(cdm.traces[n].toggle_count() for n in outputs)
+    print(
+        "\nFig6 output edges: analog=%d DDM=%d CDM=%d"
+        % (analog_edges, ddm_edges, cdm_edges)
+    )
+    # DDM within 25% of the analog activity; CDM at least 1.5x above DDM.
+    assert abs(ddm_edges - analog_edges) <= 0.25 * analog_edges
+    assert cdm_edges >= 1.5 * ddm_edges
+    assert cdm_edges > analog_edges
+
+
+@pytest.mark.analog
+def test_fig6_edge_agreement(benchmark, runs):
+    analog, ddm, _cdm = runs
+
+    def agreement():
+        scores = []
+        for name in common.output_nets():
+            outcome = match_edges(
+                ddm.traces[name].edges(),
+                analog.waveform(name).digitize(),
+                tolerance=0.5,
+            )
+            scores.append(outcome.agreement)
+        return sum(scores) / len(scores)
+
+    mean_agreement = benchmark(agreement)
+    print("\nFig6 mean DDM-vs-analog edge agreement: %.2f" % mean_agreement)
+    assert mean_agreement >= 0.85

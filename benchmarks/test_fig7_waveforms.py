@@ -1,0 +1,71 @@
+"""Paper Figure 7 — multiplier waveforms, sequence 0x0, FxF, 0x0, FxF, 0x0.
+
+Same claims as Figure 6 on the all-ones alternating stimulus, which
+maximises simultaneous switching (the paper's stress sequence: it shows
+the largest CDM overestimation).
+"""
+
+import pytest
+
+from repro.analysis.compare import match_edges
+from repro.config import DelayMode
+from repro.experiments import common
+
+WHICH = 2
+
+
+@pytest.fixture(scope="module")
+def runs(analog_run_seq2):
+    ddm = common.run_halotis(WHICH, DelayMode.DDM)
+    cdm = common.run_halotis(WHICH, DelayMode.CDM)
+    return analog_run_seq2, ddm, cdm
+
+
+@pytest.mark.analog
+def test_fig7_settled_words(benchmark, runs):
+    analog, ddm, cdm = runs
+    benchmark(common.run_halotis, WHICH, DelayMode.DDM)
+    expected = common.expected_words(WHICH)
+    assert common.settled_words_logic(ddm, WHICH) == expected
+    assert common.settled_words_logic(cdm, WHICH) == expected
+    assert common.settled_words_analog(analog, WHICH) == expected
+
+
+@pytest.mark.analog
+def test_fig7_activity_shape(benchmark, runs):
+    analog, ddm, cdm = runs
+    benchmark(common.run_halotis, WHICH, DelayMode.CDM)
+    outputs = common.output_nets()
+    analog_edges = sum(
+        len(analog.waveform(name).digitize()) for name in outputs
+    )
+    ddm_edges = sum(ddm.traces[n].toggle_count() for n in outputs)
+    cdm_edges = sum(cdm.traces[n].toggle_count() for n in outputs)
+    print(
+        "\nFig7 output edges: analog=%d DDM=%d CDM=%d"
+        % (analog_edges, ddm_edges, cdm_edges)
+    )
+    assert abs(ddm_edges - analog_edges) <= 0.25 * analog_edges
+    assert cdm_edges >= 1.8 * ddm_edges, (
+        "the stress sequence shows the largest glitch forest under CDM"
+    )
+
+
+@pytest.mark.analog
+def test_fig7_edge_agreement(benchmark, runs):
+    analog, ddm, _cdm = runs
+
+    def agreement():
+        scores = []
+        for name in common.output_nets():
+            outcome = match_edges(
+                ddm.traces[name].edges(),
+                analog.waveform(name).digitize(),
+                tolerance=0.5,
+            )
+            scores.append(outcome.agreement)
+        return sum(scores) / len(scores)
+
+    mean_agreement = benchmark(agreement)
+    print("\nFig7 mean DDM-vs-analog edge agreement: %.2f" % mean_agreement)
+    assert mean_agreement >= 0.70

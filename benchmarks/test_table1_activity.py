@@ -1,0 +1,65 @@
+"""Paper Table 1 — simulation statistics (events / filtered events).
+
+Regenerates both rows of the table and asserts the paper's shape:
+
+* CDM executes 20-110% more events than DDM (paper: +47% / +52%),
+* DDM filters at least 5x more events than CDM (paper: 27 vs 1, 66 vs 6).
+
+The timed quantity is the full DDM simulation of each sequence.
+"""
+
+import pytest
+
+from repro.analysis.activity import compare_activity
+from repro.config import DelayMode
+from repro.core.stats import overestimation_percent
+from repro.experiments import common
+
+
+@pytest.mark.parametrize("which", [1, 2], ids=["seq1", "seq2"])
+def test_table1_row(benchmark, which):
+    ddm = benchmark(
+        common.run_halotis, which, DelayMode.DDM, record_traces=False
+    )
+    cdm = common.run_halotis(which, DelayMode.CDM, record_traces=False)
+    row = compare_activity(
+        common.SEQUENCE_LABELS[which], ddm.stats, cdm.stats
+    )
+
+    overestimation = row.event_overestimation_percent
+    assert 20.0 <= overestimation <= 110.0, (
+        "CDM should overestimate activity by tens of percent "
+        "(paper: 47%%/52%%; measured %.0f%%)" % overestimation
+    )
+    assert row.ddm_filtered >= 5 * max(row.cdm_filtered, 1), (
+        "DDM must filter an order of magnitude more events than CDM "
+        "(paper: 27 vs 1, 66 vs 6)"
+    )
+    assert row.ddm_filtered >= 10
+
+    paper_ddm, paper_cdm, paper_over, _pf, _cf = common.PAPER_TABLE1[which]
+    print(
+        "\nTable1[%s]: events DDM=%d CDM=%d overst=%.0f%% "
+        "(paper: %d / %d / %d%%), filtered DDM=%d CDM=%d"
+        % (
+            common.SEQUENCE_LABELS[which],
+            row.ddm_events, row.cdm_events, overestimation,
+            paper_ddm, paper_cdm, paper_over,
+            row.ddm_filtered, row.cdm_filtered,
+        )
+    )
+
+
+def test_table1_toggle_overestimation(benchmark):
+    """Net-toggle view of the same claim (power relevance)."""
+
+    def both():
+        ddm = common.run_halotis(1, DelayMode.DDM, record_traces=False)
+        cdm = common.run_halotis(1, DelayMode.CDM, record_traces=False)
+        return ddm, cdm
+
+    ddm, cdm = benchmark(both)
+    overestimation = overestimation_percent(
+        ddm.stats.total_toggles, cdm.stats.total_toggles
+    )
+    assert overestimation > 20.0

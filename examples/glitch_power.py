@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Glitch activity and power overestimation (the paper's motivation).
+
+Run:  python examples/glitch_power.py
+
+The paper's introduction argues that handling glitch collisions matters
+for "race conditions and truly power consumption due to glitches".  This
+example quantifies that: for several circuits under random vectors it
+compares HALOTIS-DDM and HALOTIS-CDM on switching activity, glitch
+counts and estimated dynamic energy — the CDM systematically
+overestimates all three because it propagates glitches the real circuit
+filters.
+"""
+
+from repro.analysis.activity import switching_energy_pj, total_glitches
+from repro.analysis.report import Table
+from repro.circuit import modules
+from repro.config import cdm_config, ddm_config
+from repro.core.engine import simulate
+from repro.core.stats import overestimation_percent
+from repro.stimuli.patterns import random_vectors
+
+CIRCUITS = {
+    "mult4x4": lambda: modules.array_multiplier(4),
+    "mult6x6": lambda: modules.array_multiplier(6),
+    "rca8": lambda: modules.ripple_adder(8),
+    "parity8 (expanded)": lambda: modules.parity_tree(8, expanded=True),
+}
+
+VECTORS = 20
+PERIOD = 5.0
+GLITCH_WIDTH = 1.0  # pulses narrower than this count as glitches
+
+
+def main():
+    table = Table(
+        [
+            "circuit", "gates",
+            "toggles DDM", "toggles CDM", "overst. %",
+            "glitches DDM", "glitches CDM",
+            "energy DDM pJ", "energy CDM pJ",
+        ],
+        title="random-vector activity, DDM vs CDM (%d vectors @ %.0f ns)"
+        % (VECTORS, PERIOD),
+    )
+    for label, factory in CIRCUITS.items():
+        netlist = factory()
+        inputs = [net.name for net in netlist.primary_inputs]
+        stimulus = random_vectors(inputs, VECTORS, PERIOD, seed=1)
+        loads = {net.name: net.load() for net in netlist.nets.values()}
+
+        ddm = simulate(netlist, stimulus, config=ddm_config())
+        cdm = simulate(netlist, stimulus, config=cdm_config())
+
+        ddm_toggles = ddm.traces.total_toggles()
+        cdm_toggles = cdm.traces.total_toggles()
+        table.add_row(
+            [
+                label,
+                len(netlist.gates),
+                ddm_toggles,
+                cdm_toggles,
+                "%.0f" % overestimation_percent(ddm_toggles, cdm_toggles),
+                total_glitches(ddm.traces, GLITCH_WIDTH),
+                total_glitches(cdm.traces, GLITCH_WIDTH),
+                "%.2f" % switching_energy_pj(ddm.traces, loads, netlist.vdd),
+                "%.2f" % switching_energy_pj(cdm.traces, loads, netlist.vdd),
+            ]
+        )
+    print(table.render())
+    print()
+    print("The overestimation column is the paper's Table 1 metric applied")
+    print("to net toggles; energy scales with it (E = sum C*VDD^2/2 per")
+    print("edge), so a conventional delay model inflates power estimates by")
+    print("the same factor.")
+
+
+if __name__ == "__main__":
+    main()

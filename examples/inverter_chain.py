@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Paper Figure 1: the inertial delay model gives wrong results.
+
+Run:  python examples/inverter_chain.py
+
+Reproduces the paper's first experiment end-to-end: an inverter drives
+two chains whose first stages have different input thresholds; a runt
+pulse propagates through one chain and not the other.  Three engines
+are compared — the analog substitute (ground truth), HALOTIS with the
+IDDM, and a classical inertial-delay simulator — first at the headline
+pulse width, then across a whole sweep.
+"""
+
+from repro.analysis.report import Table
+from repro.experiments import fig1
+
+
+def main():
+    print(fig1.run().format())
+
+    print("pulse-width sweep (verdicts are `LT chain propagated?, "
+          "HT chain propagated?`):")
+    table = Table(
+        ["width ns", "out0 dip V", "analog", "IDDM", "classical",
+         "IDDM ok?", "classical ok?"],
+    )
+    for result in fig1.sweep_widths():
+        table.add_row(
+            [
+                "%.2f" % result.pulse_width,
+                "%.2f" % result.dip_minimum_v,
+                "%s" % (result.analog.as_tuple(),),
+                "%s" % (result.iddm.as_tuple(),),
+                "%s" % (result.classical.as_tuple(),),
+                "yes" if result.iddm_matches_analog else "NO",
+                "yes" if result.classical_matches_analog else "NO",
+            ]
+        )
+    print(table.render())
+    print()
+    print("The classical model cannot distinguish the chains: whenever the")
+    print("analog truth is selective, its verdict is wrong for at least one")
+    print("of them.  The IDDM's per-input thresholds track the truth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Electrical (transistor-level) simulation substrate.
+
+This subpackage is the repo's substitute for the paper's HSPICE runs
+(DESIGN.md, "Substitutions"): a transient simulator for complementary
+CMOS gate networks built on the Sakurai–Newton alpha-power-law MOSFET
+model, integrated with a vectorised fixed-step Runge–Kutta scheme.
+
+It exists so every comparison the paper makes against electrical
+simulation — waveform agreement, pulse degradation, per-input threshold
+selectivity, the 2-3 orders-of-magnitude CPU gap — can be regenerated
+end-to-end inside this repository.
+"""
+
+from .technology import Technology, default_technology
+from .device import MosfetParams, mosfet_current
+from .simulator import AnalogSimulator, AnalogResult
+from .waveform import AnalogWaveform
+
+__all__ = [
+    "Technology",
+    "default_technology",
+    "MosfetParams",
+    "mosfet_current",
+    "AnalogSimulator",
+    "AnalogResult",
+    "AnalogWaveform",
+]

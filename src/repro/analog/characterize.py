@@ -1,0 +1,408 @@
+"""Parameter extraction against the analog substrate.
+
+This module reproduces the methodology of the paper's references
+[15]-[17]: every number the logic engine consumes — conventional delays,
+output transition times, per-pin thresholds, and the degradation
+parameters ``tau``/``T0`` of eq. 1 (hence ``A``/``B``/``C`` of eqs. 2-3)
+— can be *measured* on the transistor-level substrate and fitted.
+
+Flow:
+
+1. :func:`measure_delay` — one (load, input-slew) point: 50%-50% delay and
+   output transition time of a single gate;
+2. :func:`fit_arc` — least-squares fit of the linear delay/slew model over
+   a (load x slew) grid;
+3. :func:`measure_degradation_curve` — input pulses of shrinking width
+   trace out tp(T); :func:`fit_degradation` recovers ``tau`` and ``T0``
+   by the log-linear regression ``ln(1 - tp/tp0) = -(T - T0)/tau``;
+4. :func:`fit_degradation_coefficients` — ``tau`` measured across loads
+   gives ``A``/``B`` (eq. 2); ``T0`` across input slews gives ``C``
+   (eq. 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import math
+
+import numpy as np
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.library import CellLibrary, default_library
+from ..circuit.netlist import Netlist
+from ..errors import CharacterizationError
+from ..stimuli.vectors import VectorSequence
+from .gate_dynamics import analog_cell, dc_threshold
+from .simulator import AnalogSimulator
+from .technology import Technology, default_technology
+from .waveform import delay_between
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+
+def _fixture(
+    cell_name: str,
+    pin: int,
+    extra_load: float,
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """Single device-under-test: ideal ramp -> DUT pin; other pins tied to
+    their non-controlling value; output loaded with ``extra_load`` fF of
+    wire capacitance."""
+    library = library if library is not None else default_library()
+    cell = library.get(cell_name)
+    model = analog_cell(cell_name)
+    builder = CircuitBuilder(library, name="char_%s_p%d" % (cell_name, pin))
+    stimulus_net = builder.input("in")
+    tie_value = 1 if model.kind in ("inv", "nand") else 0
+    inputs = []
+    for position in range(cell.num_inputs):
+        if position == pin:
+            inputs.append(stimulus_net)
+        else:
+            inputs.append(builder.constant(tie_value))
+    output = builder.net("out", wire_cap=extra_load)
+    builder.gate(cell_name, *inputs, output=output, name="dut")
+    builder.output(output, "out")
+    return builder.build()
+
+
+def _effective_load(netlist: Netlist) -> float:
+    """The load the logic engine would see on the DUT output (fF)."""
+    return netlist.net("out").load()
+
+
+# ----------------------------------------------------------------------
+# single-point measurements
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class DelayMeasurement:
+    """One measured (load, slew) point."""
+
+    cell: str
+    pin: int
+    output_rising: bool
+    c_load: float
+    tau_in: float
+    tp0: float
+    tau_out: float
+
+
+def measure_delay(
+    cell_name: str,
+    pin: int,
+    output_rising: bool,
+    extra_load: float,
+    tau_in: float,
+    technology: Optional[Technology] = None,
+    library: Optional[CellLibrary] = None,
+    dt: float = 0.002,
+) -> DelayMeasurement:
+    """Measure the conventional delay and output slew of one arc.
+
+    All primitive cells are inverting, so a *rising* output edge is
+    produced by a *falling* input edge (and vice versa).
+    """
+    netlist = _fixture(cell_name, pin, extra_load, library)
+    tech = technology if technology is not None else default_technology()
+    input_rising = not output_rising
+    steps = [
+        (0.0, {"in": 0 if input_rising else 1}),
+        (2.0, {"in": 1 if input_rising else 0}),
+    ]
+    stimulus = VectorSequence(steps, slew=tau_in, tail=4.0)
+    result = AnalogSimulator(netlist, tech, dt=dt).run(stimulus)
+
+    half = tech.vdd / 2.0
+    in_wave = result.waveform("in")
+    out_wave = result.waveform("out")
+    in_cross = in_wave.crossing_times(half, rising=input_rising)
+    if not in_cross:
+        raise CharacterizationError("input edge not found (tau_in too long?)")
+    tp0 = delay_between(in_wave, out_wave, in_cross[0], output_rising)
+    tau_out = out_wave.transition_time(in_cross[0] + tp0, rising=output_rising)
+    return DelayMeasurement(
+        cell=cell_name,
+        pin=pin,
+        output_rising=output_rising,
+        c_load=_effective_load(netlist),
+        tau_in=tau_in,
+        tp0=tp0,
+        tau_out=tau_out,
+    )
+
+
+def measure_threshold(
+    cell_name: str,
+    pin: int,
+    technology: Optional[Technology] = None,
+) -> float:
+    """DC switching threshold of one pin (volts)."""
+    tech = technology if technology is not None else default_technology()
+    return dc_threshold(analog_cell(cell_name), tech, pin)
+
+
+# ----------------------------------------------------------------------
+# linear arc fitting
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ArcFit:
+    """Least-squares fit of the linear delay/slew model."""
+
+    cell: str
+    pin: int
+    output_rising: bool
+    d0: float
+    d_load: float
+    d_slew: float
+    s0: float
+    s_load: float
+    s_slew: float
+    delay_rms_error: float
+    points: Tuple[DelayMeasurement, ...]
+
+
+def fit_arc(
+    cell_name: str,
+    pin: int,
+    output_rising: bool,
+    extra_loads: Sequence[float] = (0.0, 20.0, 40.0),
+    input_slews: Sequence[float] = (0.1, 0.3, 0.6),
+    technology: Optional[Technology] = None,
+    library: Optional[CellLibrary] = None,
+    dt: float = 0.002,
+) -> ArcFit:
+    """Fit ``tp0 = d0 + d_load*CL + d_slew*tau_in`` (and the slew model)
+    over a measurement grid."""
+    points: List[DelayMeasurement] = []
+    for extra_load in extra_loads:
+        for tau_in in input_slews:
+            points.append(
+                measure_delay(
+                    cell_name, pin, output_rising, extra_load, tau_in,
+                    technology=technology, library=library, dt=dt,
+                )
+            )
+    design = np.array([[1.0, p.c_load, p.tau_in] for p in points])
+    delays = np.array([p.tp0 for p in points])
+    slews = np.array([p.tau_out for p in points])
+    delay_coeffs, _res, _rank, _sv = np.linalg.lstsq(design, delays, rcond=None)
+    slew_coeffs, _res, _rank, _sv = np.linalg.lstsq(design, slews, rcond=None)
+    residual = float(np.sqrt(np.mean((design @ delay_coeffs - delays) ** 2)))
+    return ArcFit(
+        cell=cell_name,
+        pin=pin,
+        output_rising=output_rising,
+        d0=float(delay_coeffs[0]),
+        d_load=float(delay_coeffs[1]),
+        d_slew=float(delay_coeffs[2]),
+        s0=float(slew_coeffs[0]),
+        s_load=float(slew_coeffs[1]),
+        s_slew=float(slew_coeffs[2]),
+        delay_rms_error=residual,
+        points=tuple(points),
+    )
+
+
+# ----------------------------------------------------------------------
+# degradation extraction (paper eq. 1)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class DegradationPoint:
+    """One pulse-width point on the tp(T) curve.
+
+    ``elapsed`` is the measured time between the two output transitions
+    (the ``T`` of eq. 1); ``tp`` is the measured delay of the second
+    output edge."""
+
+    pulse_width: float
+    elapsed: float
+    tp: float
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradationFit:
+    """Fitted eq. 1 parameters for one arc at one (load, slew) point."""
+
+    cell: str
+    pin: int
+    output_rising: bool
+    c_load: float
+    tau_in: float
+    tp0: float
+    tau: float
+    t0: float
+    points: Tuple[DegradationPoint, ...]
+
+    def predicted_tp(self, elapsed: float) -> float:
+        """Eq. 1 evaluated with the fitted parameters."""
+        return self.tp0 * (1.0 - math.exp(-(elapsed - self.t0) / self.tau))
+
+
+def measure_degradation_curve(
+    cell_name: str,
+    pin: int,
+    output_rising: bool,
+    extra_load: float = 20.0,
+    tau_in: float = 0.2,
+    pulse_widths: Sequence[float] = (
+        0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.7, 1.0, 1.5, 2.5,
+    ),
+    technology: Optional[Technology] = None,
+    library: Optional[CellLibrary] = None,
+    dt: float = 0.002,
+) -> Tuple[List[DegradationPoint], float]:
+    """Trace tp(T) by applying input pulses of shrinking width.
+
+    The *second* output edge (the one of direction ``output_rising``)
+    propagates a time ``T`` after the first output transition; measuring
+    its delay for each width yields the degradation curve.  Returns the
+    measured points (widths whose output pulse collapsed entirely are
+    skipped) and the reference ``tp0`` measured with a wide pulse.
+    """
+    netlist = _fixture(cell_name, pin, extra_load, library)
+    tech = technology if technology is not None else default_technology()
+    half = tech.vdd / 2.0
+    # A pulse on the input produces: first output edge opposite to
+    # output_rising, then the edge under test.
+    second_input_rising = not output_rising
+    rest = 1 if second_input_rising else 0
+    simulator = AnalogSimulator(netlist, tech, dt=dt)
+
+    reference_width = 50.0 * tau_in
+    points: List[DegradationPoint] = []
+    tp0 = None
+    for width in list(pulse_widths) + [reference_width]:
+        steps = [
+            (0.0, {"in": rest}),
+            (2.0, {"in": 1 - rest}),
+            (2.0 + width, {"in": rest}),
+        ]
+        stimulus = VectorSequence(steps, slew=tau_in, tail=4.0)
+        result = simulator.run(stimulus)
+        in_wave = result.waveform("in")
+        out_wave = result.waveform("out")
+        second_in = in_wave.crossing_times(half, rising=second_input_rising)
+        if not second_in:
+            continue
+        first_out = out_wave.crossing_times(half, rising=not output_rising)
+        second_out = [
+            t for t in out_wave.crossing_times(half, rising=output_rising)
+            if t > second_in[-1]
+        ]
+        if not first_out or not second_out:
+            # Fully filtered pulse: no measurable second edge.
+            continue
+        elapsed = second_out[0] - first_out[0]
+        delay = second_out[0] - second_in[-1]
+        if width >= reference_width:
+            tp0 = delay
+        else:
+            points.append(
+                DegradationPoint(pulse_width=width, elapsed=elapsed, tp=delay)
+            )
+    if tp0 is None:
+        raise CharacterizationError(
+            "reference (wide pulse) measurement failed for %s" % cell_name
+        )
+    return points, tp0
+
+
+def fit_degradation(
+    points: Sequence[DegradationPoint],
+    tp0: float,
+) -> Tuple[float, float]:
+    """Recover ``(tau, T0)`` of eq. 1 from measured (T, tp) points.
+
+    Rearranging eq. 1: ``ln(1 - tp/tp0) = -(T - T0)/tau``, a straight
+    line in T.  Points with ``tp >= tp0`` carry no degradation signal and
+    are ignored.
+    """
+    usable = [p for p in points if 0.0 < p.tp < tp0 * 0.999]
+    if len(usable) < 2:
+        raise CharacterizationError(
+            "need at least two degraded points to fit eq. 1 (got %d); "
+            "use narrower pulses" % len(usable)
+        )
+    elapsed = np.array([p.elapsed for p in usable])
+    logs = np.array([math.log(1.0 - p.tp / tp0) for p in usable])
+    design = np.stack([elapsed, np.ones_like(elapsed)], axis=1)
+    coeffs, _res, _rank, _sv = np.linalg.lstsq(design, logs, rcond=None)
+    slope, intercept = float(coeffs[0]), float(coeffs[1])
+    if slope >= 0.0:
+        raise CharacterizationError(
+            "degradation fit produced non-decaying slope %.4g" % slope
+        )
+    tau = -1.0 / slope
+    t0 = intercept * tau
+    return tau, t0
+
+
+def fit_degradation_curve(
+    cell_name: str,
+    pin: int,
+    output_rising: bool,
+    extra_load: float = 20.0,
+    tau_in: float = 0.2,
+    technology: Optional[Technology] = None,
+    library: Optional[CellLibrary] = None,
+    dt: float = 0.002,
+    pulse_widths: Optional[Sequence[float]] = None,
+) -> DegradationFit:
+    """Measure and fit one complete degradation curve."""
+    kwargs = {}
+    if pulse_widths is not None:
+        kwargs["pulse_widths"] = pulse_widths
+    points, tp0 = measure_degradation_curve(
+        cell_name, pin, output_rising, extra_load, tau_in,
+        technology=technology, library=library, dt=dt, **kwargs,
+    )
+    tau, t0 = fit_degradation(points, tp0)
+    netlist = _fixture(cell_name, pin, extra_load, library)
+    return DegradationFit(
+        cell=cell_name,
+        pin=pin,
+        output_rising=output_rising,
+        c_load=_effective_load(netlist),
+        tau_in=tau_in,
+        tp0=tp0,
+        tau=tau,
+        t0=t0,
+        points=tuple(points),
+    )
+
+
+def fit_degradation_coefficients(
+    fits_over_load: Sequence[DegradationFit],
+    fits_over_slew: Sequence[DegradationFit],
+    vdd: float,
+) -> Tuple[float, float, float]:
+    """Recover eq. 2/3 coefficients ``(A, B, C)``.
+
+    ``A``/``B`` come from a line fit of ``tau = VDD*(A + B*CL)`` over
+    fits at different loads; ``C`` from ``T0 = (1/2 - C/VDD)*tau_in``
+    over fits at different input slews (slope through the origin).
+    """
+    if len(fits_over_load) < 2:
+        raise CharacterizationError("need >= 2 loads to fit A and B")
+    loads = np.array([f.c_load for f in fits_over_load])
+    taus = np.array([f.tau for f in fits_over_load])
+    design = np.stack([np.ones_like(loads), loads], axis=1)
+    coeffs, _res, _rank, _sv = np.linalg.lstsq(design, taus, rcond=None)
+    a = float(coeffs[0]) / vdd
+    b = float(coeffs[1]) / vdd
+
+    if len(fits_over_slew) < 1:
+        raise CharacterizationError("need >= 1 slew point to fit C")
+    slews = np.array([f.tau_in for f in fits_over_slew])
+    offsets = np.array([f.t0 for f in fits_over_slew])
+    slope = float((slews @ offsets) / (slews @ slews))
+    c = (0.5 - slope) * vdd
+    return a, b, c

@@ -1,0 +1,103 @@
+"""Alpha-power-law MOSFET current model (Sakurai–Newton).
+
+The model captures the two facts the degradation physics needs: drive
+current grows sub-quadratically with overdrive (velocity saturation,
+exponent ``alpha``), and the device moves between a linear region below
+``Vdsat`` and a saturated region above it with a continuous, smooth
+characteristic:
+
+* ``Id_sat  = k * W * (Vgs - Vth)^alpha``            for ``Vds >= Vdsat``
+* ``Id_lin  = Id_sat * (2 - Vds/Vdsat)*(Vds/Vdsat)`` for ``Vds < Vdsat``
+* ``Vdsat   = kv * (Vgs - Vth)^(alpha/2)``
+
+Everything is expressed for an N device with ``Vgs``/``Vds`` referenced
+to the source; P devices are handled by the callers via the usual
+mirror-image substitution (``Vsg = VDD - Vg``, ``Vsd = VDD - Vd``).
+
+All functions are vectorised over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .technology import Technology
+
+
+@dataclasses.dataclass(frozen=True)
+class MosfetParams:
+    """Parameters of one device flavour (bound from a Technology)."""
+
+    vth: float
+    alpha: float
+    k: float
+    kv: float
+
+    @classmethod
+    def nmos(cls, tech: Technology) -> "MosfetParams":
+        return cls(vth=tech.vth_n, alpha=tech.alpha_n, k=tech.k_n, kv=tech.kv_n)
+
+    @classmethod
+    def pmos(cls, tech: Technology) -> "MosfetParams":
+        return cls(vth=tech.vth_p, alpha=tech.alpha_p, k=tech.k_p, kv=tech.kv_p)
+
+
+def mosfet_current(
+    params: MosfetParams,
+    vgs,
+    vds,
+    width,
+):
+    """Drain current in uA for gate-source and drain-source voltages.
+
+    Vectorised: ``vgs``, ``vds`` and ``width`` broadcast together.
+    Negative ``vds`` is clamped to zero (the simulator never needs the
+    reverse direction: complementary networks only source/sink toward
+    their rail) and sub-threshold conduction is treated as zero.
+    """
+    vgs = np.asarray(vgs, dtype=float)
+    vds = np.maximum(np.asarray(vds, dtype=float), 0.0)
+    overdrive = np.maximum(vgs - params.vth, 0.0)
+    saturation_current = params.k * width * np.power(overdrive, params.alpha)
+    vdsat = params.kv * np.power(overdrive, 0.5 * params.alpha)
+    # Smooth linear-region factor; where vdsat == 0 the device is off and
+    # the factor is irrelevant (saturation_current is 0 there).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(vdsat > 0.0, vds / np.where(vdsat > 0.0, vdsat, 1.0), 0.0)
+    linear_factor = np.where(ratio < 1.0, (2.0 - ratio) * ratio, 1.0)
+    return saturation_current * linear_factor
+
+
+def dc_inverter_threshold(
+    tech: Technology,
+    wn: float,
+    wp: float,
+    tolerance: float = 1e-4,
+) -> float:
+    """Input voltage where an inverter's pull-down and pull-up currents
+    balance at ``Vout = VDD/2`` — the switching threshold ``VT``.
+
+    Solved by bisection; this is the quantity the characterisation flow
+    extracts for every library pin (paper section 2: the per-input ``VT``
+    of the IDDM).
+    """
+    nparams = MosfetParams.nmos(tech)
+    pparams = MosfetParams.pmos(tech)
+    vout = tech.vdd / 2.0
+
+    def balance(vin: float) -> float:
+        pull_down = float(mosfet_current(nparams, vin, vout, wn))
+        pull_up = float(mosfet_current(pparams, tech.vdd - vin, tech.vdd - vout, wp))
+        return pull_down - pull_up
+
+    low, high = 0.0, tech.vdd
+    # balance() is monotone increasing in vin: negative at 0, positive at VDD.
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if balance(mid) >= 0.0:
+            high = mid
+        else:
+            low = mid
+    return 0.5 * (low + high)

@@ -1,0 +1,73 @@
+"""Analog technology constants (the "0.6 um-like" 5 V process).
+
+The numbers are not a foundry deck: they are chosen so that
+
+* a unit inverter driving one gate load switches in ~0.1 ns,
+* the multiplier's critical path settles within the paper's 5 ns vector
+  period,
+* narrow pulses degrade visibly over a handful of stages (the effect the
+  IDDM models).
+
+Unit system (see :mod:`repro.units`): V, ns, fF, uA — consistent because
+1 uA = 1 fF * 1 V / 1 ns, so ``dV/dt = I/C`` needs no conversion factors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import LibraryError
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """Process constants for the analog substrate.
+
+    Attributes:
+        name: identifier used in reports.
+        vdd: supply voltage, V.
+        vth_n / vth_p: threshold voltages (magnitudes), V.
+        alpha_n / alpha_p: alpha-power-law velocity-saturation exponents.
+        k_n / k_p: unit-width saturation transconductance, uA/V^alpha.
+        kv_n / kv_p: saturation-voltage coefficients,
+            ``Vdsat = kv * (Vgs - Vth)^(alpha/2)``.
+        leak: tiny off-state conductance, uA/V — keeps rail voltages
+            pinned and the ODE well-conditioned.
+    """
+
+    name: str = "tech06-analog"
+    vdd: float = 5.0
+    vth_n: float = 0.80
+    vth_p: float = 0.90
+    alpha_n: float = 1.30
+    alpha_p: float = 1.40
+    k_n: float = 115.0
+    k_p: float = 105.0
+    kv_n: float = 0.50
+    kv_p: float = 0.55
+    leak: float = 0.05
+
+    def validate(self) -> None:
+        if self.vdd <= 0.0:
+            raise LibraryError("VDD must be positive")
+        if not 0.0 < self.vth_n < self.vdd:
+            raise LibraryError("NMOS threshold outside (0, VDD)")
+        if not 0.0 < self.vth_p < self.vdd:
+            raise LibraryError("PMOS threshold outside (0, VDD)")
+        if self.alpha_n < 1.0 or self.alpha_p < 1.0:
+            raise LibraryError("alpha exponents must be >= 1 (velocity saturation)")
+        if self.k_n <= 0.0 or self.k_p <= 0.0:
+            raise LibraryError("transconductances must be positive")
+        if self.kv_n <= 0.0 or self.kv_p <= 0.0:
+            raise LibraryError("saturation-voltage coefficients must be positive")
+        if self.leak < 0.0:
+            raise LibraryError("leak conductance must be >= 0")
+
+
+_DEFAULT = Technology()
+_DEFAULT.validate()
+
+
+def default_technology() -> Technology:
+    """The shared default :class:`Technology` (immutable)."""
+    return _DEFAULT

@@ -1,0 +1,206 @@
+"""Analog waveform analysis.
+
+:class:`AnalogWaveform` wraps one node's sampled voltage trace and
+provides the measurements the experiments need: threshold crossings,
+50%-50% delays, 10%-90% transition times, digitisation with hysteresis
+(for comparing against logic-simulator edge lists) and windowed extrema
+(for runt-pulse peaks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+Edge = Tuple[float, int]
+
+
+class AnalogWaveform:
+    """One node's voltage as a sampled function of time."""
+
+    def __init__(self, times: np.ndarray, values: np.ndarray, vdd: float,
+                 name: str = ""):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise AnalysisError("times and values must be equal-length 1-D arrays")
+        if len(times) < 2:
+            raise AnalysisError("waveform needs at least two samples")
+        self.times = times
+        self.values = values
+        self.vdd = vdd
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated voltage at ``time``."""
+        return float(np.interp(time, self.times, self.values))
+
+    def window(self, t_start: float, t_end: float) -> "AnalogWaveform":
+        """Sub-waveform restricted to ``[t_start, t_end]``."""
+        mask = (self.times >= t_start) & (self.times <= t_end)
+        if mask.sum() < 2:
+            raise AnalysisError("window too narrow for the sampling step")
+        return AnalogWaveform(
+            self.times[mask], self.values[mask], self.vdd, self.name
+        )
+
+    def extreme(self, t_start: float, t_end: float, maximum: bool = True) -> float:
+        """Max (or min) voltage within a window — runt-pulse peak probing."""
+        sub = self.window(t_start, t_end)
+        return float(sub.values.max() if maximum else sub.values.min())
+
+    # ------------------------------------------------------------------
+    # crossings and digitisation
+    # ------------------------------------------------------------------
+
+    def crossing_times(
+        self,
+        level: float,
+        rising: Optional[bool] = None,
+    ) -> List[float]:
+        """Times where the waveform crosses ``level`` (linear interp).
+
+        ``rising=True`` keeps upward crossings only, ``False`` downward,
+        None both.
+        """
+        above = self.values >= level
+        flips = np.nonzero(above[1:] != above[:-1])[0]
+        crossings: List[float] = []
+        for index in flips:
+            upward = above[index + 1]
+            if rising is not None and upward != rising:
+                continue
+            v0, v1 = self.values[index], self.values[index + 1]
+            t0, t1 = self.times[index], self.times[index + 1]
+            fraction = (level - v0) / (v1 - v0)
+            crossings.append(float(t0 + fraction * (t1 - t0)))
+        return crossings
+
+    def digitize(
+        self,
+        threshold: Optional[float] = None,
+        hysteresis_fraction: float = 0.1,
+    ) -> List[Edge]:
+        """Digital edge list via a hysteresis comparator.
+
+        A rising edge is registered when the waveform exceeds
+        ``threshold + h`` after having been below ``threshold - h`` (and
+        symmetrically for falling), which ignores sub-hysteresis wiggles
+        the way a real receiver would.  Returns ``(time, new_value)``
+        pairs; the crossing time reported is the mid-threshold crossing.
+        """
+        if threshold is None:
+            threshold = self.vdd / 2.0
+        band = hysteresis_fraction * self.vdd
+        high_level = threshold + band
+        low_level = threshold - band
+        state = 1 if self.values[0] >= threshold else 0
+        edges: List[Edge] = []
+        pending_cross: Optional[float] = None
+        for index in range(1, len(self.times)):
+            voltage = self.values[index]
+            previous = self.values[index - 1]
+            if state == 0:
+                if pending_cross is None and previous < threshold <= voltage:
+                    fraction = (threshold - previous) / (voltage - previous)
+                    pending_cross = float(
+                        self.times[index - 1]
+                        + fraction * (self.times[index] - self.times[index - 1])
+                    )
+                if voltage >= high_level and pending_cross is not None:
+                    edges.append((pending_cross, 1))
+                    state = 1
+                    pending_cross = None
+                elif voltage < low_level:
+                    pending_cross = None
+            else:
+                if pending_cross is None and previous > threshold >= voltage:
+                    fraction = (previous - threshold) / (previous - voltage)
+                    pending_cross = float(
+                        self.times[index - 1]
+                        + fraction * (self.times[index] - self.times[index - 1])
+                    )
+                if voltage <= low_level and pending_cross is not None:
+                    edges.append((pending_cross, 0))
+                    state = 0
+                    pending_cross = None
+                elif voltage > high_level:
+                    pending_cross = None
+        return edges
+
+    def initial_value(self, threshold: Optional[float] = None) -> int:
+        if threshold is None:
+            threshold = self.vdd / 2.0
+        return 1 if self.values[0] >= threshold else 0
+
+    def value_digital_at(self, time: float, threshold: Optional[float] = None) -> int:
+        """Digital value at ``time`` per the hysteresis digitisation."""
+        value = self.initial_value(threshold)
+        for edge_time, edge_value in self.digitize(threshold):
+            if edge_time > time:
+                break
+            value = edge_value
+        return value
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+
+    def transition_time(
+        self,
+        around: float,
+        rising: bool,
+        low_fraction: float = 0.1,
+        high_fraction: float = 0.9,
+    ) -> float:
+        """Full-swing-equivalent transition time of the edge nearest
+        ``around``: the 10%-90% span scaled to 0%-100%."""
+        low_level = low_fraction * self.vdd
+        high_level = high_fraction * self.vdd
+        lows = self.crossing_times(low_level, rising=rising)
+        highs = self.crossing_times(high_level, rising=rising)
+        if not lows or not highs:
+            raise AnalysisError(
+                "no full %s edge found near t=%.3f on %s"
+                % ("rising" if rising else "falling", around, self.name)
+            )
+        low_time = min(lows, key=lambda t: abs(t - around))
+        high_time = min(highs, key=lambda t: abs(t - around))
+        span = (high_time - low_time) if rising else (low_time - high_time)
+        if span <= 0.0:
+            raise AnalysisError("inconsistent edge around t=%.3f" % around)
+        return span / (high_fraction - low_fraction)
+
+
+def delay_between(
+    cause: AnalogWaveform,
+    effect: AnalogWaveform,
+    cause_time: float,
+    effect_rising: bool,
+    level_fraction: float = 0.5,
+) -> float:
+    """50%-50% propagation delay: first crossing of ``effect`` after
+    ``cause_time`` minus ``cause_time``.
+
+    ``cause_time`` should itself be a mid-swing crossing instant of the
+    causing edge (measured by the caller), which keeps the convention
+    identical to the logic engine's 50%-50% delays.
+    """
+    level = level_fraction * effect.vdd
+    candidates = [
+        t for t in effect.crossing_times(level, rising=effect_rising)
+        if t >= cause_time
+    ]
+    if not candidates:
+        raise AnalysisError(
+            "no %s crossing on %s after t=%.3f"
+            % ("rising" if effect_rising else "falling", effect.name, cause_time)
+        )
+    return candidates[0] - cause_time

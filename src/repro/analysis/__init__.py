@@ -1,0 +1,24 @@
+"""Post-processing: switching activity, waveform comparison, rendering."""
+
+from .activity import (
+    ActivityComparison,
+    compare_activity,
+    glitch_count,
+    switching_energy_pj,
+)
+from .compare import EdgeMatch, match_edges, settled_words
+from .ascii_art import render_bus, render_waveforms
+from .report import Table
+
+__all__ = [
+    "ActivityComparison",
+    "compare_activity",
+    "glitch_count",
+    "switching_energy_pj",
+    "EdgeMatch",
+    "match_edges",
+    "settled_words",
+    "render_bus",
+    "render_waveforms",
+    "Table",
+]

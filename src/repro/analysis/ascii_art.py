@@ -1,0 +1,120 @@
+r"""ASCII waveform rendering.
+
+Renders digital edge lists as fixed-width text waveforms, one row per
+net — the format used to reproduce the paper's Figures 1, 6 and 7 in a
+terminal::
+
+    s3  ____/~~~~\____/~~~~~~~~
+    s2  ________/~~~~\__________
+
+Low is ``_``, high is ``~``, an edge is ``/`` or ``\``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+
+Edge = Tuple[float, int]
+
+LOW_CHAR = "_"
+HIGH_CHAR = "~"
+RISE_CHAR = "/"
+FALL_CHAR = "\\"
+
+
+def render_edges(
+    edges: Sequence[Edge],
+    initial_value: int,
+    t_start: float,
+    t_end: float,
+    columns: int,
+) -> str:
+    """One net's waveform as a ``columns``-character string."""
+    if columns < 2:
+        raise AnalysisError("need at least two columns")
+    if t_end <= t_start:
+        raise AnalysisError("empty time window")
+    step = (t_end - t_start) / columns
+    characters: List[str] = []
+    value = initial_value
+    cursor = 0
+    edge_list = sorted(edges)
+    for column in range(columns):
+        cell_start = t_start + column * step
+        cell_end = cell_start + step
+        toggled = False
+        while cursor < len(edge_list) and edge_list[cursor][0] < cell_end:
+            if edge_list[cursor][0] >= cell_start:
+                value = edge_list[cursor][1]
+                toggled = True
+            elif column == 0:
+                # Edges before the window set the starting level.
+                value = edge_list[cursor][1]
+            cursor += 1
+        if toggled:
+            characters.append(RISE_CHAR if value == 1 else FALL_CHAR)
+        else:
+            characters.append(HIGH_CHAR if value == 1 else LOW_CHAR)
+    return "".join(characters)
+
+
+def render_waveforms(
+    waveforms: Dict[str, Tuple[int, Sequence[Edge]]],
+    t_start: float,
+    t_end: float,
+    columns: int = 72,
+    order: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render several nets stacked, with a time axis.
+
+    Args:
+        waveforms: ``name -> (initial_value, edges)``.
+        order: display order (default: insertion order).
+    """
+    names = list(order) if order is not None else list(waveforms)
+    width = max((len(name) for name in names), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name in names:
+        initial_value, edges = waveforms[name]
+        body = render_edges(edges, initial_value, t_start, t_end, columns)
+        lines.append("%-*s %s" % (width, name, body))
+    axis = _time_axis(t_start, t_end, columns)
+    lines.append("%-*s %s" % (width, "", axis[0]))
+    lines.append("%-*s %s" % (width, "t/ns", axis[1]))
+    return "\n".join(lines)
+
+
+def _time_axis(t_start: float, t_end: float, columns: int) -> Tuple[str, str]:
+    """Tick row and label row for the time axis."""
+    tick_row = ["-"] * columns
+    label_row = [" "] * columns
+    tick_count = 6
+    for tick in range(tick_count):
+        column = int(round(tick * (columns - 1) / (tick_count - 1)))
+        tick_row[column] = "+"
+        label = "%g" % (t_start + (t_end - t_start) * tick / (tick_count - 1))
+        for offset, char in enumerate(label):
+            position = column + offset
+            if position < columns:
+                label_row[position] = char
+    return "".join(tick_row), "".join(label_row)
+
+
+def render_bus(
+    values: Sequence[int],
+    sample_times: Sequence[float],
+    label: str = "bus",
+    hex_digits: int = 2,
+) -> str:
+    """Render sampled bus words as a compact annotation row."""
+    if len(values) != len(sample_times):
+        raise AnalysisError("values and sample_times must align")
+    cells = [
+        "%g:%0*X" % (t, hex_digits, v) for t, v in zip(sample_times, values)
+    ]
+    return "%s  %s" % (label, "  ".join(cells))

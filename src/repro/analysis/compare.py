@@ -1,0 +1,129 @@
+"""Waveform-agreement metrics between simulators.
+
+The paper's Figures 6/7 argument is qualitative ("very similar
+waveforms"); to make it checkable we quantify agreement between two edge
+lists (from HALOTIS traces, classical-baseline edges or digitised analog
+waveforms):
+
+* greedy same-polarity edge matching within a time tolerance,
+* settled bus words at sampling instants,
+* toggle-count ratios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import AnalysisError
+
+Edge = Tuple[float, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeMatch:
+    """Outcome of matching two edge lists.
+
+    Attributes:
+        matched: number of edge pairs matched (same polarity, within
+            tolerance).
+        unmatched_a / unmatched_b: leftovers on each side.
+        mean_abs_skew: mean |t_a - t_b| over matches, ns.
+        max_abs_skew: worst matched skew, ns.
+    """
+
+    matched: int
+    unmatched_a: int
+    unmatched_b: int
+    mean_abs_skew: float
+    max_abs_skew: float
+
+    @property
+    def agreement(self) -> float:
+        """Matched fraction of the union (1.0 = identical activity)."""
+        total = self.matched + self.unmatched_a + self.unmatched_b
+        if total == 0:
+            return 1.0
+        return self.matched / total
+
+
+def match_edges(
+    edges_a: Sequence[Edge],
+    edges_b: Sequence[Edge],
+    tolerance: float,
+) -> EdgeMatch:
+    """Greedily match same-polarity edges within ``tolerance`` ns.
+
+    Both lists must be time-sorted.  Greedy in time order is optimal for
+    non-crossing matchings of sorted sequences, which is the case here.
+    """
+    if tolerance < 0.0:
+        raise AnalysisError("tolerance must be >= 0")
+    index_b = 0
+    used = [False] * len(edges_b)
+    skews: List[float] = []
+    for time_a, value_a in edges_a:
+        best = None
+        for position in range(index_b, len(edges_b)):
+            time_b, value_b = edges_b[position]
+            if used[position] or value_b != value_a:
+                continue
+            if time_b < time_a - tolerance:
+                continue
+            if time_b > time_a + tolerance:
+                break
+            best = position
+            break
+        if best is not None:
+            used[best] = True
+            skews.append(abs(time_a - edges_b[best][0]))
+            while index_b < len(edges_b) and used[index_b]:
+                index_b += 1
+    matched = len(skews)
+    return EdgeMatch(
+        matched=matched,
+        unmatched_a=len(edges_a) - matched,
+        unmatched_b=len(edges_b) - matched,
+        mean_abs_skew=sum(skews) / matched if matched else 0.0,
+        max_abs_skew=max(skews) if skews else 0.0,
+    )
+
+
+def settled_words(
+    word_at,
+    sample_times: Sequence[float],
+    prefix: str,
+    width: int,
+) -> List[int]:
+    """Sample a bus through any ``word_at(time, prefix, width)`` callable.
+
+    Works uniformly for :class:`repro.core.trace.TraceSet` and
+    :class:`repro.analog.simulator.AnalogResult` (both expose that
+    method), so experiments can compare settled words across engines.
+    """
+    return [word_at(t, prefix, width) for t in sample_times]
+
+
+def edge_lists_equal(
+    edges_a: Sequence[Edge],
+    edges_b: Sequence[Edge],
+    tolerance: float,
+) -> bool:
+    """True when both lists pair up exactly within ``tolerance``."""
+    if len(edges_a) != len(edges_b):
+        return False
+    outcome = match_edges(edges_a, edges_b, tolerance)
+    return outcome.unmatched_a == 0 and outcome.unmatched_b == 0
+
+
+def compare_trace_sets(
+    names: Sequence[str],
+    edges_of_a,
+    edges_of_b,
+    tolerance: float,
+) -> Dict[str, EdgeMatch]:
+    """Match edges net-by-net through two ``name -> edge list`` callables."""
+    return {
+        name: match_edges(edges_of_a(name), edges_of_b(name), tolerance)
+        for name in names
+    }

@@ -1,0 +1,81 @@
+"""Fixed-width text tables for experiment reports.
+
+Small, dependency-free table renderer used by the experiment drivers and
+EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import AnalysisError
+
+
+class Table:
+    """A fixed-width table with a header row.
+
+    >>> t = Table(["seq", "events"])
+    >>> t.add_row(["0x0,7x7", 959])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence) -> None:
+        if len(cells) != len(self.headers):
+            raise AnalysisError(
+                "row has %d cells, table has %d columns"
+                % (len(cells), len(self.headers))
+            )
+        self.rows.append([_format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for column, cell in enumerate(row):
+                widths[column] = max(widths[column], len(cell))
+        parts: List[str] = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(_render_line(self.headers, widths))
+        parts.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            parts.append(_render_line(row, widths))
+        return "\n".join(parts)
+
+    def render_markdown(self) -> str:
+        parts: List[str] = []
+        if self.title:
+            parts.append("**%s**" % self.title)
+            parts.append("")
+        parts.append("| " + " | ".join(self.headers) + " |")
+        parts.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            parts.append("| " + " | ".join(row) + " |")
+        return "\n".join(parts)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        return "%.4g" % cell
+    return str(cell)
+
+
+def _render_line(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def paper_comparison(
+    title: str,
+    rows: Sequence[Sequence],
+    headers: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a "paper vs measured" block for EXPERIMENTS.md."""
+    table = Table(headers or ["quantity", "paper", "measured", "shape holds?"],
+                  title=title)
+    for row in rows:
+        table.add_row(row)
+    return table.render()

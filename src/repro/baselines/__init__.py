@@ -1,0 +1,11 @@
+"""Classical logic-simulation baselines.
+
+:mod:`repro.baselines.inertial_simulator` implements the conventional
+event-driven simulator with transport/inertial delay semantics — the
+"VHDL standard simulator" style engine whose wrong handling of runt
+pulses motivates the paper (its Figure 1c).
+"""
+
+from .inertial_simulator import ClassicalSimulator, DelaySemantics, classical_simulate
+
+__all__ = ["ClassicalSimulator", "DelaySemantics", "classical_simulate"]

@@ -1,0 +1,252 @@
+"""Classical event-driven logic simulator (transport / inertial delays).
+
+This is the conventional machinery the paper argues against (section 2,
+Figure 1): signals are pure 0/1 step waveforms, every gate output has a
+single scheduled "projected" event, and the *inertial* semantics filters
+any pulse narrower than the gate delay — at the driver, identically for
+every reader.
+
+Semantics implemented (``DelaySemantics``):
+
+* ``INERTIAL`` — VHDL-style signal assignment: scheduling a new value
+  cancels the pending transaction; a pulse must outlive the gate delay to
+  be committed at all.
+* ``TRANSPORT`` — every scheduled change is delivered (pure delay line);
+  pulses are never filtered.
+
+Delays are taken from the same cell library the HALOTIS engine uses (the
+arc's conventional ``tp0`` at the net's actual load with the stimulus
+slew), so comparisons isolate the *semantics*, not the numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+import time as _time
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..circuit.evaluate import evaluate_netlist
+from ..circuit.logic import evaluate as evaluate_function
+from ..circuit.netlist import Gate, Netlist
+from ..errors import SimulationError, SimulationLimitError, StimulusError
+
+
+class DelaySemantics(enum.Enum):
+    INERTIAL = "inertial"
+    TRANSPORT = "transport"
+
+
+@dataclasses.dataclass
+class ClassicalStats:
+    """Run counters (mirror of the HALOTIS statistics where comparable)."""
+
+    events_executed: int = 0
+    events_scheduled: int = 0
+    events_filtered: int = 0
+    runtime_seconds: float = 0.0
+    net_toggles: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def total_toggles(self) -> int:
+        return sum(self.net_toggles.values())
+
+    def count_toggle(self, net_name: str) -> None:
+        self.net_toggles[net_name] = self.net_toggles.get(net_name, 0) + 1
+
+
+class _PendingEvent:
+    __slots__ = ("time", "seq", "gate", "value", "cancelled")
+
+    def __init__(self, time: float, seq: int, gate: Gate, value: int):
+        self.time = time
+        self.seq = seq
+        self.gate = gate
+        self.value = value
+        self.cancelled = False
+
+
+class ClassicalSimulator:
+    """Conventional two-value event-driven simulator.
+
+    The engine drives the same netlists as HALOTIS but keeps a single
+    committed value per net and one pending transaction per gate output.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        semantics: DelaySemantics = DelaySemantics.INERTIAL,
+        input_slew: float = 0.20,
+        max_events: int = 5_000_000,
+    ):
+        self.netlist = netlist
+        self.semantics = semantics
+        self.max_events = max_events
+        self.stats = ClassicalStats()
+        self.now = 0.0
+        self._seq = 0
+        self._heap: List[Tuple[float, int, _PendingEvent]] = []
+        self._pending: Dict[str, Optional[_PendingEvent]] = {}
+        self._values: Dict[str, int] = {}
+        self._edges: Dict[str, List[Tuple[float, int]]] = {}
+        self._initialized = False
+        # Single per-(gate, edge) delay, evaluated at the net's real load
+        # with the default stimulus slew — the classic "one number per
+        # gate" abstraction.
+        self._delays: Dict[Tuple[str, bool], float] = {}
+        for gate in netlist.gates.values():
+            load = gate.output.load()
+            for rising in (False, True):
+                slowest = max(
+                    gate.cell.arc(pin, rising).delay(load, input_slew)
+                    for pin in range(gate.cell.num_inputs)
+                )
+                self._delays[(gate.name, rising)] = slowest
+
+    # ------------------------------------------------------------------
+
+    def initialize(self, input_values: Mapping[str, int],
+                   seed: Optional[Mapping[str, int]] = None) -> None:
+        self._values = evaluate_netlist(
+            self.netlist, dict(input_values), seed=dict(seed) if seed else None
+        )
+        self._edges = {name: [] for name in self.netlist.nets}
+        self._pending = {gate.name: None for gate in self.netlist.gates.values()}
+        self._heap = []
+        self._seq = 0
+        self.now = 0.0
+        self.stats = ClassicalStats()
+        self._initialized = True
+
+    def set_input(self, name: str, value: int, at_time: float) -> None:
+        if not self._initialized:
+            raise SimulationError("call initialize() first")
+        net = self.netlist.net(name)
+        if not net.is_primary_input:
+            raise StimulusError("%r is not a primary input" % name)
+        if at_time < self.now:
+            raise StimulusError("cannot drive the past")
+        if self._values[name] == value:
+            return
+        self._commit(name, value, at_time)
+        for reader in net.fanouts:
+            self._evaluate_gate(reader.gate, at_time)
+
+    def run(self, until: Optional[float] = None) -> ClassicalStats:
+        if not self._initialized:
+            raise SimulationError("call initialize() first")
+        wall_start = _time.perf_counter()
+        while self._heap:
+            event_time = self._heap[0][0]
+            if until is not None and event_time > until:
+                break
+            _t, _s, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if self.stats.events_executed >= self.max_events:
+                raise SimulationLimitError("classical event budget exhausted")
+            self.now = event.time
+            self.stats.events_executed += 1
+            self._pending[event.gate.name] = None
+            if self._values[event.gate.output.name] != event.value:
+                self._commit(event.gate.output.name, event.value, event.time)
+                for reader in event.gate.output.fanouts:
+                    self._evaluate_gate(reader.gate, event.time)
+        if until is not None and until > self.now:
+            self.now = until
+        self.stats.runtime_seconds += _time.perf_counter() - wall_start
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def _commit(self, net_name: str, value: int, at_time: float) -> None:
+        self._values[net_name] = value
+        self._edges[net_name].append((at_time, value))
+        self.stats.count_toggle(net_name)
+
+    def _evaluate_gate(self, gate: Gate, at_time: float) -> None:
+        operands = [self._values[gi.net.name] for gi in gate.inputs]
+        new_value = evaluate_function(gate.cell.function, operands)
+        pending = self._pending[gate.name]
+
+        if self.semantics is DelaySemantics.TRANSPORT:
+            committed = self._values[gate.output.name]
+            projected = pending.value if pending is not None else committed
+            if new_value == projected:
+                return
+            delay = self._delays[(gate.name, new_value == 1)]
+            self._schedule(gate, new_value, at_time + delay)
+            return
+
+        # Inertial semantics: the new assignment overrides the projected
+        # waveform entirely (VHDL signal assignment without ``transport``).
+        committed = self._values[gate.output.name]
+        if pending is not None:
+            pending.cancelled = True
+            self._pending[gate.name] = None
+            if new_value == committed:
+                # The output never actually moved: the input pulse was
+                # narrower than the gate delay — filtered at the driver,
+                # for every reader alike.
+                self.stats.events_filtered += 1
+                return
+        if new_value == committed:
+            return
+        delay = self._delays[(gate.name, new_value == 1)]
+        self._schedule(gate, new_value, at_time + delay)
+
+    def _schedule(self, gate: Gate, value: int, at_time: float) -> None:
+        self._seq += 1
+        event = _PendingEvent(at_time, self._seq, gate, value)
+        heapq.heappush(self._heap, (at_time, self._seq, event))
+        self._pending[gate.name] = event
+        self.stats.events_scheduled += 1
+
+    # ------------------------------------------------------------------
+
+    def value(self, net_name: str) -> int:
+        return self._values[net_name]
+
+    def word(self, prefix: str, width: int) -> int:
+        word = 0
+        for bit in range(width):
+            word |= self._values["%s%d" % (prefix, bit)] << bit
+        return word
+
+    def edges(self, net_name: str) -> List[Tuple[float, int]]:
+        """Committed edge list of a net."""
+        return list(self._edges[net_name])
+
+
+@dataclasses.dataclass
+class ClassicalResult:
+    stats: ClassicalStats
+    final_values: Dict[str, int]
+    simulator: ClassicalSimulator
+
+    def edges(self, net_name: str) -> List[Tuple[float, int]]:
+        return self.simulator.edges(net_name)
+
+
+def classical_simulate(
+    netlist: Netlist,
+    stimulus,
+    semantics: DelaySemantics = DelaySemantics.INERTIAL,
+    seed: Optional[Mapping[str, int]] = None,
+) -> ClassicalResult:
+    """Run a :class:`repro.stimuli.vectors.VectorSequence` through the
+    classical simulator (same protocol as :func:`repro.core.engine.simulate`)."""
+    simulator = ClassicalSimulator(netlist, semantics=semantics)
+    simulator.initialize(stimulus.initial_values(netlist), seed=seed)
+    for at_time, assignments, _slew in stimulus.iter_changes():
+        simulator.run(until=at_time)
+        for name in sorted(assignments):
+            simulator.set_input(name, assignments[name], at_time)
+    simulator.run()
+    return ClassicalResult(
+        stats=simulator.stats,
+        final_values={name: simulator.value(name) for name in netlist.nets},
+        simulator=simulator,
+    )

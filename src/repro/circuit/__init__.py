@@ -1,0 +1,39 @@
+"""Circuit substrate: netlists, gate library, generators and I/O.
+
+This subpackage provides everything HALOTIS needs below the delay engine:
+
+* :mod:`repro.circuit.logic` — boolean evaluation of gate functions,
+* :mod:`repro.circuit.netlist` — the ``Netlist`` / ``Net`` / ``Gate`` /
+  ``GateInput`` structures (the paper's Figure 2 class diagram),
+* :mod:`repro.circuit.cells` / :mod:`repro.circuit.library` — timing cells
+  with per-pin thresholds and degradation parameters,
+* :mod:`repro.circuit.builder` — a fluent construction API,
+* :mod:`repro.circuit.modules` — generators for the paper's circuits
+  (inverter chains, full adders, the Figure 5 array multiplier, ...),
+* :mod:`repro.circuit.bench_io` — ISCAS-85 ``.bench`` reader/writer,
+* :mod:`repro.circuit.validate` — electrical rule checks.
+"""
+
+from .logic import GateFunction, evaluate
+from .netlist import Gate, GateInput, Net, Netlist
+from .cells import CellSpec, DegradationSpec, PinSpec, TimingArcSpec
+from .library import CellLibrary, default_library
+from .builder import CircuitBuilder
+from . import modules
+
+__all__ = [
+    "GateFunction",
+    "evaluate",
+    "Gate",
+    "GateInput",
+    "Net",
+    "Netlist",
+    "CellSpec",
+    "DegradationSpec",
+    "PinSpec",
+    "TimingArcSpec",
+    "CellLibrary",
+    "default_library",
+    "CircuitBuilder",
+    "modules",
+]

@@ -1,0 +1,159 @@
+"""Fluent netlist construction.
+
+``CircuitBuilder`` wraps :class:`repro.circuit.netlist.Netlist` with
+auto-naming, tie-cell sharing and per-function convenience methods, so that
+circuit generators read like structural HDL:
+
+    builder = CircuitBuilder(name="demo")
+    a = builder.input("a")
+    b = builder.input("b")
+    y = builder.nand(a, b)
+    builder.output(builder.inv(y), "y")
+    netlist = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import NetlistError
+from .library import CellLibrary, default_library
+from .netlist import Net, Netlist
+from . import validate as _validate
+
+
+class CircuitBuilder:
+    """Incrementally constructs a validated :class:`Netlist`."""
+
+    def __init__(
+        self,
+        library: Optional[CellLibrary] = None,
+        name: str = "top",
+    ):
+        self.library = library if library is not None else default_library()
+        self.netlist = Netlist(name, vdd=self.library.vdd)
+        self._net_counter = 0
+        self._gate_counters: Dict[str, int] = {}
+        self._ties: Dict[int, Net] = {}
+
+    # ------------------------------------------------------------------
+    # interface nets
+    # ------------------------------------------------------------------
+
+    def input(self, name: str) -> Net:
+        """Declare a primary input."""
+        return self.netlist.add_primary_input(name)
+
+    def input_bus(self, prefix: str, width: int) -> List[Net]:
+        """Declare ``width`` primary inputs named ``prefix0..prefix{w-1}``
+        (index 0 is the least significant bit)."""
+        return [self.input("%s%d" % (prefix, bit)) for bit in range(width)]
+
+    def output(self, net: Net, name: Optional[str] = None) -> Net:
+        """Mark ``net`` as a primary output, optionally renaming it."""
+        if name is not None and name != net.name:
+            self._rename(net, name)
+        self.netlist.mark_primary_output(net)
+        return net
+
+    def output_bus(self, nets: Iterable[Net], prefix: str) -> List[Net]:
+        """Mark and rename a list of nets as the bus ``prefix0..``."""
+        result = []
+        for bit, net in enumerate(nets):
+            result.append(self.output(net, "%s%d" % (prefix, bit)))
+        return result
+
+    def constant(self, value: int) -> Net:
+        """A shared tie-0 / tie-1 net."""
+        if value not in self._ties:
+            self._ties[value] = self.netlist.add_constant("tie%d" % value, value)
+        return self._ties[value]
+
+    # ------------------------------------------------------------------
+    # gates
+    # ------------------------------------------------------------------
+
+    def net(self, name: Optional[str] = None, wire_cap: float = 0.0) -> Net:
+        """Create an internal net (auto-named when ``name`` is None)."""
+        if name is None:
+            while True:
+                name = "n%d" % self._net_counter
+                self._net_counter += 1
+                if name not in self.netlist.nets:
+                    break
+        return self.netlist.add_net(name, wire_cap=wire_cap)
+
+    def gate(
+        self,
+        cell_name: str,
+        *input_nets: Net,
+        output: Optional[Net] = None,
+        name: Optional[str] = None,
+        vt_overrides: Optional[Dict[int, float]] = None,
+    ) -> Net:
+        """Instantiate a library cell; returns its output net."""
+        cell = self.library.get(cell_name)
+        if output is None:
+            output = self.net()
+        if name is None:
+            while True:
+                counter = self._gate_counters.get(cell_name, 0)
+                self._gate_counters[cell_name] = counter + 1
+                name = "%s_%d" % (cell_name.lower(), counter)
+                if name not in self.netlist.gates:
+                    break
+        self.netlist.add_gate(
+            name, cell, input_nets, output, vt_overrides=vt_overrides
+        )
+        return output
+
+    # Convenience wrappers for the common cells. ------------------------
+
+    def inv(self, a: Net, **kwargs) -> Net:
+        return self.gate("INV", a, **kwargs)
+
+    def buf(self, a: Net, **kwargs) -> Net:
+        return self.gate("BUF", a, **kwargs)
+
+    def nand(self, *inputs: Net, **kwargs) -> Net:
+        return self.gate("NAND%d" % len(inputs), *inputs, **kwargs)
+
+    def nor(self, *inputs: Net, **kwargs) -> Net:
+        return self.gate("NOR%d" % len(inputs), *inputs, **kwargs)
+
+    def and_(self, *inputs: Net, **kwargs) -> Net:
+        return self.gate("AND%d" % len(inputs), *inputs, **kwargs)
+
+    def or_(self, *inputs: Net, **kwargs) -> Net:
+        return self.gate("OR%d" % len(inputs), *inputs, **kwargs)
+
+    def xor(self, a: Net, b: Net, **kwargs) -> Net:
+        return self.gate("XOR2", a, b, **kwargs)
+
+    def xnor(self, a: Net, b: Net, **kwargs) -> Net:
+        return self.gate("XNOR2", a, b, **kwargs)
+
+    def mux(self, d0: Net, d1: Net, sel: Net, **kwargs) -> Net:
+        return self.gate("MUX2", d0, d1, sel, **kwargs)
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+
+    def build(self, check: bool = True, allow_cycles: bool = False) -> Netlist:
+        """Finish construction; optionally run electrical rule checks."""
+        if check:
+            report = _validate.check(self.netlist, allow_cycles=allow_cycles)
+            report.raise_on_error()
+        return self.netlist
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _rename(self, net: Net, new_name: str) -> None:
+        if new_name in self.netlist.nets:
+            raise NetlistError("cannot rename %r to %r: name taken" % (net.name, new_name))
+        del self.netlist.nets[net.name]
+        net.name = new_name
+        self.netlist.nets[new_name] = net

@@ -1,0 +1,252 @@
+"""Timing cells: delay, slew, threshold and degradation parameters.
+
+A :class:`CellSpec` is the static characterisation of one gate type.  It
+carries, per input pin and output edge, a *timing arc* with:
+
+* the conventional propagation delay ``tp0`` (linear in output load and
+  input transition time — the "conventional delay model" of the paper's
+  references [1, 2]),
+* the output transition time ``tau_out`` (same linear form),
+* the degradation parameters ``A``, ``B``, ``C`` of the paper's
+  equations 2 and 3, from which the engine computes ``tau`` and ``T0`` of
+  equation 1 at query time.
+
+Per input pin it also carries the input capacitance and the switching
+threshold ``VT`` — the voltage a ramp on the driving net must cross for the
+pin to register an event.  Per-pin ``VT`` is the heart of the paper's
+re-located inertial effect (section 2 of the paper).
+
+Units follow :mod:`repro.units`: ns, V, fF.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from ..errors import LibraryError
+from .logic import GateFunction
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradationSpec:
+    """Degradation parameters of one timing arc (paper eqs. 2 and 3).
+
+    Attributes:
+        a: ``A_xi`` in ``tau_x = VDD * (A_xi + B_xi * CL)`` — ns/V.
+        b: ``B_xi`` in the same expression — ns/(V*fF).
+        c: ``C_xi`` in ``T0_x = (1/2 - C_xi/VDD) * tau_in`` — V.
+    """
+
+    a: float
+    b: float
+    c: float
+
+    def tau(self, vdd: float, c_load: float) -> float:
+        """Degradation time constant ``tau_x`` (paper eq. 2), in ns."""
+        return vdd * (self.a + self.b * c_load)
+
+    def t0(self, vdd: float, tau_in: float) -> float:
+        """Degradation offset ``T0_x`` (paper eq. 3), in ns.
+
+        ``tau_in`` is the transition time of the input ramp that triggers
+        the output transition.
+        """
+        return (0.5 - self.c / vdd) * tau_in
+
+    def validate(self) -> None:
+        if self.a < 0.0 or self.b < 0.0:
+            raise LibraryError("degradation A and B must be non-negative")
+
+
+#: A degradation spec that never degrades (tau -> 0 limit is handled by the
+#: delay model; this is used for ideal cells in unit tests).
+NO_DEGRADATION = DegradationSpec(a=0.0, b=0.0, c=0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingArcSpec:
+    """One (input pin, output edge) timing arc.
+
+    The conventional delay and the output transition time are both linear
+    in the output load ``CL`` (fF) and the input transition time ``tau_in``
+    (ns):
+
+    ``tp0      = d0 + d_load * CL + d_slew * tau_in``
+    ``tau_out  = s0 + s_load * CL + s_slew * tau_in``
+    """
+
+    d0: float
+    d_load: float
+    d_slew: float
+    s0: float
+    s_load: float
+    s_slew: float
+    degradation: DegradationSpec = NO_DEGRADATION
+
+    def delay(self, c_load: float, tau_in: float) -> float:
+        """Conventional propagation delay ``tp0`` in ns (50% to 50%)."""
+        return self.d0 + self.d_load * c_load + self.d_slew * tau_in
+
+    def slew(self, c_load: float, tau_in: float) -> float:
+        """Full-swing output transition time ``tau_out`` in ns."""
+        return self.s0 + self.s_load * c_load + self.s_slew * tau_in
+
+    def validate(self) -> None:
+        if self.d0 <= 0.0:
+            raise LibraryError("intrinsic delay d0 must be positive")
+        if self.s0 <= 0.0:
+            raise LibraryError("intrinsic slew s0 must be positive")
+        if self.d_load < 0.0 or self.s_load < 0.0:
+            raise LibraryError("load coefficients must be non-negative")
+        self.degradation.validate()
+
+    def scaled(self, factor: float) -> "TimingArcSpec":
+        """Return a copy with all delay/slew coefficients scaled.
+
+        Used to derive sized variants (e.g. a 2x drive cell) from a base
+        characterisation.
+        """
+        return TimingArcSpec(
+            d0=self.d0 * factor,
+            d_load=self.d_load * factor,
+            d_slew=self.d_slew,
+            s0=self.s0 * factor,
+            s_load=self.s_load * factor,
+            s_slew=self.s_slew,
+            degradation=self.degradation,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PinSpec:
+    """Static description of one input pin.
+
+    Attributes:
+        name: pin name (``"A"``, ``"B"``, ...).
+        cap: input capacitance in fF (contributes to the driver's load).
+        vt: switching threshold in volts — the input registers an event when
+            the driving ramp crosses this voltage.
+    """
+
+    name: str
+    cap: float
+    vt: float
+
+    def validate(self, vdd: float) -> None:
+        if self.cap < 0.0:
+            raise LibraryError("pin %s: capacitance must be >= 0" % self.name)
+        if not 0.0 < self.vt < vdd:
+            raise LibraryError(
+                "pin %s: threshold %.3f V outside (0, %.3f V)" % (self.name, self.vt, vdd)
+            )
+
+
+ArcKey = Tuple[int, bool]
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """A library cell: function + pins + timing arcs.
+
+    Attributes:
+        name: cell name (``"NAND2"``).
+        function: boolean function of the cell.
+        pins: one :class:`PinSpec` per input, in pin order.
+        arcs: map from ``(pin_index, output_rising)`` to the timing arc.
+            Every (pin, edge) combination must be present.
+        output_cap: drain diffusion capacitance the cell adds to its *own*
+            output net, in fF.
+    """
+
+    name: str
+    function: GateFunction
+    pins: Tuple[PinSpec, ...]
+    arcs: Dict[ArcKey, TimingArcSpec]
+    output_cap: float = 0.0
+    description: str = ""
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.pins)
+
+    def arc(self, pin_index: int, rising: bool) -> TimingArcSpec:
+        """Timing arc for a transition on ``pin_index`` producing an output
+        edge of the given direction."""
+        try:
+            return self.arcs[(pin_index, rising)]
+        except KeyError:
+            raise LibraryError(
+                "cell %s has no arc for pin %d, %s output edge"
+                % (self.name, pin_index, "rising" if rising else "falling")
+            ) from None
+
+    def validate(self, vdd: float) -> None:
+        """Check internal consistency; raises :class:`LibraryError`."""
+        fixed = self.function.fixed_arity
+        if fixed is not None and self.num_inputs != fixed:
+            raise LibraryError(
+                "cell %s: function %s needs %d pins, has %d"
+                % (self.name, self.function.name, fixed, self.num_inputs)
+            )
+        if self.num_inputs == 0:
+            raise LibraryError("cell %s has no input pins" % self.name)
+        if self.output_cap < 0.0:
+            raise LibraryError("cell %s: output_cap must be >= 0" % self.name)
+        for pin in self.pins:
+            pin.validate(vdd)
+        for pin_index in range(self.num_inputs):
+            for rising in (False, True):
+                self.arc(pin_index, rising).validate()
+
+    def with_thresholds(self, name: str, vt: float, description: str = "") -> "CellSpec":
+        """Derive a variant cell whose every input threshold is ``vt``.
+
+        This is how the Figure 1 experiment obtains the low/high threshold
+        inverters ``INV_LT`` and ``INV_HT``.
+        """
+        new_pins = tuple(
+            PinSpec(name=pin.name, cap=pin.cap, vt=vt) for pin in self.pins
+        )
+        return dataclasses.replace(
+            self, name=name, pins=new_pins, description=description or self.description
+        )
+
+    def scaled_drive(self, name: str, factor: float) -> "CellSpec":
+        """Derive a drive-strength variant: delays/slews scaled by
+        ``1/factor``, input caps scaled by ``factor``."""
+        if factor <= 0.0:
+            raise LibraryError("drive factor must be positive")
+        new_pins = tuple(
+            PinSpec(name=pin.name, cap=pin.cap * factor, vt=pin.vt)
+            for pin in self.pins
+        )
+        new_arcs = {key: arc.scaled(1.0 / factor) for key, arc in self.arcs.items()}
+        return dataclasses.replace(
+            self,
+            name=name,
+            pins=new_pins,
+            arcs=new_arcs,
+            output_cap=self.output_cap * factor,
+        )
+
+
+def uniform_arcs(
+    num_inputs: int,
+    rise: TimingArcSpec,
+    fall: TimingArcSpec,
+    pin_delay_step: float = 0.0,
+) -> Dict[ArcKey, TimingArcSpec]:
+    """Build an arc map where every pin uses the same rise/fall arcs.
+
+    ``pin_delay_step`` adds a per-pin intrinsic-delay increment so that
+    higher-index pins (electrically farther from the output in the stack)
+    are slightly slower — the position dependence the paper's eq. 2/3
+    subscripts (``i``) describe.
+    """
+    arcs: Dict[ArcKey, TimingArcSpec] = {}
+    for pin_index in range(num_inputs):
+        extra = pin_delay_step * pin_index
+        arcs[(pin_index, True)] = dataclasses.replace(rise, d0=rise.d0 + extra)
+        arcs[(pin_index, False)] = dataclasses.replace(fall, d0=fall.d0 + extra)
+    return arcs

@@ -1,0 +1,102 @@
+"""Process-corner derivation for cell libraries.
+
+Real sign-off simulates at several process/voltage/temperature corners.
+This module derives corner variants of a library by scaling the timing
+arcs and shifting the input thresholds — enough to study how corners move
+the glitch-filtering behaviour of the IDDM (benchmark ``test_corners``).
+
+Scaling rules (first-order, documented rather than physical):
+
+* delays and output slews scale by ``delay_scale`` (slow corner > 1),
+* degradation ``A``/``B`` scale with delay (a slower gate also recovers
+  more slowly), ``C`` is untouched,
+* input thresholds shift by ``vt_shift`` volts (NMOS/PMOS imbalance).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..errors import LibraryError
+from .cells import CellSpec, DegradationSpec, PinSpec, TimingArcSpec
+from .library import CellLibrary
+
+
+@dataclasses.dataclass(frozen=True)
+class Corner:
+    """One process corner description."""
+
+    name: str
+    delay_scale: float
+    vt_shift: float = 0.0
+
+    def validate(self) -> None:
+        if self.delay_scale <= 0.0:
+            raise LibraryError("delay_scale must be positive")
+
+
+#: The classic three-corner set, with mild threshold shifts.
+STANDARD_CORNERS: Dict[str, Corner] = {
+    "ff": Corner("ff", delay_scale=0.80, vt_shift=-0.10),
+    "tt": Corner("tt", delay_scale=1.00, vt_shift=0.00),
+    "ss": Corner("ss", delay_scale=1.25, vt_shift=+0.10),
+}
+
+
+def _scale_arc(arc: TimingArcSpec, scale: float) -> TimingArcSpec:
+    degradation = DegradationSpec(
+        a=arc.degradation.a * scale,
+        b=arc.degradation.b * scale,
+        c=arc.degradation.c,
+    )
+    return TimingArcSpec(
+        d0=arc.d0 * scale,
+        d_load=arc.d_load * scale,
+        d_slew=arc.d_slew,
+        s0=arc.s0 * scale,
+        s_load=arc.s_load * scale,
+        s_slew=arc.s_slew,
+        degradation=degradation,
+    )
+
+
+def derate_cell(cell: CellSpec, corner: Corner, vdd: float) -> CellSpec:
+    """Return ``cell`` scaled to ``corner`` (same name)."""
+    corner.validate()
+    pins = []
+    for pin in cell.pins:
+        shifted = pin.vt + corner.vt_shift
+        margin = 0.05 * vdd
+        shifted = min(max(shifted, margin), vdd - margin)
+        pins.append(PinSpec(name=pin.name, cap=pin.cap, vt=shifted))
+    arcs = {
+        key: _scale_arc(arc, corner.delay_scale)
+        for key, arc in cell.arcs.items()
+    }
+    return dataclasses.replace(cell, pins=tuple(pins), arcs=arcs)
+
+
+def derate_library(library: CellLibrary, corner: Corner) -> CellLibrary:
+    """Derive a full corner library (named ``<base>_<corner>``).
+
+    Cell names are preserved so netlists built against the base library
+    can be re-elaborated at any corner without edits.
+    """
+    corner.validate()
+    derived = CellLibrary("%s_%s" % (library.name, corner.name), library.vdd)
+    for cell in library:
+        derived.add(derate_cell(cell, corner, library.vdd))
+    return derived
+
+
+def corner_library(library: CellLibrary, corner_name: str) -> CellLibrary:
+    """Convenience lookup into :data:`STANDARD_CORNERS`."""
+    try:
+        corner = STANDARD_CORNERS[corner_name]
+    except KeyError:
+        raise LibraryError(
+            "unknown corner %r (choose from %s)"
+            % (corner_name, sorted(STANDARD_CORNERS))
+        ) from None
+    return derate_library(library, corner)

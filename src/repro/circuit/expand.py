@@ -1,0 +1,212 @@
+"""Macro-to-primitive netlist expansion.
+
+The analog substitute simulates complementary CMOS primitives only
+(INV / NAND2..4 / NOR2..3).  ``expand_netlist`` rewrites any netlist into
+an equivalent one restricted to those cells, so a circuit parsed from a
+``.bench`` file (or built from macro cells) can be cross-simulated
+electrically.  Boolean equivalence of every expansion is covered by
+exhaustive tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import NetlistError
+from .builder import CircuitBuilder
+from .library import CellLibrary, default_library
+from .logic import GateFunction
+from .netlist import Gate, Net, Netlist
+
+#: Cells the analog engine accepts directly (complementary CMOS gates with
+#: a single series stack); threshold/drive variants of INV included.
+PRIMITIVE_CELLS = frozenset(
+    {
+        "INV", "INV_LT", "INV_HT", "INV_X2",
+        "NAND2", "NAND2_X2", "NAND3", "NAND4",
+        "NOR2", "NOR3",
+    }
+)
+
+
+def is_primitive(netlist: Netlist) -> bool:
+    """True when every gate of ``netlist`` is an analog-ready primitive."""
+    return all(gate.cell.name in PRIMITIVE_CELLS for gate in netlist.gates.values())
+
+
+def expand_netlist(
+    netlist: Netlist,
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """Return a primitive-only netlist computing the same functions.
+
+    Net names of the original netlist are preserved; helper nets introduced
+    by the expansion are named ``<gate>__<k>``.  Primary inputs, outputs
+    and constants are carried over unchanged.
+    """
+    library = library if library is not None else default_library()
+    builder = CircuitBuilder(library, name=netlist.name + "_prim")
+
+    mapping: Dict[Net, Net] = {}
+    for net in netlist.nets.values():
+        if net.is_primary_input:
+            mapping[net] = builder.input(net.name)
+        elif net.is_constant:
+            mapping[net] = builder.constant(net.constant_value)
+
+    # Pre-create every gate-output net under its original name so the
+    # expansion's auto-named helper nets cannot shadow them.
+    order = netlist.topological_gates()
+    for gate in order:
+        mapping[gate.output] = builder.net(gate.output.name)
+
+    for gate in order:
+        inputs = [mapping[gi.net] for gi in gate.inputs]
+        _expand_gate(builder, gate, inputs, mapping[gate.output])
+
+    for net in netlist.primary_outputs:
+        builder.output(mapping[net], net.name)
+    return builder.build()
+
+
+def _expand_gate(
+    builder: CircuitBuilder, gate: Gate, inputs: List[Net], output: Net
+) -> None:
+    """Emit the primitive realisation of one gate onto ``output``."""
+    cell_name = gate.cell.name
+    if cell_name in PRIMITIVE_CELLS:
+        builder.gate(cell_name, *inputs, output=output, name=gate.name)
+        return
+
+    function = gate.cell.function
+    helper = _Expander(builder, gate.name)
+    if function is GateFunction.BUF:
+        inner = helper.inv(inputs[0])
+        helper.final_gate("INV", [inner], output)
+    elif function is GateFunction.INV:
+        helper.final_gate("INV", inputs, output)
+    elif function is GateFunction.NAND:
+        helper.nand_wide(inputs, output)
+    elif function is GateFunction.NOR:
+        helper.nor_wide(inputs, output)
+    elif function is GateFunction.AND:
+        inner = helper.nand_wide(inputs, None)
+        helper.final_gate("INV", [inner], output)
+    elif function is GateFunction.OR:
+        inner = helper.nor_wide(inputs, None)
+        helper.final_gate("INV", [inner], output)
+    elif function is GateFunction.XOR:
+        helper.xor_chain(inputs, output)
+    elif function is GateFunction.XNOR:
+        inner = helper.xor_chain(inputs, None)
+        helper.final_gate("INV", [inner], output)
+    elif function is GateFunction.MUX2:
+        d0, d1, sel = inputs
+        sel_n = helper.inv(sel)
+        n0 = helper.gate("NAND2", [d0, sel_n])
+        n1 = helper.gate("NAND2", [d1, sel])
+        helper.final_gate("NAND2", [n0, n1], output)
+    elif function is GateFunction.AOI21:
+        a, b, c = inputs
+        ab = helper.inv(helper.gate("NAND2", [a, b]))
+        helper.final_gate("NOR2", [ab, c], output)
+    elif function is GateFunction.OAI21:
+        a, b, c = inputs
+        ab = helper.inv(helper.gate("NOR2", [a, b]))
+        helper.final_gate("NAND2", [ab, c], output)
+    elif function is GateFunction.MAJ3:
+        a, b, c = inputs
+        nab = helper.gate("NAND2", [a, b])
+        x = helper.xor2(a, b)
+        nxc = helper.gate("NAND2", [x, c])
+        helper.final_gate("NAND2", [nab, nxc], output)
+    else:
+        raise NetlistError("no expansion rule for cell %s" % cell_name)
+
+
+class _Expander:
+    """Names and emits the helper primitives of one gate expansion."""
+
+    def __init__(self, builder: CircuitBuilder, gate_name: str):
+        self._builder = builder
+        self._gate_name = gate_name
+        self._counter = 0
+
+    def _next_name(self) -> str:
+        while True:
+            name = "%s__%d" % (self._gate_name, self._counter)
+            self._counter += 1
+            if name not in self._builder.netlist.gates:
+                return name
+
+    def gate(self, cell: str, inputs: List[Net]) -> Net:
+        return self._builder.gate(cell, *inputs, name=self._next_name())
+
+    def inv(self, net: Net) -> Net:
+        return self.gate("INV", [net])
+
+    def final_gate(
+        self, cell: str, inputs: List[Net], output: Optional[Net]
+    ) -> Net:
+        """Emit ``cell`` onto the pre-created ``output`` net (or a fresh
+        helper net when None)."""
+        if output is None:
+            return self.gate(cell, inputs)
+        self._builder.gate(cell, *inputs, output=output, name=self._next_name())
+        return output
+
+    def xor2(self, a: Net, b: Net) -> Net:
+        n1 = self.gate("NAND2", [a, b])
+        n2 = self.gate("NAND2", [a, n1])
+        n3 = self.gate("NAND2", [b, n1])
+        return self.gate("NAND2", [n2, n3])
+
+    def xor_chain(self, inputs: List[Net], output: Optional[Net]) -> Net:
+        accumulator = inputs[0]
+        for operand in inputs[1:-1]:
+            accumulator = self.xor2(accumulator, operand)
+        # The final XOR's last NAND lands on the original output net.
+        a, b = accumulator, inputs[-1]
+        n1 = self.gate("NAND2", [a, b])
+        n2 = self.gate("NAND2", [a, n1])
+        n3 = self.gate("NAND2", [b, n1])
+        return self.final_gate("NAND2", [n2, n3], output)
+
+    def nand_wide(self, inputs: List[Net], output: Optional[Net]) -> Net:
+        """NAND of any arity using NAND2..4 plus AND trees below."""
+        if len(inputs) == 1:
+            return self.final_gate("INV", inputs, output)
+        if len(inputs) <= 4:
+            return self.final_gate("NAND%d" % len(inputs), inputs, output)
+        # Reduce with AND2 stages (NAND2+INV) until 4 operands remain.
+        operands = list(inputs)
+        while len(operands) > 4:
+            reduced = []
+            for pair in range(0, len(operands) - 1, 2):
+                conj = self.inv(
+                    self.gate("NAND2", [operands[pair], operands[pair + 1]])
+                )
+                reduced.append(conj)
+            if len(operands) % 2:
+                reduced.append(operands[-1])
+            operands = reduced
+        return self.final_gate("NAND%d" % len(operands), operands, output)
+
+    def nor_wide(self, inputs: List[Net], output: Optional[Net]) -> Net:
+        """NOR of any arity using NOR2..3 plus OR trees below."""
+        if len(inputs) == 1:
+            return self.final_gate("INV", inputs, output)
+        if len(inputs) <= 3:
+            return self.final_gate("NOR%d" % len(inputs), inputs, output)
+        operands = list(inputs)
+        while len(operands) > 3:
+            reduced = []
+            for pair in range(0, len(operands) - 1, 2):
+                disj = self.inv(
+                    self.gate("NOR2", [operands[pair], operands[pair + 1]])
+                )
+                reduced.append(disj)
+            if len(operands) % 2:
+                reduced.append(operands[-1])
+            operands = reduced
+        return self.final_gate("NOR%d" % len(operands), operands, output)

@@ -1,0 +1,77 @@
+"""Gate-type naming conventions.
+
+Central place that maps a boolean function + arity to the canonical cell
+name used by the default library, the ``.bench`` parser and the macro
+expansion pass.  Keeping the convention in one module means a netlist built
+from any front-end resolves to the same cells.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnknownCellError
+from .logic import GateFunction
+
+#: Functions whose cells exist at several arities in the default library.
+VARIADIC_FUNCTIONS = (
+    GateFunction.AND,
+    GateFunction.NAND,
+    GateFunction.OR,
+    GateFunction.NOR,
+    GateFunction.XOR,
+    GateFunction.XNOR,
+)
+
+#: Largest fanin directly available as a library cell; wider gates are
+#: decomposed into trees by :mod:`repro.circuit.expand`.
+MAX_LIBRARY_FANIN = 4
+
+_FIXED_NAME = {
+    GateFunction.BUF: "BUF",
+    GateFunction.INV: "INV",
+    GateFunction.MUX2: "MUX2",
+    GateFunction.AOI21: "AOI21",
+    GateFunction.OAI21: "OAI21",
+    GateFunction.MAJ3: "MAJ3",
+}
+
+
+def cell_name_for(function: GateFunction, arity: int) -> str:
+    """Canonical library cell name for ``function`` at ``arity`` inputs.
+
+    Raises:
+        UnknownCellError: if no library cell covers the request (arity too
+            large — decompose first, see :mod:`repro.circuit.expand`).
+    """
+    if function in _FIXED_NAME:
+        expected = function.fixed_arity
+        if arity != expected:
+            raise UnknownCellError(
+                "%s requires %d inputs, got %d" % (function.name, expected, arity)
+            )
+        return _FIXED_NAME[function]
+    if function in VARIADIC_FUNCTIONS:
+        if arity < 2:
+            raise UnknownCellError(
+                "%s cells start at 2 inputs, got %d" % (function.name, arity)
+            )
+        if arity > MAX_LIBRARY_FANIN:
+            raise UnknownCellError(
+                "%s%d exceeds the library fanin limit (%d); decompose the "
+                "gate first" % (function.name, arity, MAX_LIBRARY_FANIN)
+            )
+        return "%s%d" % (function.name, arity)
+    raise UnknownCellError("no cell naming rule for %s" % function.name)
+
+
+def parse_cell_name(name: str) -> tuple[GateFunction, int]:
+    """Inverse of :func:`cell_name_for` (accepts threshold/drive variants
+    like ``INV_LT`` or ``NAND2_X2`` by stripping the suffix)."""
+    base = name.split("_")[0].upper()
+    for function, fixed in _FIXED_NAME.items():
+        if base == fixed:
+            return function, function.fixed_arity or 1
+    for function in VARIADIC_FUNCTIONS:
+        prefix = function.name
+        if base.startswith(prefix) and base[len(prefix):].isdigit():
+            return function, int(base[len(prefix):])
+    raise UnknownCellError("cannot parse cell name %r" % name)

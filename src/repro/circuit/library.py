@@ -1,0 +1,399 @@
+"""Cell libraries and the default 0.6 um-like characterisation.
+
+The shipped default library models a 5 V, 0.6 um CMOS standard-cell flavour
+(the technology of the paper's multiplier).  Its numbers were extracted by
+running :mod:`repro.analog.characterize` against the analog substrate's
+default technology and rounding the fitted coefficients; they are therefore
+*self-consistent* with the repo's "HSPICE substitute" rather than with any
+foundry.  The absolute scale was calibrated so the Figure 5 multiplier
+settles within the paper's 5 ns vector period (critical path ~4 ns).
+See DESIGN.md, "Substitutions".
+
+Conventions:
+
+* delays/slews in ns, capacitances in fF, voltages in volts;
+* ``*_LT`` / ``*_HT`` suffixes are low/high input-threshold variants
+  (used by the paper's Figure 1 experiment);
+* ``*_X2`` suffixes are double-drive variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import LibraryError, UnknownCellError
+from . import gates
+from .cells import CellSpec, DegradationSpec, PinSpec, TimingArcSpec, uniform_arcs
+from .logic import GateFunction
+
+
+class CellLibrary:
+    """A named collection of :class:`CellSpec` sharing one supply voltage."""
+
+    def __init__(self, name: str, vdd: float):
+        if vdd <= 0.0:
+            raise LibraryError("VDD must be positive")
+        self.name = name
+        self.vdd = vdd
+        self._cells: Dict[str, CellSpec] = {}
+
+    def add(self, cell: CellSpec) -> CellSpec:
+        """Validate and register a cell; returns it for chaining."""
+        cell.validate(self.vdd)
+        if cell.name in self._cells:
+            raise LibraryError("duplicate cell %r" % cell.name)
+        self._cells[cell.name] = cell
+        return cell
+
+    def get(self, name: str) -> CellSpec:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise UnknownCellError(
+                "cell %r not in library %r" % (name, self.name)
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[CellSpec]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell_for(self, function: GateFunction, arity: int) -> CellSpec:
+        """Resolve a function/arity pair to a cell via the naming rules."""
+        return self.get(gates.cell_name_for(function, arity))
+
+    def names(self) -> list[str]:
+        return sorted(self._cells)
+
+
+# ----------------------------------------------------------------------
+# default technology ("tech06": 5 V, 0.6 um-like)
+# ----------------------------------------------------------------------
+
+#: Supply voltage of the default technology, volts.
+DEFAULT_VDD = 5.0
+
+#: Mid-swing threshold, volts — the reference point of 50%-50% delays.
+DEFAULT_VT = DEFAULT_VDD / 2.0
+
+
+def _arc(
+    d0: float,
+    d_load: float,
+    d_slew: float,
+    s0: float,
+    s_load: float,
+    s_slew: float,
+    deg_a: float,
+    deg_b: float,
+    deg_c: float,
+) -> TimingArcSpec:
+    return TimingArcSpec(
+        d0=d0,
+        d_load=d_load,
+        d_slew=d_slew,
+        s0=s0,
+        s_load=s_load,
+        s_slew=s_slew,
+        degradation=DegradationSpec(a=deg_a, b=deg_b, c=deg_c),
+    )
+
+
+def _pins(names: str, cap: float, vts: Optional[list[float]] = None) -> tuple:
+    pin_names = names.split()
+    if vts is None:
+        vts = [DEFAULT_VT - 0.1] * len(pin_names)
+    return tuple(
+        PinSpec(name=pin_name, cap=cap, vt=vt)
+        for pin_name, vt in zip(pin_names, vts)
+    )
+
+
+def _build_default() -> CellLibrary:
+    lib = CellLibrary("tech06", vdd=DEFAULT_VDD)
+
+    # -- primitive inverting cells: these are the characterised core;
+    #    every paper experiment runs on netlists expanded down to them. ----
+    inv = CellSpec(
+        name="INV",
+        function=GateFunction.INV,
+        pins=_pins("A", cap=8.0, vts=[2.40]),
+        arcs={
+            (0, True): _arc(0.055, 0.0022, 0.060, 0.055, 0.0072, 0.060,
+                            0.022, 0.0022, 1.10),
+            (0, False): _arc(0.047, 0.0019, 0.050, 0.047, 0.0061, 0.050,
+                             0.019, 0.0019, 1.00),
+        },
+        output_cap=4.0,
+        description="unit inverter, balanced P/N",
+    )
+    lib.add(inv)
+
+    nand2_rise = _arc(0.066, 0.0025, 0.065, 0.061, 0.0077, 0.065,
+                      0.025, 0.0024, 1.20)
+    nand2_fall = _arc(0.061, 0.0028, 0.055, 0.066, 0.0083, 0.055,
+                      0.022, 0.0022, 1.10)
+    lib.add(
+        CellSpec(
+            name="NAND2",
+            function=GateFunction.NAND,
+            pins=_pins("A B", cap=9.0, vts=[2.45, 2.55]),
+            arcs=uniform_arcs(2, nand2_rise, nand2_fall, pin_delay_step=0.010),
+            output_cap=5.0,
+            description="2-input NAND; pin B sits lower in the NMOS stack",
+        )
+    )
+
+    nand3_rise = _arc(0.077, 0.0028, 0.070, 0.066, 0.0083, 0.070,
+                      0.029, 0.0025, 1.25)
+    nand3_fall = _arc(0.074, 0.0034, 0.060, 0.077, 0.0094, 0.060,
+                      0.025, 0.0024, 1.15)
+    lib.add(
+        CellSpec(
+            name="NAND3",
+            function=GateFunction.NAND,
+            pins=_pins("A B C", cap=10.0, vts=[2.45, 2.52, 2.60]),
+            arcs=uniform_arcs(3, nand3_rise, nand3_fall, pin_delay_step=0.009),
+            output_cap=6.0,
+        )
+    )
+
+    nand4_rise = _arc(0.088, 0.0030, 0.075, 0.072, 0.0088, 0.075,
+                      0.032, 0.0028, 1.30)
+    nand4_fall = _arc(0.091, 0.0041, 0.065, 0.091, 0.0105, 0.065,
+                      0.029, 0.0026, 1.20)
+    lib.add(
+        CellSpec(
+            name="NAND4",
+            function=GateFunction.NAND,
+            pins=_pins("A B C D", cap=11.0, vts=[2.45, 2.50, 2.56, 2.62]),
+            arcs=uniform_arcs(4, nand4_rise, nand4_fall, pin_delay_step=0.008),
+            output_cap=7.0,
+        )
+    )
+
+    nor2_rise = _arc(0.080, 0.0032, 0.070, 0.074, 0.0091, 0.070,
+                     0.028, 0.0025, 1.20)
+    nor2_fall = _arc(0.052, 0.0021, 0.050, 0.052, 0.0066, 0.050,
+                     0.020, 0.0020, 1.05)
+    lib.add(
+        CellSpec(
+            name="NOR2",
+            function=GateFunction.NOR,
+            pins=_pins("A B", cap=9.5, vts=[2.35, 2.45]),
+            arcs=uniform_arcs(2, nor2_rise, nor2_fall, pin_delay_step=0.011),
+            output_cap=5.0,
+            description="2-input NOR; series PMOS stack makes rise slower",
+        )
+    )
+
+    nor3_rise = _arc(0.105, 0.0039, 0.080, 0.094, 0.0105, 0.080,
+                     0.032, 0.0029, 1.28)
+    nor3_fall = _arc(0.055, 0.0022, 0.052, 0.055, 0.0069, 0.052,
+                     0.021, 0.0021, 1.08)
+    lib.add(
+        CellSpec(
+            name="NOR3",
+            function=GateFunction.NOR,
+            pins=_pins("A B C", cap=10.0, vts=[2.32, 2.40, 2.48]),
+            arcs=uniform_arcs(3, nor3_rise, nor3_fall, pin_delay_step=0.010),
+            output_cap=6.0,
+        )
+    )
+
+    # -- macro-characterised cells: lumped linear fits of the primitive
+    #    expansions (INV/NAND trees); convenient for .bench circuits. -----
+    buf_rise = _arc(0.105, 0.0023, 0.030, 0.055, 0.0072, 0.030,
+                    0.022, 0.0022, 1.10)
+    buf_fall = _arc(0.099, 0.0020, 0.028, 0.047, 0.0061, 0.028,
+                    0.019, 0.0019, 1.00)
+    lib.add(
+        CellSpec(
+            name="BUF",
+            function=GateFunction.BUF,
+            pins=_pins("A", cap=8.0, vts=[2.40]),
+            arcs=uniform_arcs(1, buf_rise, buf_fall),
+            output_cap=4.0,
+            description="macro: INV + INV",
+        )
+    )
+
+    and2_rise = _arc(0.118, 0.0023, 0.032, 0.055, 0.0072, 0.032,
+                     0.023, 0.0022, 1.10)
+    and2_fall = _arc(0.113, 0.0020, 0.030, 0.047, 0.0061, 0.030,
+                     0.020, 0.0020, 1.05)
+    lib.add(
+        CellSpec(
+            name="AND2",
+            function=GateFunction.AND,
+            pins=_pins("A B", cap=9.0, vts=[2.45, 2.55]),
+            arcs=uniform_arcs(2, and2_rise, and2_fall, pin_delay_step=0.009),
+            output_cap=4.0,
+            description="macro: NAND2 + INV",
+        )
+    )
+
+    and3_rise = _arc(0.135, 0.0024, 0.034, 0.058, 0.0074, 0.034,
+                     0.024, 0.0023, 1.12)
+    and3_fall = _arc(0.129, 0.0021, 0.032, 0.050, 0.0063, 0.032,
+                     0.021, 0.0021, 1.06)
+    lib.add(
+        CellSpec(
+            name="AND3",
+            function=GateFunction.AND,
+            pins=_pins("A B C", cap=10.0, vts=[2.45, 2.52, 2.60]),
+            arcs=uniform_arcs(3, and3_rise, and3_fall, pin_delay_step=0.008),
+            output_cap=4.0,
+        )
+    )
+
+    or2_rise = _arc(0.110, 0.0023, 0.030, 0.055, 0.0072, 0.030,
+                    0.022, 0.0022, 1.08)
+    or2_fall = _arc(0.132, 0.0022, 0.034, 0.050, 0.0066, 0.034,
+                    0.021, 0.0021, 1.10)
+    lib.add(
+        CellSpec(
+            name="OR2",
+            function=GateFunction.OR,
+            pins=_pins("A B", cap=9.5, vts=[2.35, 2.45]),
+            arcs=uniform_arcs(2, or2_rise, or2_fall, pin_delay_step=0.010),
+            output_cap=4.0,
+            description="macro: NOR2 + INV",
+        )
+    )
+
+    or3_rise = _arc(0.127, 0.0024, 0.032, 0.058, 0.0074, 0.032,
+                    0.023, 0.0023, 1.10)
+    or3_fall = _arc(0.154, 0.0024, 0.036, 0.052, 0.0069, 0.036,
+                    0.022, 0.0022, 1.12)
+    lib.add(
+        CellSpec(
+            name="OR3",
+            function=GateFunction.OR,
+            pins=_pins("A B C", cap=10.0, vts=[2.32, 2.40, 2.48]),
+            arcs=uniform_arcs(3, or3_rise, or3_fall, pin_delay_step=0.009),
+            output_cap=4.0,
+        )
+    )
+
+    xor2_rise = _arc(0.182, 0.0025, 0.060, 0.061, 0.0077, 0.060,
+                     0.028, 0.0024, 1.18)
+    xor2_fall = _arc(0.176, 0.0028, 0.055, 0.066, 0.0083, 0.055,
+                     0.024, 0.0023, 1.12)
+    lib.add(
+        CellSpec(
+            name="XOR2",
+            function=GateFunction.XOR,
+            pins=_pins("A B", cap=14.0, vts=[2.45, 2.50]),
+            arcs=uniform_arcs(2, xor2_rise, xor2_fall, pin_delay_step=0.006),
+            output_cap=5.0,
+            description="macro: 4x NAND2 (the expansion used by Figure 5's "
+            "full adders)",
+        )
+    )
+
+    xnor2_rise = _arc(0.187, 0.0025, 0.060, 0.061, 0.0077, 0.060,
+                      0.028, 0.0024, 1.18)
+    xnor2_fall = _arc(0.182, 0.0028, 0.055, 0.066, 0.0083, 0.055,
+                      0.024, 0.0023, 1.12)
+    lib.add(
+        CellSpec(
+            name="XNOR2",
+            function=GateFunction.XNOR,
+            pins=_pins("A B", cap=14.0, vts=[2.45, 2.50]),
+            arcs=uniform_arcs(2, xnor2_rise, xnor2_fall, pin_delay_step=0.006),
+            output_cap=5.0,
+        )
+    )
+
+    mux_rise = _arc(0.143, 0.0025, 0.050, 0.061, 0.0077, 0.050,
+                    0.025, 0.0024, 1.15)
+    mux_fall = _arc(0.138, 0.0028, 0.046, 0.066, 0.0083, 0.046,
+                    0.023, 0.0022, 1.10)
+    lib.add(
+        CellSpec(
+            name="MUX2",
+            function=GateFunction.MUX2,
+            pins=_pins("D0 D1 S", cap=10.0, vts=[2.45, 2.45, 2.50]),
+            arcs=uniform_arcs(3, mux_rise, mux_fall, pin_delay_step=0.006),
+            output_cap=5.0,
+        )
+    )
+
+    aoi_rise = _arc(0.094, 0.0031, 0.068, 0.072, 0.0088, 0.068,
+                    0.028, 0.0025, 1.22)
+    aoi_fall = _arc(0.077, 0.0029, 0.058, 0.072, 0.0085, 0.058,
+                    0.023, 0.0023, 1.12)
+    lib.add(
+        CellSpec(
+            name="AOI21",
+            function=GateFunction.AOI21,
+            pins=_pins("A B C", cap=9.5, vts=[2.45, 2.52, 2.40]),
+            arcs=uniform_arcs(3, aoi_rise, aoi_fall, pin_delay_step=0.008),
+            output_cap=5.5,
+        )
+    )
+
+    oai_rise = _arc(0.096, 0.0032, 0.068, 0.074, 0.0089, 0.068,
+                    0.028, 0.0025, 1.22)
+    oai_fall = _arc(0.080, 0.0028, 0.058, 0.069, 0.0083, 0.058,
+                    0.023, 0.0023, 1.12)
+    lib.add(
+        CellSpec(
+            name="OAI21",
+            function=GateFunction.OAI21,
+            pins=_pins("A B C", cap=9.5, vts=[2.40, 2.48, 2.52]),
+            arcs=uniform_arcs(3, oai_rise, oai_fall, pin_delay_step=0.008),
+            output_cap=5.5,
+        )
+    )
+
+    maj_rise = _arc(0.165, 0.0025, 0.055, 0.061, 0.0077, 0.055,
+                    0.026, 0.0024, 1.16)
+    maj_fall = _arc(0.160, 0.0028, 0.050, 0.066, 0.0083, 0.050,
+                    0.024, 0.0023, 1.10)
+    lib.add(
+        CellSpec(
+            name="MAJ3",
+            function=GateFunction.MAJ3,
+            pins=_pins("A B C", cap=11.0, vts=[2.45, 2.48, 2.52]),
+            arcs=uniform_arcs(3, maj_rise, maj_fall, pin_delay_step=0.006),
+            output_cap=5.5,
+            description="majority / full-adder carry macro",
+        )
+    )
+
+    # -- threshold variants for the Figure 1 experiment -------------------
+    lib.add(
+        inv.with_thresholds(
+            "INV_LT", vt=1.60,
+            description="skewed inverter: low input threshold (strong NMOS)",
+        )
+    )
+    lib.add(
+        inv.with_thresholds(
+            "INV_HT", vt=3.40,
+            description="skewed inverter: high input threshold (strong PMOS)",
+        )
+    )
+
+    # -- drive variants ---------------------------------------------------
+    lib.add(inv.scaled_drive("INV_X2", 2.0))
+    lib.add(lib.get("NAND2").scaled_drive("NAND2_X2", 2.0))
+
+    return lib
+
+
+_DEFAULT: Optional[CellLibrary] = None
+
+
+def default_library() -> CellLibrary:
+    """The shared default library instance (cells are immutable)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = _build_default()
+    return _DEFAULT

@@ -1,0 +1,320 @@
+"""Netlist data structures.
+
+This is the paper's Figure 2 class diagram rendered in Python:
+
+* ``Netlist`` owns ``Net`` objects (the paper calls them *Lines*) and
+  ``Gate`` objects;
+* each ``Gate`` has an ordered list of ``GateInput`` pins and exactly one
+  output ``Net``;
+* a ``Net`` knows its single driver and its fanout ``GateInput`` list —
+  the relation the kernel walks when it broadcasts a new transition.
+
+The structures here are *static*: dynamic simulation state (current input
+values, last output transition, pending events) lives in
+:mod:`repro.core.state` so that several simulators can share one netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..errors import ConnectivityError, NetlistError
+from .cells import CellSpec
+
+
+class Net:
+    """A circuit node (the paper's *Line*).
+
+    Attributes:
+        name: unique net name.
+        driver: the gate driving this net, or None for primary inputs and
+            constants.
+        fanouts: every :class:`GateInput` reading this net.
+        wire_cap: extra interconnect capacitance in fF.
+        is_primary_input / is_primary_output: interface flags.
+        constant_value: 0 or 1 for tie-cells, else None.
+    """
+
+    __slots__ = (
+        "name",
+        "driver",
+        "fanouts",
+        "wire_cap",
+        "is_primary_input",
+        "is_primary_output",
+        "constant_value",
+        "index",
+    )
+
+    def __init__(self, name: str, wire_cap: float = 0.0):
+        self.name = name
+        self.driver: Optional[Gate] = None
+        self.fanouts: List[GateInput] = []
+        self.wire_cap = wire_cap
+        self.is_primary_input = False
+        self.is_primary_output = False
+        self.constant_value: Optional[int] = None
+        #: dense index assigned by the owning netlist (stable iteration /
+        #: array-based simulator state).
+        self.index = -1
+
+    @property
+    def is_constant(self) -> bool:
+        return self.constant_value is not None
+
+    def load(self) -> float:
+        """Total capacitive load on this net in fF.
+
+        Sum of fanout pin caps, wire capacitance, and the driver's own
+        output (drain) capacitance.
+        """
+        total = self.wire_cap
+        for gate_input in self.fanouts:
+            total += gate_input.cap
+        if self.driver is not None:
+            total += self.driver.cell.output_cap
+        return total
+
+    def __repr__(self) -> str:
+        return "Net(%r)" % self.name
+
+
+class GateInput:
+    """One input pin instance of one gate.
+
+    Attributes:
+        gate: owning gate.
+        index: pin position within the gate (the ``i`` of eqs. 2-3).
+        net: the net this pin reads.
+        vt: effective switching threshold in volts.  Defaults to the cell
+            pin's threshold; the builder may override it per instance.
+        cap: input capacitance in fF (from the cell pin).
+    """
+
+    __slots__ = ("gate", "index", "net", "vt", "cap", "uid")
+
+    def __init__(self, gate: "Gate", index: int, net: Net, vt: float, cap: float):
+        self.gate = gate
+        self.index = index
+        self.net = net
+        self.vt = vt
+        self.cap = cap
+        #: dense id across the netlist, assigned by the owning netlist.
+        self.uid = -1
+
+    def __repr__(self) -> str:
+        return "GateInput(%s.%s <- %s)" % (
+            self.gate.name,
+            self.gate.cell.pins[self.index].name,
+            self.net.name,
+        )
+
+
+class Gate:
+    """One gate instance.
+
+    Attributes:
+        name: unique instance name.
+        cell: the library :class:`CellSpec`.
+        inputs: ordered :class:`GateInput` pins.
+        output: the driven net.
+    """
+
+    __slots__ = ("name", "cell", "inputs", "output", "index")
+
+    def __init__(self, name: str, cell: CellSpec, output: Net):
+        self.name = name
+        self.cell = cell
+        self.inputs: List[GateInput] = []
+        self.output = output
+        self.index = -1
+
+    def input_nets(self) -> List[Net]:
+        return [gate_input.net for gate_input in self.inputs]
+
+    def __repr__(self) -> str:
+        return "Gate(%s:%s)" % (self.name, self.cell.name)
+
+
+class Netlist:
+    """A flat, single-output-per-gate gate-level netlist.
+
+    Construction is normally done through
+    :class:`repro.circuit.builder.CircuitBuilder`; the methods here are the
+    low-level primitives it uses.
+    """
+
+    def __init__(self, name: str = "top", vdd: float = 5.0):
+        self.name = name
+        self.vdd = vdd
+        self.nets: Dict[str, Net] = {}
+        self.gates: Dict[str, Gate] = {}
+        self.primary_inputs: List[Net] = []
+        self.primary_outputs: List[Net] = []
+
+    # ------------------------------------------------------------------
+    # construction primitives
+    # ------------------------------------------------------------------
+
+    def add_net(self, name: str, wire_cap: float = 0.0) -> Net:
+        if name in self.nets:
+            raise NetlistError("duplicate net name %r" % name)
+        net = Net(name, wire_cap=wire_cap)
+        net.index = len(self.nets)
+        self.nets[name] = net
+        return net
+
+    def add_primary_input(self, name: str) -> Net:
+        net = self.add_net(name)
+        net.is_primary_input = True
+        self.primary_inputs.append(net)
+        return net
+
+    def add_constant(self, name: str, value: int) -> Net:
+        if value not in (0, 1):
+            raise NetlistError("constant value must be 0 or 1")
+        net = self.add_net(name)
+        net.constant_value = value
+        return net
+
+    def mark_primary_output(self, net: Net) -> None:
+        if not net.is_primary_output:
+            net.is_primary_output = True
+            self.primary_outputs.append(net)
+
+    def add_gate(
+        self,
+        name: str,
+        cell: CellSpec,
+        input_nets: Iterable[Net],
+        output_net: Net,
+        vt_overrides: Optional[Dict[int, float]] = None,
+    ) -> Gate:
+        """Instantiate ``cell`` with the given connectivity.
+
+        Args:
+            vt_overrides: optional per-pin-index threshold overrides in
+                volts (used by experiments that need instance-specific
+                thresholds without defining a new cell).
+        """
+        if name in self.gates:
+            raise NetlistError("duplicate gate name %r" % name)
+        if output_net.driver is not None:
+            raise ConnectivityError(
+                "net %r already driven by %s" % (output_net.name, output_net.driver.name)
+            )
+        if output_net.is_primary_input or output_net.is_constant:
+            raise ConnectivityError(
+                "net %r is a primary input/constant and cannot be driven" % output_net.name
+            )
+        input_list = list(input_nets)
+        if len(input_list) != cell.num_inputs:
+            raise ConnectivityError(
+                "gate %s: cell %s has %d pins, got %d nets"
+                % (name, cell.name, cell.num_inputs, len(input_list))
+            )
+        gate = Gate(name, cell, output_net)
+        gate.index = len(self.gates)
+        for pin_index, net in enumerate(input_list):
+            pin = cell.pins[pin_index]
+            vt = pin.vt
+            if vt_overrides and pin_index in vt_overrides:
+                vt = vt_overrides[pin_index]
+            if not 0.0 < vt < self.vdd:
+                raise ConnectivityError(
+                    "gate %s pin %d: threshold %.3f V outside (0, VDD)"
+                    % (name, pin_index, vt)
+                )
+            gate_input = GateInput(gate, pin_index, net, vt=vt, cap=pin.cap)
+            gate.inputs.append(gate_input)
+            net.fanouts.append(gate_input)
+        output_net.driver = gate
+        self.gates[name] = gate
+        self._renumber_inputs()
+        return gate
+
+    def _renumber_inputs(self) -> None:
+        uid = 0
+        for gate in self.gates.values():
+            for gate_input in gate.inputs:
+                gate_input.uid = uid
+                uid += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_gate_inputs(self) -> int:
+        return sum(len(gate.inputs) for gate in self.gates.values())
+
+    def net(self, name: str) -> Net:
+        try:
+            return self.nets[name]
+        except KeyError:
+            raise NetlistError("unknown net %r" % name) from None
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self.gates[name]
+        except KeyError:
+            raise NetlistError("unknown gate %r" % name) from None
+
+    def iter_gate_inputs(self) -> Iterator[GateInput]:
+        for gate in self.gates.values():
+            yield from gate.inputs
+
+    def source_nets(self) -> List[Net]:
+        """Nets with no driving gate: primary inputs and constants."""
+        return [net for net in self.nets.values() if net.driver is None]
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+
+    def topological_gates(self) -> List[Gate]:
+        """Gates in topological (driver-before-reader) order.
+
+        Raises:
+            NetlistError: when the netlist has a combinational cycle; the
+                message names one gate on the cycle.  Feedback circuits
+                (e.g. the RS-latch example) must use relaxation-based
+                initialisation instead.
+        """
+        remaining_fanin: Dict[Gate, int] = {}
+        ready: List[Gate] = []
+        for gate in self.gates.values():
+            fanin = sum(1 for gi in gate.inputs if gi.net.driver is not None)
+            remaining_fanin[gate] = fanin
+            if fanin == 0:
+                ready.append(gate)
+        order: List[Gate] = []
+        cursor = 0
+        while cursor < len(ready):
+            gate = ready[cursor]
+            cursor += 1
+            order.append(gate)
+            for reader in gate.output.fanouts:
+                remaining_fanin[reader.gate] -= 1
+                if remaining_fanin[reader.gate] == 0:
+                    ready.append(reader.gate)
+        if len(order) != len(self.gates):
+            stuck = next(g for g, n in remaining_fanin.items() if n > 0)
+            raise NetlistError(
+                "combinational cycle detected (through gate %r)" % stuck.name
+            )
+        return order
+
+    def has_cycle(self) -> bool:
+        try:
+            self.topological_gates()
+        except NetlistError:
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return "Netlist(%s: %d gates, %d nets)" % (
+            self.name,
+            len(self.gates),
+            len(self.nets),
+        )

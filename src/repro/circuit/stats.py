@@ -1,0 +1,85 @@
+"""Structural netlist statistics.
+
+Cheap measurements used by reports, the scaling benchmark and sanity
+tests: cell histograms, logic depth, fanout distribution and capacitance
+totals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List
+
+from .netlist import Netlist
+
+
+@dataclasses.dataclass(frozen=True)
+class NetlistStats:
+    """Summary of a netlist's structure."""
+
+    name: str
+    num_gates: int
+    num_nets: int
+    num_inputs: int
+    num_outputs: int
+    cell_histogram: Dict[str, int]
+    logic_depth: int
+    max_fanout: int
+    mean_fanout: float
+    total_load_ff: float
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            "netlist %s" % self.name,
+            "  gates: %d   nets: %d" % (self.num_gates, self.num_nets),
+            "  inputs: %d  outputs: %d" % (self.num_inputs, self.num_outputs),
+            "  logic depth: %d  max fanout: %d  mean fanout: %.2f"
+            % (self.logic_depth, self.max_fanout, self.mean_fanout),
+            "  total load: %.1f fF" % self.total_load_ff,
+            "  cells: " + ", ".join(
+                "%s x%d" % (cell, count)
+                for cell, count in sorted(self.cell_histogram.items())
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def gather(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for ``netlist``.
+
+    Logic depth is the longest driver-to-reader gate chain; for cyclic
+    netlists (latches) the depth of the acyclic portion is reported as -1
+    since levelisation is undefined.
+    """
+    histogram = Counter(gate.cell.name for gate in netlist.gates.values())
+    fanouts: List[int] = [len(net.fanouts) for net in netlist.nets.values()]
+    max_fanout = max(fanouts) if fanouts else 0
+    mean_fanout = sum(fanouts) / len(fanouts) if fanouts else 0.0
+    total_load = sum(net.load() for net in netlist.nets.values())
+
+    depth = -1
+    if not netlist.has_cycle():
+        level: Dict[str, int] = {}
+        for gate in netlist.topological_gates():
+            fanin_levels = [
+                level[gi.net.driver.name]
+                for gi in gate.inputs
+                if gi.net.driver is not None
+            ]
+            level[gate.name] = 1 + max(fanin_levels, default=0)
+        depth = max(level.values(), default=0)
+
+    return NetlistStats(
+        name=netlist.name,
+        num_gates=len(netlist.gates),
+        num_nets=len(netlist.nets),
+        num_inputs=len(netlist.primary_inputs),
+        num_outputs=len(netlist.primary_outputs),
+        cell_histogram=dict(histogram),
+        logic_depth=depth,
+        max_fanout=max_fanout,
+        mean_fanout=mean_fanout,
+        total_load_ff=total_load,
+    )

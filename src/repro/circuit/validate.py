@@ -1,0 +1,143 @@
+"""Electrical rule checks (ERC) for netlists.
+
+``check()`` walks a netlist and reports structural problems before they
+turn into confusing simulation failures: undriven nets, floating gate
+inputs, unread gates, combinational cycles and interface inconsistencies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List
+
+from ..errors import NetlistError
+from .netlist import Netlist
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    severity: Severity
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return "[%s] %s: %s" % (self.severity.value, self.rule, self.message)
+
+
+@dataclasses.dataclass
+class ValidationReport:
+    """Outcome of :func:`check`."""
+
+    findings: List[Finding] = dataclasses.field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        if self.errors:
+            details = "; ".join(str(f) for f in self.errors[:10])
+            raise NetlistError(
+                "netlist validation failed (%d errors): %s"
+                % (len(self.errors), details)
+            )
+
+    def _add(self, severity: Severity, rule: str, message: str) -> None:
+        self.findings.append(Finding(severity, rule, message))
+
+
+def check(netlist: Netlist, allow_cycles: bool = False) -> ValidationReport:
+    """Run all ERC rules on ``netlist``.
+
+    Args:
+        allow_cycles: demote combinational cycles from error to warning
+            (feedback circuits such as latches are legal for the event
+            kernel but need care at initialisation).
+    """
+    report = ValidationReport()
+    _check_drivers(netlist, report)
+    _check_dangling(netlist, report)
+    _check_interface(netlist, report)
+    _check_cycles(netlist, report, allow_cycles)
+    return report
+
+
+def _check_drivers(netlist: Netlist, report: ValidationReport) -> None:
+    for net in netlist.nets.values():
+        drives = net.driver is not None
+        if drives and net.is_primary_input:
+            report._add(
+                Severity.ERROR,
+                "driven-input",
+                "primary input %r is driven by gate %r" % (net.name, net.driver.name),
+            )
+        if drives and net.is_constant:
+            report._add(
+                Severity.ERROR,
+                "driven-constant",
+                "constant net %r is driven by gate %r" % (net.name, net.driver.name),
+            )
+        if not drives and not net.is_primary_input and not net.is_constant:
+            report._add(
+                Severity.ERROR,
+                "undriven-net",
+                "net %r has no driver and is not an input/constant" % net.name,
+            )
+
+
+def _check_dangling(netlist: Netlist, report: ValidationReport) -> None:
+    for net in netlist.nets.values():
+        unread = not net.fanouts and not net.is_primary_output
+        if unread and net.driver is not None:
+            report._add(
+                Severity.WARNING,
+                "unread-net",
+                "net %r (driven by %r) has no readers and is not an output"
+                % (net.name, net.driver.name),
+            )
+        if unread and net.is_primary_input:
+            report._add(
+                Severity.WARNING,
+                "unused-input",
+                "primary input %r is never read" % net.name,
+            )
+
+
+def _check_interface(netlist: Netlist, report: ValidationReport) -> None:
+    if not netlist.primary_inputs:
+        report._add(Severity.WARNING, "no-inputs", "netlist has no primary inputs")
+    if not netlist.primary_outputs:
+        report._add(Severity.WARNING, "no-outputs", "netlist has no primary outputs")
+    for net in netlist.primary_outputs:
+        if net.driver is None and not net.is_primary_input and not net.is_constant:
+            report._add(
+                Severity.ERROR,
+                "undriven-output",
+                "primary output %r is undriven" % net.name,
+            )
+
+
+def _check_cycles(
+    netlist: Netlist, report: ValidationReport, allow_cycles: bool
+) -> None:
+    try:
+        netlist.topological_gates()
+    except NetlistError as exc:
+        severity = Severity.WARNING if allow_cycles else Severity.ERROR
+        report._add(severity, "combinational-cycle", str(exc))

@@ -1,0 +1,251 @@
+"""``halotis`` command-line front-end.
+
+Subcommands:
+
+* ``experiment {fig1,fig3,fig6,fig7,table1,table2,all}`` — regenerate a
+  paper artefact and print the report (``--json`` to archive results).
+* ``simulate`` — run a built-in circuit or a ``.bench`` file through
+  HALOTIS with random or explicit vectors; optional VCD dump.
+* ``characterize`` — extract delay/degradation parameters for a cell
+  from the analog substrate and compare with the shipped library.
+* ``info`` — library and circuit inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.report import Table
+from .circuit import bench_io, modules, stats as circuit_stats
+from .circuit.library import default_library
+from .config import DelayMode, cdm_config, ddm_config
+from .core.engine import simulate
+from .errors import ReproError
+from .io_formats.json_results import dump_results
+from .io_formats.vcd import write_vcd
+from .stimuli.patterns import random_vectors
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="halotis",
+        description="HALOTIS reproduction: logic timing simulation with the "
+        "Inertial and Degradation Delay Model",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "name",
+        choices=["fig1", "fig3", "fig6", "fig7", "table1", "table2", "all"],
+    )
+    experiment.add_argument(
+        "--no-analog", action="store_true",
+        help="skip the (slow) electrical simulation where optional",
+    )
+    experiment.add_argument("--json", metavar="PATH",
+                            help="also dump the result dataclass as JSON")
+
+    simulate_cmd = commands.add_parser(
+        "simulate", help="simulate a circuit with HALOTIS"
+    )
+    source = simulate_cmd.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--circuit",
+        choices=["mult4", "mult6", "c17", "chain8", "rca8", "parity8"],
+        help="built-in circuit",
+    )
+    source.add_argument("--bench", metavar="PATH", help="ISCAS-85 .bench file")
+    simulate_cmd.add_argument(
+        "--mode", choices=["ddm", "cdm"], default="ddm",
+        help="delay model (default ddm)",
+    )
+    simulate_cmd.add_argument(
+        "--vectors", type=int, default=10,
+        help="number of random input vectors (default 10)",
+    )
+    simulate_cmd.add_argument(
+        "--period", type=float, default=5.0, help="vector period in ns"
+    )
+    simulate_cmd.add_argument("--seed", type=int, default=0)
+    simulate_cmd.add_argument("--vcd", metavar="PATH", help="dump waveforms as VCD")
+
+    characterize = commands.add_parser(
+        "characterize",
+        help="extract cell parameters from the analog substrate",
+    )
+    characterize.add_argument("cell", help="cell name, e.g. INV or NAND2")
+    characterize.add_argument("--pin", type=int, default=0)
+    characterize.add_argument(
+        "--dt", type=float, default=0.004,
+        help="analog integration step in ns (default 4 ps)",
+    )
+
+    commands.add_parser("info", help="show library and circuit inventory")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+
+def _cmd_experiment(args) -> int:
+    from .experiments import fig1, fig3, fig6_fig7, table1, table2
+
+    names = (
+        ["fig1", "fig3", "fig6", "fig7", "table1", "table2"]
+        if args.name == "all"
+        else [args.name]
+    )
+    results = {}
+    for name in names:
+        if name == "fig1":
+            result = fig1.run()
+        elif name == "fig3":
+            result = fig3.run()
+        elif name == "fig6":
+            result = fig6_fig7.run(1, include_analog=not args.no_analog)
+        elif name == "fig7":
+            result = fig6_fig7.run(2, include_analog=not args.no_analog)
+        elif name == "table1":
+            result = table1.run()
+        else:
+            result = table2.run()
+        results[name] = result
+        print(result.format())
+        print()
+    if args.json:
+        dump_results(results, args.json)
+        print("results written to %s" % args.json)
+    return 0
+
+
+_BUILTIN_CIRCUITS = {
+    "mult4": lambda: modules.array_multiplier(4),
+    "mult6": lambda: modules.array_multiplier(6),
+    "c17": modules.c17,
+    "chain8": lambda: modules.inverter_chain(8),
+    "rca8": lambda: modules.ripple_adder(8),
+    "parity8": lambda: modules.parity_tree(8),
+}
+
+
+def _cmd_simulate(args) -> int:
+    if args.bench:
+        netlist = bench_io.read_bench(args.bench)
+    else:
+        netlist = _BUILTIN_CIRCUITS[args.circuit]()
+    config = ddm_config() if args.mode == "ddm" else cdm_config()
+    stimulus = random_vectors(
+        [net.name for net in netlist.primary_inputs],
+        count=args.vectors,
+        period=args.period,
+        seed=args.seed,
+    )
+    result = simulate(netlist, stimulus, config=config)
+    print(circuit_stats.gather(netlist).format())
+    print()
+    print("mode: HALOTIS-%s" % args.mode.upper())
+    print(result.stats.format())
+    if args.vcd:
+        write_vcd(result.traces, args.vcd, module_name=netlist.name)
+        print("VCD written to %s" % args.vcd)
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .analog import characterize as ch
+
+    library = default_library()
+    cell = library.get(args.cell)
+    vdd = library.vdd
+    table = Table(
+        ["quantity", "fitted (analog)", "shipped (library)"],
+        title="characterisation of %s pin %d" % (args.cell, args.pin),
+    )
+    threshold = ch.measure_threshold(args.cell, args.pin)
+    table.add_row(
+        ["VT (V)", "%.3f" % threshold, "%.3f" % cell.pins[args.pin].vt]
+    )
+    for rising in (False, True):
+        fit = ch.fit_arc(
+            args.cell, args.pin, rising,
+            extra_loads=(0.0, 20.0), input_slews=(0.15, 0.4), dt=args.dt,
+        )
+        arc = cell.arc(args.pin, rising)
+        edge = "rise" if rising else "fall"
+        table.add_row(["d0 %s (ns)" % edge, "%.4f" % fit.d0, "%.4f" % arc.d0])
+        table.add_row(
+            ["d_load %s (ns/fF)" % edge, "%.5f" % fit.d_load, "%.5f" % arc.d_load]
+        )
+        table.add_row(["s0 %s (ns)" % edge, "%.4f" % fit.s0, "%.4f" % arc.s0])
+    deg_fit = ch.fit_degradation_curve(
+        args.cell, args.pin, output_rising=True, dt=args.dt
+    )
+    arc = cell.arc(args.pin, True)
+    table.add_row(
+        [
+            "degradation tau @CL=%.0f fF (ns)" % deg_fit.c_load,
+            "%.4f" % deg_fit.tau,
+            "%.4f" % arc.degradation.tau(vdd, deg_fit.c_load),
+        ]
+    )
+    table.add_row(
+        [
+            "degradation T0 @tau_in=%.2f ns" % deg_fit.tau_in,
+            "%.4f" % deg_fit.t0,
+            "%.4f" % arc.degradation.t0(vdd, deg_fit.tau_in),
+        ]
+    )
+    print(table.render())
+    print(
+        "\nnote: shipped degradation parameters are effective circuit-level "
+        "values\n(calibrated so DDM glitch filtering matches the analog "
+        "multiplier; see EXPERIMENTS.md)"
+    )
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    library = default_library()
+    table = Table(
+        ["cell", "function", "pins", "VT (V)", "d0 rise/fall (ns)"],
+        title="library %s (VDD = %.1f V)" % (library.name, library.vdd),
+    )
+    for cell in sorted(library, key=lambda c: c.name):
+        thresholds = "/".join("%.2f" % pin.vt for pin in cell.pins)
+        d0 = "%.3f/%.3f" % (cell.arc(0, True).d0, cell.arc(0, False).d0)
+        table.add_row(
+            [cell.name, cell.function.name, cell.num_inputs, thresholds, d0]
+        )
+    print(table.render())
+    print()
+    print("built-in circuits: %s" % ", ".join(sorted(_BUILTIN_CIRCUITS)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "characterize":
+            return _cmd_characterize(args)
+        if args.command == "info":
+            return _cmd_info(args)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Simulation configuration objects.
+
+A :class:`SimulationConfig` bundles the knobs of the HALOTIS kernel so that
+experiments can be described declaratively and compared fairly: the paper's
+HALOTIS-DDM and HALOTIS-CDM runs differ *only* in ``delay_mode``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from . import units
+
+
+class DelayMode(enum.Enum):
+    """Which delay model the engine applies when a gate switches."""
+
+    #: Inertial and Degradation Delay Model (the paper's contribution).
+    DDM = "ddm"
+    #: Conventional delay model: ``tp = tp0``, no degradation (the paper's
+    #: HALOTIS-CDM baseline).
+    CDM = "cdm"
+
+
+class InertialPolicy(enum.Enum):
+    """How pulse filtering at gate inputs is decided.
+
+    ``EVENT_ORDER`` is the rule published in the paper (Figure 4): a new
+    event that does not occur after the input's previous event annihilates
+    it.  ``PEAK_VOLTAGE`` reconstructs the ramp waveform's actual peak and
+    annihilates only when the peak fails to reach the input threshold; it is
+    the physically exact rule under the linear-ramp approximation and is
+    provided as an ablation (benchmark ``ablA``).
+    """
+
+    EVENT_ORDER = "event-order"
+    PEAK_VOLTAGE = "peak-voltage"
+
+
+@dataclasses.dataclass
+class SimulationConfig:
+    """Knobs of a HALOTIS simulation run.
+
+    Attributes:
+        delay_mode: DDM (degradation on) or CDM (degradation off).
+        inertial_policy: per-input pulse-filtering rule (see
+            :class:`InertialPolicy`).
+        max_events: hard budget of executed events; exceeding it raises
+            :class:`repro.errors.SimulationLimitError`.  Guards against
+            zero-delay oscillation in looped circuits.
+        min_delay: smallest scheduled gate delay in ns; fully degraded
+            transitions are emitted with this delay instead of being dropped
+            (DESIGN.md section 6).
+        time_resolution: two event times closer than this are simultaneous.
+        record_traces: keep per-net transition traces (needed for waveform
+            analysis and VCD dumps; disable for pure-throughput benchmarks).
+        record_filtered: keep a log of filtered (annihilated) events for
+            inspection.
+        default_input_slew: transition time, in ns, applied to primary-input
+            ramps when the stimulus does not specify one.
+    """
+
+    delay_mode: DelayMode = DelayMode.DDM
+    inertial_policy: InertialPolicy = InertialPolicy.EVENT_ORDER
+    max_events: int = 5_000_000
+    min_delay: float = units.MIN_DELAY
+    time_resolution: float = units.TIME_RESOLUTION
+    record_traces: bool = True
+    record_filtered: bool = False
+    default_input_slew: float = 0.20
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for out-of-range settings."""
+        if self.max_events <= 0:
+            raise ValueError("max_events must be positive")
+        if self.min_delay <= 0.0:
+            raise ValueError("min_delay must be positive")
+        if self.time_resolution < 0.0:
+            raise ValueError("time_resolution must be non-negative")
+        if self.default_input_slew <= 0.0:
+            raise ValueError("default_input_slew must be positive")
+
+    def with_mode(self, delay_mode: DelayMode) -> "SimulationConfig":
+        """Return a copy differing only in ``delay_mode``.
+
+        This is how the Table 1 / Table 2 experiments build their matched
+        DDM/CDM pairs.
+        """
+        return dataclasses.replace(self, delay_mode=delay_mode)
+
+
+def ddm_config(**overrides) -> SimulationConfig:
+    """Convenience constructor for a HALOTIS-DDM configuration."""
+    return SimulationConfig(delay_mode=DelayMode.DDM, **overrides)
+
+
+def cdm_config(**overrides) -> SimulationConfig:
+    """Convenience constructor for a HALOTIS-CDM configuration."""
+    return SimulationConfig(delay_mode=DelayMode.CDM, **overrides)

@@ -1,0 +1,42 @@
+"""The paper's contribution: the HALOTIS simulation kernel and the IDDM.
+
+Public surface:
+
+* :class:`repro.core.transition.Transition` — linear-ramp signal change,
+* :class:`repro.core.events.Event` — a transition crossing one input's VT,
+* :class:`repro.core.ddm.DegradationDelayModel` /
+  :class:`repro.core.cdm.ConventionalDelayModel` — delay engines,
+* :class:`repro.core.engine.HalotisSimulator` — the event kernel
+  (paper Figure 4), plus the :func:`repro.core.engine.simulate`
+  one-call convenience wrapper,
+* :class:`repro.core.trace.TraceSet` — recorded waveforms,
+* :class:`repro.core.stats.SimulationStatistics` — Table 1 counters.
+"""
+
+from .transition import Transition
+from .events import Event
+from .event_queue import BinaryHeapQueue, SortedListQueue, make_queue
+from .delay_model import DelayModel, DelayRequest, DelayResult
+from .ddm import DegradationDelayModel
+from .cdm import ConventionalDelayModel
+from .engine import HalotisSimulator, simulate
+from .trace import NetTrace, TraceSet
+from .stats import SimulationStatistics
+
+__all__ = [
+    "Transition",
+    "Event",
+    "BinaryHeapQueue",
+    "SortedListQueue",
+    "make_queue",
+    "DelayModel",
+    "DelayRequest",
+    "DelayResult",
+    "DegradationDelayModel",
+    "ConventionalDelayModel",
+    "HalotisSimulator",
+    "simulate",
+    "NetTrace",
+    "TraceSet",
+    "SimulationStatistics",
+]

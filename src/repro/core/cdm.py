@@ -1,0 +1,33 @@
+"""The Conventional Delay Model (the paper's HALOTIS-CDM baseline).
+
+Identical machinery to the DDM minus the degradation factor: the delay is
+always the arc's conventional ``tp0`` (load- and slew-dependent).  Running
+the same kernel with this model isolates the contribution of degradation
+— it is how the paper produces Figures 6c/7c and the CDM columns of
+Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from .. import units
+from .delay_model import DelayModel, DelayRequest, DelayResult
+
+
+class ConventionalDelayModel(DelayModel):
+    """HALOTIS-CDM: ``tp = tp0`` regardless of the gate's recent history."""
+
+    name = "cdm"
+
+    def __init__(self, min_delay: float = units.MIN_DELAY):
+        if min_delay <= 0.0:
+            raise ValueError("min_delay must be positive")
+        self.min_delay = min_delay
+
+    def compute(self, request: DelayRequest) -> DelayResult:
+        tp0, tau_out = self.conventional(request)
+        return DelayResult(
+            tp=max(tp0, self.min_delay),
+            tp0=tp0,
+            tau_out=tau_out,
+            degradation_factor=1.0,
+        )

@@ -1,0 +1,66 @@
+"""The Degradation Delay Model (paper equations 1-3).
+
+The model captures the continuous collapse of a gate's delay when output
+transitions come close together:
+
+``tp = tp0 * (1 - exp(-(T - T0)/tau))``
+
+with ``T`` the time elapsed since the gate's previous output transition,
+``tau = VDD*(A + B*CL)`` and ``T0 = (1/2 - C/VDD)*tau_in``.  As ``T``
+grows the factor approaches 1 (conventional behaviour); as ``T``
+approaches ``T0`` the delay collapses to zero; for ``T <= T0`` the model
+predicts no propagation at all.
+
+HALOTIS does *not* drop fully-degraded transitions at the gate: it emits
+them with the engine's minimum delay, and lets the per-input threshold
+rule decide — for each fanout input separately — whether the resulting
+runt pulse exists (paper section 2; DESIGN.md section 6).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import units
+from .delay_model import DelayModel, DelayRequest, DelayResult
+
+
+class DegradationDelayModel(DelayModel):
+    """HALOTIS-DDM: conventional delay scaled by the degradation factor."""
+
+    name = "ddm"
+
+    def __init__(self, min_delay: float = units.MIN_DELAY):
+        if min_delay <= 0.0:
+            raise ValueError("min_delay must be positive")
+        self.min_delay = min_delay
+
+    def degradation_factor(self, request: DelayRequest) -> float:
+        """The factor ``1 - exp(-(T - T0)/tau)`` of paper eq. 1.
+
+        Returns 1.0 when the gate has no previous output transition
+        (fully recovered).  May be <= 0 when ``T <= T0``; callers clamp.
+        """
+        if request.t_last_output is None:
+            return 1.0
+        elapsed = request.t_event - request.t_last_output
+        degradation = request.arc.degradation
+        tau = degradation.tau(request.vdd, request.c_load)
+        t_offset = degradation.t0(request.vdd, request.tau_in)
+        if tau <= 0.0:
+            # Degenerate parameterisation: a step at T0.
+            return 1.0 if elapsed > t_offset else 0.0
+        return 1.0 - math.exp(-(elapsed - t_offset) / tau)
+
+    def compute(self, request: DelayRequest) -> DelayResult:
+        tp0, tau_out = self.conventional(request)
+        factor = self.degradation_factor(request)
+        if factor <= 0.0:
+            # Fully degraded: emit at the minimum delay so the transition
+            # still exists for the per-input inertial decision downstream.
+            tp = self.min_delay
+        else:
+            tp = max(tp0 * factor, self.min_delay)
+        return DelayResult(
+            tp=tp, tp0=tp0, tau_out=tau_out, degradation_factor=factor
+        )

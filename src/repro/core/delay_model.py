@@ -1,0 +1,88 @@
+"""Delay-model interface.
+
+The kernel is delay-model agnostic: when a gate's output must switch, it
+builds a :class:`DelayRequest` describing the situation (arc, load, input
+slew, timing context) and asks the configured :class:`DelayModel` for a
+:class:`DelayResult`.  The paper's two engines are
+:class:`repro.core.ddm.DegradationDelayModel` (HALOTIS-DDM) and
+:class:`repro.core.cdm.ConventionalDelayModel` (HALOTIS-CDM).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional
+
+from ..circuit.cells import TimingArcSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class DelayRequest:
+    """Everything a delay model may consult for one output transition.
+
+    Attributes:
+        arc: the (input pin, output edge) timing arc being exercised.
+        c_load: capacitive load on the output net, fF.
+        tau_in: transition time of the input ramp that triggered the
+            switch, ns (the ``tau_in`` of paper eq. 3).
+        vdd: supply voltage, V.
+        t_event: time of the triggering input event, ns.
+        t_last_output: mid-swing time of the gate's previous output
+            transition, ns; None when the gate has not switched yet.
+            ``T = t_event - t_last_output`` is the internal-state variable
+            of paper eq. 1.
+    """
+
+    arc: TimingArcSpec
+    c_load: float
+    tau_in: float
+    vdd: float
+    t_event: float
+    t_last_output: Optional[float] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class DelayResult:
+    """Outcome of a delay computation.
+
+    Attributes:
+        tp: the delay actually applied, ns (>= the engine's minimum).
+        tp0: the conventional delay the arc predicts, ns.
+        tau_out: full-swing output transition time, ns.
+        degradation_factor: ``tp/tp0`` before clamping; 1.0 means no
+            degradation, <= 0.0 means the transition was *fully degraded*
+            (emitted at the minimum delay so the input-side inertial rule
+            can annihilate it downstream).
+    """
+
+    tp: float
+    tp0: float
+    tau_out: float
+    degradation_factor: float
+
+    @property
+    def fully_degraded(self) -> bool:
+        return self.degradation_factor <= 0.0
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation_factor < 1.0
+
+
+class DelayModel(abc.ABC):
+    """Strategy interface for gate delay computation."""
+
+    #: short identifier used in reports ("ddm", "cdm").
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compute(self, request: DelayRequest) -> DelayResult:
+        """Return the delay and output slew for ``request``."""
+
+    def conventional(self, request: DelayRequest) -> tuple[float, float]:
+        """The (tp0, tau_out) pair of the conventional model — shared by
+        both concrete implementations."""
+        tp0 = request.arc.delay(request.c_load, request.tau_in)
+        tau_out = request.arc.slew(request.c_load, request.tau_in)
+        return tp0, tau_out

@@ -1,0 +1,432 @@
+"""The HALOTIS simulation kernel (paper section 3, Figure 4).
+
+The kernel is an event-driven loop over *threshold-crossing events*:
+
+1. pop the earliest event from the queue;
+2. commit the new logic value at the event's gate input and evaluate the
+   gate; if the output value changes,
+3. compute the output transition with the configured delay model (DDM or
+   CDM) — this is the "calculate the output transition using DDM" box of
+   Figure 4;
+4. for every gate input in the output net's fanout, compute the event
+   ``Ej`` where the new transition crosses that input's threshold and
+   apply the inertial rule against the input's previous event ``Ej-1``:
+   insert ``Ej`` if it comes after ``Ej-1``, otherwise annihilate
+   ``Ej-1`` (the pulse never crossed that input's threshold).
+
+Primary-input stimuli enter through exactly the same broadcast path, so a
+runt pulse applied at a primary input is filtered per-input like any
+internally generated glitch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..circuit.logic import evaluate as evaluate_function
+from ..circuit.netlist import Net, Netlist
+from ..config import DelayMode, SimulationConfig
+from ..errors import SimulationError, SimulationLimitError, StimulusError
+from . import inertial
+from .cdm import ConventionalDelayModel
+from .ddm import DegradationDelayModel
+from .delay_model import DelayModel, DelayRequest
+from .event_queue import make_queue
+from .events import Event
+from .state import KernelState, build_state
+from .stats import SimulationStatistics
+from .trace import TraceSet
+from .transition import Transition
+
+
+@dataclasses.dataclass(frozen=True)
+class FilteredEventRecord:
+    """Debug record of one annihilation (kept when
+    ``config.record_filtered`` is set)."""
+
+    time_now: float
+    gate_name: str
+    pin_index: int
+    net_name: str
+    previous_event_time: float
+    new_event_time: float
+
+
+class HalotisSimulator:
+    """Event-driven logic timing simulator with the IDDM.
+
+    Typical use::
+
+        simulator = HalotisSimulator(netlist, config=ddm_config())
+        simulator.initialize({"a0": 0, ...})
+        simulator.set_input("a0", 1, at_time=5.0)
+        simulator.run(until=10.0)
+        simulator.traces["s3"].edges()
+
+    Args:
+        netlist: the circuit (shared, never mutated).
+        config: engine knobs; the default is HALOTIS-DDM.
+        delay_model: explicit delay model; overrides ``config.delay_mode``
+            when given (used by delay-model unit tests).
+        queue_kind: event-queue implementation (``"heap"`` default).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        config: Optional[SimulationConfig] = None,
+        delay_model: Optional[DelayModel] = None,
+        queue_kind: str = "heap",
+    ):
+        self.netlist = netlist
+        self.config = config if config is not None else SimulationConfig()
+        self.config.validate()
+        self.vdd = netlist.vdd
+        if delay_model is not None:
+            self.delay_model = delay_model
+        elif self.config.delay_mode is DelayMode.DDM:
+            self.delay_model = DegradationDelayModel(self.config.min_delay)
+        else:
+            self.delay_model = ConventionalDelayModel(self.config.min_delay)
+
+        # Static precomputation: per-input threshold fractions and per-net
+        # capacitive loads (both invariant during simulation).
+        self._vt_fraction: Dict[int, float] = {}
+        for gate_input in netlist.iter_gate_inputs():
+            self._vt_fraction[gate_input.uid] = gate_input.vt / self.vdd
+        self._net_load: Dict[str, float] = {
+            net.name: net.load() for net in netlist.nets.values()
+        }
+
+        self.queue = make_queue(queue_kind)
+        self.stats = SimulationStatistics()
+        self.traces = TraceSet(self.vdd)
+        self.filtered_log: list[FilteredEventRecord] = []
+        self.now = 0.0
+        self._seq = 0
+        self._state: Optional[KernelState] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def initialize(
+        self,
+        input_values: Mapping[str, int],
+        seed: Optional[Mapping[str, int]] = None,
+        start_time: float = 0.0,
+    ) -> None:
+        """DC-initialise the circuit and reset all dynamic state.
+
+        ``input_values`` must cover every primary input; ``seed`` provides
+        starting guesses for feedback circuits (see
+        :mod:`repro.circuit.evaluate`).
+        """
+        self._state = build_state(
+            self.netlist, dict(input_values), seed=dict(seed) if seed else None
+        )
+        self.queue.clear()
+        self.stats.reset()
+        self.filtered_log = []
+        self.now = start_time
+        self._seq = 0
+        self.traces = TraceSet(self.vdd)
+        if self.config.record_traces:
+            for net in self.netlist.nets.values():
+                self.traces.create(net.name, self._state.initial_values[net.name])
+
+    @property
+    def initialized(self) -> bool:
+        return self._state is not None
+
+    def _require_state(self) -> KernelState:
+        if self._state is None:
+            raise SimulationError("call initialize() before simulating")
+        return self._state
+
+    # ------------------------------------------------------------------
+    # stimulus
+    # ------------------------------------------------------------------
+
+    def set_input(
+        self,
+        name: str,
+        value: int,
+        at_time: float,
+        slew: Optional[float] = None,
+    ) -> Optional[Transition]:
+        """Drive primary input ``name`` to ``value`` with a ramp starting
+        at ``at_time``.
+
+        Returns the source transition, or None when the input already
+        holds ``value`` (no transition needed).
+        """
+        state = self._require_state()
+        net = self.netlist.net(name)
+        if not net.is_primary_input:
+            raise StimulusError("%r is not a primary input" % name)
+        if value not in (0, 1):
+            raise StimulusError("input value must be 0 or 1, got %r" % (value,))
+        if at_time < self.now:
+            raise StimulusError(
+                "cannot drive input at %.4f ns: simulation time is %.4f ns"
+                % (at_time, self.now)
+            )
+        if state.pi_values[name] == value:
+            return None
+        if slew is None:
+            slew = self.config.default_input_slew
+        if slew <= 0.0:
+            raise StimulusError("input slew must be positive")
+
+        transition = Transition(
+            t50=at_time + 0.5 * slew,
+            duration=slew,
+            rising=(value == 1),
+            net_name=name,
+            cause_time=at_time,
+        )
+        state.pi_values[name] = value
+        self.stats.source_transitions += 1
+        self.stats.count_toggle(name)
+        if self.config.record_traces:
+            self.traces[name].append(transition)
+        self._broadcast(transition, net)
+        return transition
+
+    def apply_word(
+        self,
+        assignments: Mapping[str, int],
+        at_time: float,
+        slew: Optional[float] = None,
+    ) -> int:
+        """Drive several inputs at once; returns how many actually toggled."""
+        changed = 0
+        for name in sorted(assignments):
+            if self.set_input(name, assignments[name], at_time, slew) is not None:
+                changed += 1
+        return changed
+
+    # ------------------------------------------------------------------
+    # the kernel loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SimulationStatistics:
+        """Process events (up to and including ``until``; all if None)."""
+        self._require_state()
+        wall_start = _time.perf_counter()
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = self.queue.pop()
+            if event is None:  # pragma: no cover - peek guarantees one
+                break
+            self._execute(event)
+        if until is not None and until > self.now:
+            self.now = until
+        self.traces.horizon = max(self.traces.horizon, self.now)
+        self.stats.runtime_seconds += _time.perf_counter() - wall_start
+        return self.stats
+
+    def step(self) -> Optional[Event]:
+        """Execute a single event; returns it (None when queue empty)."""
+        self._require_state()
+        event = self.queue.pop()
+        if event is None:
+            return None
+        self._execute(event)
+        self.traces.horizon = max(self.traces.horizon, self.now)
+        return event
+
+    def _execute(self, event: Event) -> None:
+        if self.stats.events_executed >= self.config.max_events:
+            raise SimulationLimitError(
+                "event budget (%d) exhausted at t=%.4f ns — zero-delay "
+                "oscillation?" % (self.config.max_events, self.now)
+            )
+        state = self._require_state()
+        event.executed = True
+        self.now = event.time
+        self.stats.events_executed += 1
+
+        gate_input = event.gate_input
+        gate = gate_input.gate
+        gate_state = state.gate_states[gate.index]
+        if gate_state.input_values[gate_input.index] == event.value:
+            # Defensive: alternation normally guarantees a change here.
+            return
+        gate_state.input_values[gate_input.index] = event.value
+
+        output_value = evaluate_function(gate.cell.function, gate_state.input_values)
+        if output_value == gate_state.output_value:
+            return
+        gate_state.output_value = output_value
+
+        arc = gate.cell.arc(gate_input.index, rising=(output_value == 1))
+        request = DelayRequest(
+            arc=arc,
+            c_load=self._net_load[gate.output.name],
+            tau_in=event.transition.duration,
+            vdd=self.vdd,
+            t_event=event.time,
+            t_last_output=gate_state.last_output_t50,
+        )
+        result = self.delay_model.compute(request)
+
+        transition = Transition(
+            t50=event.time + result.tp,
+            duration=result.tau_out,
+            rising=(output_value == 1),
+            net_name=gate.output.name,
+            degradation_factor=result.degradation_factor,
+            cause_time=event.time,
+        )
+        gate_state.last_output_t50 = transition.t50
+        self.stats.transitions_emitted += 1
+        self.stats.count_toggle(gate.output.name)
+        if result.degradation_factor < 1.0:
+            self.stats.transitions_degraded += 1
+        if result.fully_degraded:
+            self.stats.transitions_fully_degraded += 1
+        if self.config.record_traces:
+            self.traces[gate.output.name].append(transition)
+        self._broadcast(transition, gate.output)
+
+    # ------------------------------------------------------------------
+    # event generation + the inertial rule (paper Figure 4, inner loop)
+    # ------------------------------------------------------------------
+
+    def _broadcast(self, transition: Transition, net: Net) -> None:
+        state = self._require_state()
+        resolution = self.config.time_resolution
+        for gate_input in net.fanouts:
+            crossing = transition.crossing_time(self._vt_fraction[gate_input.uid])
+            stack = state.input_event_stacks[gate_input.uid]
+            previous = stack[-1] if stack else None
+
+            if previous is not None and not previous.executed:
+                decision = inertial.decide(
+                    self.config.inertial_policy,
+                    crossing,
+                    previous,
+                    transition,
+                    self._vt_fraction[gate_input.uid],
+                    resolution,
+                )
+                if decision.annihilate:
+                    self.queue.cancel(previous)
+                    stack.pop()
+                    self.stats.events_filtered += 1
+                    if self.config.record_filtered:
+                        self.filtered_log.append(
+                            FilteredEventRecord(
+                                time_now=self.now,
+                                gate_name=gate_input.gate.name,
+                                pin_index=gate_input.index,
+                                net_name=net.name,
+                                previous_event_time=previous.time,
+                                new_event_time=crossing,
+                            )
+                        )
+                    continue
+                event_time = decision.event_time
+            else:
+                event_time = crossing
+                if previous is not None and crossing <= previous.time:
+                    # The predecessor already executed; we cannot unwind
+                    # the past, so the restoring event runs immediately.
+                    self.stats.late_events += 1
+                    event_time = max(crossing, self.now)
+                elif crossing < self.now:
+                    self.stats.late_events += 1
+                    event_time = self.now
+
+            self._seq += 1
+            event = Event(
+                time=event_time,
+                seq=self._seq,
+                gate_input=gate_input,
+                transition=transition,
+                value=transition.final_value,
+            )
+            self.queue.push(event)
+            stack.append(event)
+            self.stats.events_scheduled += 1
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def value(self, net_name: str) -> int:
+        """Committed logic value of a net at the current time."""
+        state = self._require_state()
+        net = self.netlist.net(net_name)
+        if net.is_constant:
+            return net.constant_value
+        if net.is_primary_input:
+            return state.pi_values[net_name]
+        return state.gate_states[net.driver.index].output_value
+
+    def values(self) -> Dict[str, int]:
+        """Committed logic values of every net."""
+        return {name: self.value(name) for name in self.netlist.nets}
+
+    def word(self, prefix: str, width: int) -> int:
+        """Integer value of output bus ``prefix0..prefix{w-1}``."""
+        word = 0
+        for bit in range(width):
+            word |= self.value("%s%d" % (prefix, bit)) << bit
+        return word
+
+
+# ----------------------------------------------------------------------
+# one-call convenience
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Bundle returned by :func:`simulate`."""
+
+    traces: TraceSet
+    stats: SimulationStatistics
+    final_values: Dict[str, int]
+    simulator: HalotisSimulator
+
+
+def simulate(
+    netlist: Netlist,
+    stimulus,
+    config: Optional[SimulationConfig] = None,
+    settle: float = 0.0,
+    queue_kind: str = "heap",
+    seed: Optional[Mapping[str, int]] = None,
+) -> SimulationResult:
+    """Run a complete stimulus through a fresh simulator.
+
+    ``stimulus`` follows the protocol of
+    :class:`repro.stimuli.vectors.VectorSequence`: it provides
+    ``initial_values(netlist)``, an ``iter_changes()`` iterator of
+    ``(time, assignments, slew)`` triples, and a ``horizon`` attribute.
+    ``settle`` extends the run past the stimulus horizon so the last
+    vector's effects propagate out.
+    """
+    simulator = HalotisSimulator(netlist, config=config, queue_kind=queue_kind)
+    simulator.initialize(stimulus.initial_values(netlist), seed=seed)
+    changes: Iterable[Tuple[float, Mapping[str, int], Optional[float]]]
+    changes = stimulus.iter_changes()
+    for at_time, assignments, slew in changes:
+        simulator.run(until=at_time)
+        simulator.apply_word(assignments, at_time, slew)
+    simulator.run(until=stimulus.horizon + settle)
+    simulator.run()  # drain any events scheduled past the horizon
+    return SimulationResult(
+        traces=simulator.traces,
+        stats=simulator.stats,
+        final_values=simulator.values(),
+        simulator=simulator,
+    )

@@ -1,0 +1,142 @@
+"""Time-ordered event queues.
+
+The kernel needs three operations: push, pop-earliest, and *cancel* — the
+annihilation rule of the paper's Figure 4 removes pending events.  The
+default :class:`BinaryHeapQueue` implements cancellation lazily (cancelled
+events stay in the heap and are skipped on pop), which keeps push/pop at
+O(log n) and cancel at O(1).
+
+:class:`SortedListQueue` is a deliberately simple O(n)-insert
+implementation kept as a cross-check oracle and for the queue ablation
+benchmark (``ablC``); both classes share the same interface and must order
+events identically (property-tested).
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import List, Optional
+
+from ..errors import SimulationError
+from .events import Event
+
+
+class BinaryHeapQueue:
+    """Binary-heap event queue with lazy cancellation."""
+
+    def __init__(self):
+        self._heap: List[tuple] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled, not yet popped) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> None:
+        if event.cancelled:
+            raise SimulationError("cannot schedule a cancelled event")
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        self._live += 1
+
+    def cancel(self, event: Event) -> None:
+        """Mark a pending event as annihilated; it will be skipped."""
+        if event.executed:
+            raise SimulationError("cannot cancel an executed event")
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event (None when empty)."""
+        while self._heap:
+            _time, _seq, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+
+class SortedListQueue:
+    """Insertion-sorted event queue (oracle / ablation implementation).
+
+    Keeps the pending events in a sorted list; cancellation removes the
+    event eagerly.  O(n) insert and cancel, O(1) pop.
+    """
+
+    def __init__(self):
+        self._events: List[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def push(self, event: Event) -> None:
+        if event.cancelled:
+            raise SimulationError("cannot schedule a cancelled event")
+        bisect.insort(self._events, (event.time, event.seq, event))
+
+    def cancel(self, event: Event) -> None:
+        if event.executed:
+            raise SimulationError("cannot cancel an executed event")
+        if event.cancelled:
+            return
+        event.cancel()
+        position = bisect.bisect_left(self._events, (event.time, event.seq, event))
+        if (
+            position < len(self._events)
+            and self._events[position][2] is event
+        ):
+            del self._events[position]
+        else:  # pragma: no cover - defensive; keys are unique by seq
+            self._events = [entry for entry in self._events if entry[2] is not event]
+
+    def pop(self) -> Optional[Event]:
+        if not self._events:
+            return None
+        _time, _seq, event = self._events.pop(0)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        if not self._events:
+            return None
+        return self._events[0][0]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+#: Registry used by the engine's ``queue_kind`` option.
+QUEUE_KINDS = {
+    "heap": BinaryHeapQueue,
+    "sorted-list": SortedListQueue,
+}
+
+
+def make_queue(kind: str = "heap"):
+    """Instantiate an event queue by name (``"heap"`` or ``"sorted-list"``)."""
+    try:
+        factory = QUEUE_KINDS[kind]
+    except KeyError:
+        raise SimulationError(
+            "unknown queue kind %r (choose from %s)" % (kind, sorted(QUEUE_KINDS))
+        ) from None
+    return factory()

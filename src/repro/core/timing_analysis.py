@@ -1,0 +1,253 @@
+"""Static timing analysis on the HALOTIS cell arcs.
+
+A levelized worst-case timing engine over the same
+:class:`repro.circuit.cells.TimingArcSpec` data the event simulator uses:
+it propagates per-net (arrival time, transition time) pairs for both
+edges, without simulating any vectors.
+
+Two uses inside this repo:
+
+* an independent cross-check of the event kernel — the kernel's last
+  output edge can never arrive later than the STA bound (tested),
+* sizing the experiments: the critical path of the Figure 5 multiplier
+  must fit inside the paper's 5 ns vector period.
+
+The analysis is edge-aware (a rising output arrival derives from the
+fanin arrivals that can *cause* a rising edge under the cell's function
+unateness) but deliberately ignores degradation: degradation only ever
+shortens delays, so the conventional arcs give a safe upper bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.logic import GateFunction
+from ..circuit.netlist import Gate, Net, Netlist
+from ..errors import AnalysisError
+
+#: Functions through which a rising output is caused by falling inputs.
+_NEGATIVE_UNATE = {
+    GateFunction.INV, GateFunction.NAND, GateFunction.NOR,
+}
+#: Functions through which edges propagate without inversion.
+_POSITIVE_UNATE = {
+    GateFunction.BUF, GateFunction.AND, GateFunction.OR,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeTiming:
+    """Worst-case timing of one edge polarity at one net.
+
+    Attributes:
+        arrival: latest arrival time of the edge, ns (inputs launch at 0).
+        slew: transition time accompanying that worst arrival, ns.
+    """
+
+    arrival: float
+    slew: float
+
+
+@dataclasses.dataclass(frozen=True)
+class PathStep:
+    """One hop of a critical path: gate traversed and the edge produced."""
+
+    gate_name: str
+    net_name: str
+    rising: bool
+    arrival: float
+    delay: float
+
+
+@dataclasses.dataclass
+class TimingReport:
+    """Result of :func:`analyze`."""
+
+    netlist_name: str
+    input_slew: float
+    #: per net name: (falling EdgeTiming, rising EdgeTiming).
+    net_timing: Dict[str, Tuple[EdgeTiming, EdgeTiming]]
+    critical_path: List[PathStep]
+
+    @property
+    def critical_delay(self) -> float:
+        """Latest arrival over all primary outputs, both edges."""
+        if not self.critical_path:
+            return 0.0
+        return self.critical_path[-1].arrival
+
+    @property
+    def critical_output(self) -> Optional[str]:
+        if not self.critical_path:
+            return None
+        return self.critical_path[-1].net_name
+
+    def arrival(self, net_name: str, rising: bool) -> float:
+        falling_timing, rising_timing = self.net_timing[net_name]
+        return (rising_timing if rising else falling_timing).arrival
+
+    def format(self, max_steps: int = 30) -> str:
+        lines = [
+            "STA report for %s (input slew %.3f ns)"
+            % (self.netlist_name, self.input_slew),
+            "critical delay: %.4f ns to %s"
+            % (self.critical_delay, self.critical_output),
+            "critical path:",
+        ]
+        steps = self.critical_path[-max_steps:]
+        if len(steps) < len(self.critical_path):
+            lines.append("  ... (%d earlier steps)"
+                         % (len(self.critical_path) - len(steps)))
+        for step in steps:
+            lines.append(
+                "  %-20s -> %-16s %s  at %8.4f ns (+%.4f)"
+                % (step.gate_name, step.net_name,
+                   "rise" if step.rising else "fall",
+                   step.arrival, step.delay)
+            )
+        return "\n".join(lines)
+
+
+def analyze(netlist: Netlist, input_slew: float = 0.20) -> TimingReport:
+    """Worst-case arrival analysis of a combinational netlist.
+
+    Args:
+        netlist: must be acyclic (latches have no static worst case).
+        input_slew: transition time assumed at every primary input, ns.
+
+    Raises:
+        AnalysisError: for cyclic netlists.
+    """
+    try:
+        order = netlist.topological_gates()
+    except Exception as exc:
+        raise AnalysisError("STA requires an acyclic netlist: %s" % exc)
+
+    timing: Dict[str, Tuple[EdgeTiming, EdgeTiming]] = {}
+    # (gate, producing edge) that set each net's worst arrival — for path
+    # reconstruction.  None marks primary inputs.
+    worst_cause: Dict[Tuple[str, bool], Optional[Tuple[Gate, bool]]] = {}
+
+    for net in netlist.nets.values():
+        if net.driver is None:
+            if net.is_constant:
+                # Constants never transition: -inf arrivals so they never
+                # dominate a max().
+                never = EdgeTiming(arrival=float("-inf"), slew=input_slew)
+                timing[net.name] = (never, never)
+            else:
+                launch = EdgeTiming(arrival=0.0, slew=input_slew)
+                timing[net.name] = (launch, launch)
+            worst_cause[(net.name, False)] = None
+            worst_cause[(net.name, True)] = None
+
+    for gate in order:
+        load = gate.output.load()
+        results = {}
+        for rising in (False, True):
+            candidates: List[Tuple[float, float, Gate, bool]] = []
+            for gate_input in gate.inputs:
+                fall_in, rise_in = timing[gate_input.net.name]
+                for input_rising, input_timing in ((False, fall_in),
+                                                   (True, rise_in)):
+                    if input_timing.arrival == float("-inf"):
+                        continue
+                    if not _can_cause(gate.cell.function, input_rising, rising):
+                        continue
+                    arc = gate.cell.arc(gate_input.index, rising)
+                    delay = arc.delay(load, input_timing.slew)
+                    slew = arc.slew(load, input_timing.slew)
+                    candidates.append(
+                        (input_timing.arrival + delay, slew, gate, input_rising)
+                    )
+            if candidates:
+                worst = max(candidates, key=lambda c: c[0])
+                results[rising] = EdgeTiming(arrival=worst[0], slew=worst[1])
+                worst_cause[(gate.output.name, rising)] = (gate, worst[3])
+            else:
+                results[rising] = EdgeTiming(arrival=float("-inf"),
+                                             slew=input_slew)
+                worst_cause[(gate.output.name, rising)] = None
+        timing[gate.output.name] = (results[False], results[True])
+
+    critical = _critical_path(netlist, timing, worst_cause)
+    return TimingReport(
+        netlist_name=netlist.name,
+        input_slew=input_slew,
+        net_timing=timing,
+        critical_path=critical,
+    )
+
+
+def _can_cause(function: GateFunction, input_rising: bool,
+               output_rising: bool) -> bool:
+    """Unateness filter: can an input edge of this polarity produce the
+    given output edge through ``function``?  Non-unate functions (XOR,
+    MUX, AOI...) conservatively allow every combination."""
+    if function in _POSITIVE_UNATE:
+        return input_rising == output_rising
+    if function in _NEGATIVE_UNATE:
+        return input_rising != output_rising
+    return True
+
+
+def _critical_path(
+    netlist: Netlist,
+    timing: Dict[str, Tuple[EdgeTiming, EdgeTiming]],
+    worst_cause: Dict[Tuple[str, bool], Optional[Tuple[Gate, bool]]],
+) -> List[PathStep]:
+    endpoint: Optional[Tuple[str, bool]] = None
+    latest = float("-inf")
+    for net in netlist.primary_outputs:
+        fall, rise = timing[net.name]
+        for rising, edge in ((False, fall), (True, rise)):
+            if edge.arrival > latest:
+                latest = edge.arrival
+                endpoint = (net.name, rising)
+    if endpoint is None or latest == float("-inf"):
+        return []
+
+    steps: List[PathStep] = []
+    cursor: Optional[Tuple[str, bool]] = endpoint
+    while cursor is not None:
+        net_name, rising = cursor
+        cause = worst_cause.get(cursor)
+        if cause is None:
+            break
+        gate, input_rising = cause
+        fall, rise = timing[net_name]
+        edge = rise if rising else fall
+        # Identify the fanin net that produced the worst arrival.
+        load = gate.output.load()
+        best_input: Optional[Net] = None
+        best_error = float("inf")
+        for gate_input in gate.inputs:
+            fanin_fall, fanin_rise = timing[gate_input.net.name]
+            fanin_edge = fanin_rise if input_rising else fanin_fall
+            if fanin_edge.arrival == float("-inf"):
+                continue
+            arc = gate.cell.arc(gate_input.index, rising)
+            predicted = fanin_edge.arrival + arc.delay(load, fanin_edge.slew)
+            error = abs(predicted - edge.arrival)
+            if error < best_error:
+                best_error = error
+                best_input = gate_input.net
+        steps.append(
+            PathStep(
+                gate_name=gate.name,
+                net_name=net_name,
+                rising=rising,
+                arrival=edge.arrival,
+                delay=edge.arrival - (
+                    timing[best_input.name][1 if input_rising else 0].arrival
+                    if best_input is not None else 0.0
+                ),
+            )
+        )
+        if best_input is None or best_input.driver is None:
+            break
+        cursor = (best_input.name, input_rising)
+    steps.reverse()
+    return steps

@@ -1,0 +1,178 @@
+"""Waveform traces recorded during simulation.
+
+A :class:`NetTrace` keeps every transition emitted on one net, in emission
+order.  Because degraded transitions can be scheduled *before* the net's
+previous transition (the mechanism behind input-side pulse annihilation),
+the raw list is not necessarily monotone in time; :meth:`NetTrace.edges`
+derives the clean digital waveform by cancelling reversed pairs — exactly
+mirroring what the inertial rule does at every fanout input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .transition import Transition
+
+#: A digital edge: (time, new_value).
+Edge = Tuple[float, int]
+
+
+class NetTrace:
+    """All transitions of one net during one run."""
+
+    def __init__(self, net_name: str, initial_value: int):
+        if initial_value not in (0, 1):
+            raise ValueError("initial value must be 0 or 1")
+        self.net_name = net_name
+        self.initial_value = initial_value
+        self.transitions: List[Transition] = []
+
+    def append(self, transition: Transition) -> None:
+        self.transitions.append(transition)
+
+    # ------------------------------------------------------------------
+    # digital views
+    # ------------------------------------------------------------------
+
+    def edges(self) -> List[Edge]:
+        """Clean digital edge list (time, new value), strictly increasing.
+
+        Walks the transitions in emission order keeping a stack of
+        surviving edges; a transition whose mid-swing time does not come
+        after the previous survivor annihilates it (zero-width pulse), the
+        same pairing rule the kernel applies per input.
+        """
+        survivors: List[Transition] = []
+        for transition in self.transitions:
+            if survivors and transition.t50 <= survivors[-1].t50:
+                survivors.pop()
+                continue
+            survivors.append(transition)
+        return [(t.t50, t.final_value) for t in survivors]
+
+    def value_at(self, time: float) -> int:
+        """Digital value at ``time`` (edges at exactly ``time`` count)."""
+        value = self.initial_value
+        for edge_time, edge_value in self.edges():
+            if edge_time > time:
+                break
+            value = edge_value
+        return value
+
+    def toggle_count(self) -> int:
+        """Number of surviving digital edges (switching activity)."""
+        return len(self.edges())
+
+    def raw_count(self) -> int:
+        """Number of emitted transitions including annihilated runts."""
+        return len(self.transitions)
+
+    def pulse_widths(self) -> List[float]:
+        """Widths of every complete pulse in the clean digital waveform."""
+        edge_list = self.edges()
+        widths = []
+        for first, second in zip(edge_list, edge_list[1:]):
+            widths.append(second[0] - first[0])
+        return widths
+
+    def sample(self, times: Sequence[float]) -> List[int]:
+        """Digital value at each of ``times`` (must be sorted ascending)."""
+        edge_list = self.edges()
+        values = []
+        value = self.initial_value
+        cursor = 0
+        previous_time: Optional[float] = None
+        for time in times:
+            if previous_time is not None and time < previous_time:
+                raise AnalysisError("sample times must be sorted ascending")
+            previous_time = time
+            while cursor < len(edge_list) and edge_list[cursor][0] <= time:
+                value = edge_list[cursor][1]
+                cursor += 1
+            values.append(value)
+        return values
+
+    def analog_fraction_at(self, time: float) -> float:
+        """Reconstructed ramp waveform level (fraction of swing) at ``time``.
+
+        Uses the surviving transitions' linear ramps; between transitions
+        the level sits on a rail.  Intended for plotting, not for event
+        generation.
+        """
+        survivors: List[Transition] = []
+        for transition in self.transitions:
+            if survivors and transition.t50 <= survivors[-1].t50:
+                survivors.pop()
+                continue
+            survivors.append(transition)
+        level = float(self.initial_value)
+        for transition in survivors:
+            if time <= transition.start:
+                break
+            level = transition.fraction_at(time)
+            if time < transition.end:
+                break
+        return level
+
+    def __repr__(self) -> str:
+        return "NetTrace(%s: %d transitions)" % (self.net_name, len(self.transitions))
+
+
+class TraceSet:
+    """Traces of every recorded net in one run."""
+
+    def __init__(self, vdd: float):
+        self.vdd = vdd
+        self._traces: Dict[str, NetTrace] = {}
+        #: end of the simulated interval (set by the engine).
+        self.horizon: float = 0.0
+
+    def create(self, net_name: str, initial_value: int) -> NetTrace:
+        if net_name in self._traces:
+            raise AnalysisError("trace for net %r already exists" % net_name)
+        trace = NetTrace(net_name, initial_value)
+        self._traces[net_name] = trace
+        return trace
+
+    def __contains__(self, net_name: str) -> bool:
+        return net_name in self._traces
+
+    def __getitem__(self, net_name: str) -> NetTrace:
+        try:
+            return self._traces[net_name]
+        except KeyError:
+            raise AnalysisError("no trace recorded for net %r" % net_name) from None
+
+    def __iter__(self):
+        return iter(self._traces.values())
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def names(self) -> List[str]:
+        return list(self._traces)
+
+    # ------------------------------------------------------------------
+    # bus helpers
+    # ------------------------------------------------------------------
+
+    def word_at(self, time: float, prefix: str, width: int) -> int:
+        """Integer value of bus ``prefix0..prefix{w-1}`` at ``time``."""
+        word = 0
+        for bit in range(width):
+            word |= self["%s%d" % (prefix, bit)].value_at(time) << bit
+        return word
+
+    def bus_toggles(self, prefix: str, width: int) -> int:
+        """Total surviving edge count across a bus."""
+        return sum(
+            self["%s%d" % (prefix, bit)].toggle_count() for bit in range(width)
+        )
+
+    def total_toggles(self, names: Optional[Iterable[str]] = None) -> int:
+        """Total surviving edges over ``names`` (default: every trace)."""
+        if names is None:
+            return sum(trace.toggle_count() for trace in self)
+        return sum(self[name].toggle_count() for name in names)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem while building or validating a netlist."""
+
+
+class ConnectivityError(NetlistError):
+    """A pin, net or gate is wired inconsistently (e.g. two drivers)."""
+
+
+class UnknownCellError(NetlistError):
+    """A gate references a cell name absent from the library."""
+
+
+class LibraryError(ReproError):
+    """A cell library is malformed or a lookup failed."""
+
+
+class CharacterizationError(ReproError):
+    """Parameter extraction on the analog substrate failed to converge."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel hit an unrecoverable condition."""
+
+
+class SimulationLimitError(SimulationError):
+    """The event budget or wall-clock limit was exhausted.
+
+    Usually indicates a zero-delay oscillation (combinational loop whose
+    pulses are never degraded away).
+    """
+
+
+class InitializationError(SimulationError):
+    """DC initialisation could not assign a consistent value to every net."""
+
+
+class StimulusError(ReproError):
+    """A stimulus description is inconsistent with the circuit interface."""
+
+
+class ParseError(ReproError):
+    """A netlist or trace file could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class AnalysisError(ReproError):
+    """A post-processing analysis was asked something impossible."""

@@ -1,0 +1,222 @@
+"""Paper Figure 1: why a single inertial delay gives wrong results.
+
+Circuit: an inverter ``g0`` drives two 2-inverter chains whose first
+stages have different input thresholds (``g1`` = INV_LT, VT1 = 1.6 V;
+``g2`` = INV_HT, VT2 = 3.4 V).  A narrow 0->1->0 pulse on ``in`` makes
+``out0`` dip from VDD toward ground and recover; a *shallow* dip crosses
+VT2 but never reaches VT1, so the pulse exists for the high-threshold
+chain only.
+
+Three engines simulate the same stimulus:
+
+* the analog substitute (ground truth — the paper's Figure 1b),
+* HALOTIS with the IDDM (should match the analog verdict per chain),
+* the classical inertial baseline (cannot distinguish the chains — the
+  paper's Figure 1c).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..analog.simulator import AnalogSimulator
+from ..analysis.ascii_art import render_waveforms
+from ..baselines.inertial_simulator import DelaySemantics, classical_simulate
+from ..circuit import modules
+from ..config import ddm_config
+from ..core.engine import simulate
+from ..stimuli.patterns import pulse
+
+#: Nets displayed in the figure, top to bottom.
+FIG1_NETS = ("in", "out0", "out1", "out1c", "out2", "out2c")
+
+#: Default input pulse width (ns): chosen inside the selective window
+#: where the out0 dip crosses VT2 (3.4 V) but not VT1 (1.6 V).
+DEFAULT_PULSE_WIDTH = 0.16
+
+#: Pulse start time (ns).
+PULSE_START = 2.0
+
+#: Input ramp duration (ns).
+PULSE_SLEW = 0.20
+
+#: Simulated window (ns).
+HORIZON = 6.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainVerdict:
+    """Did the pulse propagate through each chain? (True = a pulse is
+    visible at the chain's final output.)"""
+
+    low_threshold_chain: bool
+    high_threshold_chain: bool
+
+    def as_tuple(self) -> Tuple[bool, bool]:
+        return (self.low_threshold_chain, self.high_threshold_chain)
+
+
+@dataclasses.dataclass
+class Fig1Result:
+    """Outcome of the Figure 1 experiment for one pulse width."""
+
+    pulse_width: float
+    analog: ChainVerdict
+    iddm: ChainVerdict
+    classical: ChainVerdict
+    dip_minimum_v: float
+    vt_low: float
+    vt_high: float
+    panels: Dict[str, str]
+
+    @property
+    def analog_is_selective(self) -> bool:
+        """The electrical truth distinguishes the two chains."""
+        return self.analog.low_threshold_chain != self.analog.high_threshold_chain
+
+    @property
+    def iddm_matches_analog(self) -> bool:
+        return self.iddm.as_tuple() == self.analog.as_tuple()
+
+    @property
+    def classical_matches_analog(self) -> bool:
+        return self.classical.as_tuple() == self.analog.as_tuple()
+
+    def format(self) -> str:
+        lines = [
+            "Figure 1 — inertial delay wrong results "
+            "(pulse width %.2f ns, out0 dip min %.2f V; VT1=%.1f V, VT2=%.1f V)"
+            % (self.pulse_width, self.dip_minimum_v, self.vt_low, self.vt_high),
+            "",
+            "propagated through:     LT chain   HT chain",
+            "  analog (fig 1b)       %-8s   %-8s"
+            % self.analog.as_tuple(),
+            "  HALOTIS-IDDM          %-8s   %-8s"
+            % self.iddm.as_tuple(),
+            "  classical (fig 1c)    %-8s   %-8s"
+            % self.classical.as_tuple(),
+            "",
+            "IDDM matches analog:      %s" % self.iddm_matches_analog,
+            "classical matches analog: %s" % self.classical_matches_analog,
+            "",
+        ]
+        for title, panel in self.panels.items():
+            lines.append(title)
+            lines.append(panel)
+            lines.append("")
+        return "\n".join(lines)
+
+
+def _pulse_seen(edges: List[Tuple[float, int]]) -> bool:
+    """A complete pulse appeared (at least one rise and one fall)."""
+    return len(edges) >= 2
+
+
+def run(
+    pulse_width: float = DEFAULT_PULSE_WIDTH,
+    analog_dt: float = 0.001,
+    include_panels: bool = True,
+) -> Fig1Result:
+    """Run the Figure 1 experiment at one input pulse width."""
+    netlist = modules.fig1_circuit()
+    stimulus = pulse(
+        "in", start=PULSE_START, width=pulse_width, slew=PULSE_SLEW,
+        tail=HORIZON - PULSE_START - pulse_width,
+    )
+
+    vt_low = netlist.gate("g1").inputs[0].vt
+    vt_high = netlist.gate("g2").inputs[0].vt
+
+    analog_result = AnalogSimulator(netlist, dt=analog_dt).run(
+        stimulus, input_slew=PULSE_SLEW
+    )
+    analog_edges = {
+        name: analog_result.waveform(name).digitize() for name in FIG1_NETS
+    }
+    dip_minimum = analog_result.waveform("out0").extreme(
+        PULSE_START, HORIZON, maximum=False
+    )
+    analog_verdict = ChainVerdict(
+        low_threshold_chain=_pulse_seen(analog_edges["out1c"]),
+        high_threshold_chain=_pulse_seen(analog_edges["out2c"]),
+    )
+
+    iddm_result = simulate(netlist, stimulus, config=ddm_config())
+    iddm_verdict = ChainVerdict(
+        low_threshold_chain=_pulse_seen(iddm_result.traces["out1c"].edges()),
+        high_threshold_chain=_pulse_seen(iddm_result.traces["out2c"].edges()),
+    )
+
+    classical_result = classical_simulate(
+        netlist, stimulus, semantics=DelaySemantics.INERTIAL
+    )
+    classical_verdict = ChainVerdict(
+        low_threshold_chain=_pulse_seen(classical_result.edges("out1c")),
+        high_threshold_chain=_pulse_seen(classical_result.edges("out2c")),
+    )
+
+    panels: Dict[str, str] = {}
+    if include_panels:
+        window = (0.0, HORIZON)
+        panels["(b) analog"] = render_waveforms(
+            {
+                name: (
+                    analog_result.waveform(name).initial_value(),
+                    analog_edges[name],
+                )
+                for name in FIG1_NETS
+            },
+            *window,
+        )
+        panels["HALOTIS-IDDM"] = render_waveforms(
+            {
+                name: (
+                    iddm_result.traces[name].initial_value,
+                    iddm_result.traces[name].edges(),
+                )
+                for name in FIG1_NETS
+            },
+            *window,
+        )
+        panels["(c) classical inertial"] = render_waveforms(
+            {
+                name: (
+                    classical_result.edges(name)[0][1] ^ 1
+                    if classical_result.edges(name)
+                    else classical_result.final_values[name],
+                    classical_result.edges(name),
+                )
+                for name in FIG1_NETS
+            },
+            *window,
+        )
+
+    return Fig1Result(
+        pulse_width=pulse_width,
+        analog=analog_verdict,
+        iddm=iddm_verdict,
+        classical=classical_verdict,
+        dip_minimum_v=dip_minimum,
+        vt_low=vt_low,
+        vt_high=vt_high,
+        panels=panels,
+    )
+
+
+def sweep_widths(
+    widths: Optional[List[float]] = None,
+    analog_dt: float = 0.001,
+) -> List[Fig1Result]:
+    """Run the experiment over a pulse-width sweep.
+
+    The interesting region is where the analog verdict is selective
+    (one chain yes, one chain no); the sweep exposes the windows where
+    each model is right or wrong.
+    """
+    if widths is None:
+        widths = [0.12, 0.16, 0.20, 0.22, 0.26, 0.30, 0.40, 0.60]
+    return [
+        run(width, analog_dt=analog_dt, include_panels=False)
+        for width in widths
+    ]

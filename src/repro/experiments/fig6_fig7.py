@@ -1,0 +1,163 @@
+"""Paper Figures 6 and 7: multiplier waveforms, three engines.
+
+For one operand sequence the driver simulates the Figure 5 multiplier
+with (a) the analog substitute, (b) HALOTIS-DDM and (c) HALOTIS-CDM, and
+reports:
+
+* the settled output word at the end of every vector period (all three
+  must agree with the integer product),
+* output-bus activity (surviving edges) per engine — the paper's visual
+  point is that panel (c) shows many more transitions than (a)/(b),
+* per-output-net edge agreement between DDM and the digitised analog
+  waveforms,
+* the three ASCII waveform panels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..analysis.ascii_art import render_waveforms
+from ..analysis.compare import EdgeMatch, match_edges
+from ..config import DelayMode
+from . import common
+
+
+@dataclasses.dataclass
+class Fig6Result:
+    """Everything needed to reproduce one of the two waveform figures."""
+
+    which: int
+    label: str
+    expected_words: List[int]
+    analog_words: Optional[List[int]]
+    ddm_words: List[int]
+    cdm_words: List[int]
+    analog_out_edges: Optional[int]
+    ddm_out_edges: int
+    cdm_out_edges: int
+    ddm_vs_analog: Optional[Dict[str, EdgeMatch]]
+    panels: Dict[str, str]
+
+    @property
+    def settled_ok(self) -> bool:
+        engines = [self.ddm_words, self.cdm_words]
+        if self.analog_words is not None:
+            engines.append(self.analog_words)
+        return all(words == self.expected_words for words in engines)
+
+    @property
+    def mean_ddm_analog_agreement(self) -> Optional[float]:
+        if not self.ddm_vs_analog:
+            return None
+        values = [match.agreement for match in self.ddm_vs_analog.values()]
+        return sum(values) / len(values)
+
+    def format(self) -> str:
+        lines = [
+            "Figure %d — multiplication sequence %s" % (5 + self.which, self.label),
+            "",
+            "settled output words (end of each 5 ns period):",
+            "  expected : %s" % self.expected_words,
+        ]
+        if self.analog_words is not None:
+            lines.append("  analog   : %s" % self.analog_words)
+        lines += [
+            "  DDM      : %s" % self.ddm_words,
+            "  CDM      : %s" % self.cdm_words,
+            "",
+            "output-bus edges: analog=%s  DDM=%d  CDM=%d"
+            % (self.analog_out_edges, self.ddm_out_edges, self.cdm_out_edges),
+        ]
+        agreement = self.mean_ddm_analog_agreement
+        if agreement is not None:
+            lines.append(
+                "mean DDM-vs-analog edge agreement on outputs: %.2f" % agreement
+            )
+        lines.append("")
+        for title, panel in self.panels.items():
+            lines.append(title)
+            lines.append(panel)
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run(
+    which: int = 1,
+    include_analog: bool = True,
+    include_panels: bool = True,
+    analog_dt: float = common.ANALOG_DT,
+    edge_tolerance: float = 0.5,
+) -> Fig6Result:
+    """Reproduce Figure 6 (``which=1``) or Figure 7 (``which=2``)."""
+    label = common.SEQUENCE_LABELS[which]
+    outputs = common.output_nets()
+
+    ddm = common.run_halotis(which, DelayMode.DDM)
+    cdm = common.run_halotis(which, DelayMode.CDM)
+    ddm_words = common.settled_words_logic(ddm, which)
+    cdm_words = common.settled_words_logic(cdm, which)
+
+    analog_words = None
+    analog_out_edges = None
+    ddm_vs_analog = None
+    analog_edges: Dict[str, list] = {}
+    analog_result = None
+    if include_analog:
+        analog_result = common.run_analog(which, dt=analog_dt)
+        analog_words = common.settled_words_analog(analog_result, which)
+        analog_edges = {
+            name: analog_result.waveform(name).digitize() for name in outputs
+        }
+        analog_out_edges = sum(len(edges) for edges in analog_edges.values())
+        ddm_vs_analog = {
+            name: match_edges(
+                ddm.traces[name].edges(), analog_edges[name], edge_tolerance
+            )
+            for name in outputs
+        }
+
+    panels: Dict[str, str] = {}
+    if include_panels:
+        window = (0.0, len(common.SEQUENCE_OPERANDS[which]) * common.PERIOD)
+        display = list(reversed(outputs))  # s7 on top, as in the paper
+        if include_analog and analog_result is not None:
+            panels["(a) analog"] = render_waveforms(
+                {
+                    name: (
+                        analog_result.waveform(name).initial_value(),
+                        analog_edges[name],
+                    )
+                    for name in display
+                },
+                *window, order=display,
+            )
+        panels["(b) HALOTIS-DDM"] = render_waveforms(
+            {
+                name: (ddm.traces[name].initial_value, ddm.traces[name].edges())
+                for name in display
+            },
+            *window, order=display,
+        )
+        panels["(c) HALOTIS-CDM"] = render_waveforms(
+            {
+                name: (cdm.traces[name].initial_value, cdm.traces[name].edges())
+                for name in display
+            },
+            *window, order=display,
+        )
+
+    return Fig6Result(
+        which=which,
+        label=label,
+        expected_words=common.expected_words(which),
+        analog_words=analog_words,
+        ddm_words=ddm_words,
+        cdm_words=cdm_words,
+        analog_out_edges=analog_out_edges,
+        ddm_out_edges=sum(ddm.traces[n].toggle_count() for n in outputs),
+        cdm_out_edges=sum(cdm.traces[n].toggle_count() for n in outputs),
+        ddm_vs_analog=ddm_vs_analog,
+        panels=panels,
+    )

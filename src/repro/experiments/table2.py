@@ -1,0 +1,119 @@
+"""Paper Table 2: CPU time — electrical vs logic simulation.
+
+Measures wall-clock seconds for the analog substitute, HALOTIS-DDM and
+HALOTIS-CDM on both operand sequences.  Absolute numbers depend on the
+host (and on Python vs the authors' C implementation); the *shape* the
+paper claims and our benchmark asserts is:
+
+* analog / DDM >= two orders of magnitude (paper: ~300x),
+* DDM is not slower than CDM (paper: DDM beats CDM because degradation
+  reduces the event count).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+from typing import Dict
+
+from ..analysis.report import Table
+from ..config import DelayMode
+from . import common
+
+
+@dataclasses.dataclass(frozen=True)
+class Table2Row:
+    label: str
+    analog_seconds: float
+    ddm_seconds: float
+    cdm_seconds: float
+
+    @property
+    def speedup_analog_over_ddm(self) -> float:
+        return self.analog_seconds / self.ddm_seconds
+
+    @property
+    def ddm_vs_cdm(self) -> float:
+        return self.ddm_seconds / self.cdm_seconds
+
+
+@dataclasses.dataclass
+class Table2Result:
+    rows: Dict[int, Table2Row]
+
+    def format(self) -> str:
+        table = Table(
+            ["sequence", "analog s", "DDM s", "CDM s", "analog/DDM", "DDM/CDM"],
+            title="Table 2 — CPU time in seconds (measured on this host)",
+        )
+        for which in sorted(self.rows):
+            row = self.rows[which]
+            table.add_row(
+                [
+                    row.label,
+                    "%.3f" % row.analog_seconds,
+                    "%.4f" % row.ddm_seconds,
+                    "%.4f" % row.cdm_seconds,
+                    "%.0fx" % row.speedup_analog_over_ddm,
+                    "%.2f" % row.ddm_vs_cdm,
+                ]
+            )
+        reference = Table(
+            ["sequence", "HSPICE s", "DDM s", "CDM s"],
+            title="Table 2 — paper reference values (authors' testbed)",
+        )
+        for which in sorted(common.PAPER_TABLE2):
+            hspice_s, ddm_s, cdm_s = common.PAPER_TABLE2[which]
+            reference.add_row(
+                [common.SEQUENCE_LABELS[which], hspice_s, ddm_s, cdm_s]
+            )
+        return table.render() + "\n\n" + reference.render()
+
+    def shape_holds(self, min_speedup: float = 100.0,
+                    ddm_cdm_slack: float = 1.25) -> bool:
+        """Analog >= ``min_speedup`` slower than DDM; DDM not slower than
+        CDM beyond measurement noise."""
+        for row in self.rows.values():
+            if row.speedup_analog_over_ddm < min_speedup:
+                return False
+            if row.ddm_vs_cdm > ddm_cdm_slack:
+                return False
+        return True
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = _time.perf_counter()
+        callable_()
+        best = min(best, _time.perf_counter() - start)
+    return best
+
+
+def run(logic_repeats: int = 3, analog_dt: float = common.ANALOG_DT) -> Table2Result:
+    """Regenerate Table 2.
+
+    Logic runs are timed best-of-``logic_repeats`` (they are in the
+    millisecond range); the analog run once (seconds).  Trace recording
+    is disabled everywhere so the comparison is pure simulation.
+    """
+    rows: Dict[int, Table2Row] = {}
+    for which in (1, 2):
+        ddm_seconds = _best_of(
+            lambda: common.run_halotis(which, DelayMode.DDM, record_traces=False),
+            logic_repeats,
+        )
+        cdm_seconds = _best_of(
+            lambda: common.run_halotis(which, DelayMode.CDM, record_traces=False),
+            logic_repeats,
+        )
+        start = _time.perf_counter()
+        common.run_analog(which, dt=analog_dt, record_stride=50)
+        analog_seconds = _time.perf_counter() - start
+        rows[which] = Table2Row(
+            label=common.SEQUENCE_LABELS[which],
+            analog_seconds=analog_seconds,
+            ddm_seconds=ddm_seconds,
+            cdm_seconds=cdm_seconds,
+        )
+    return Table2Result(rows=rows)

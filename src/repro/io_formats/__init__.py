@@ -1,0 +1,15 @@
+"""Trace export: VCD, CSV and JSON."""
+
+from .vcd import read_vcd, write_vcd
+from .csv_trace import write_analog_csv, write_trace_csv
+from .json_results import dump_results
+from .spice import write_spice
+
+__all__ = [
+    "read_vcd",
+    "write_vcd",
+    "write_analog_csv",
+    "write_trace_csv",
+    "dump_results",
+    "write_spice",
+]

@@ -1,0 +1,69 @@
+"""CSV export of digital and analog traces."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Optional, Sequence, Union
+
+from ..analog.simulator import AnalogResult
+from ..core.trace import TraceSet
+from ..errors import AnalysisError
+
+
+def write_trace_csv(
+    traces: TraceSet,
+    output: Union[str, io.TextIOBase],
+    names: Optional[Sequence[str]] = None,
+    sample_step: float = 0.05,
+) -> None:
+    """Sample digital traces on a regular grid and write one row per time.
+
+    Columns: ``time_ns`` then one 0/1 column per net.
+    """
+    selected = list(names) if names is not None else traces.names()
+    if traces.horizon <= 0.0:
+        raise AnalysisError("trace set has no simulated horizon")
+    times = []
+    t = 0.0
+    while t <= traces.horizon:
+        times.append(round(t, 9))
+        t += sample_step
+    columns = {name: traces[name].sample(times) for name in selected}
+
+    own_handle = isinstance(output, str)
+    handle = open(output, "w", newline="") if own_handle else output
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(["time_ns"] + selected)
+        for row_index, row_time in enumerate(times):
+            writer.writerow(
+                [row_time] + [columns[name][row_index] for name in selected]
+            )
+    finally:
+        if own_handle:
+            handle.close()
+
+
+def write_analog_csv(
+    result: AnalogResult,
+    output: Union[str, io.TextIOBase],
+    names: Optional[Sequence[str]] = None,
+    stride: int = 1,
+) -> None:
+    """Write analog node voltages (one row per recorded sample)."""
+    selected = list(names) if names is not None else list(result.net_columns)
+    columns = [result.net_columns[name] for name in selected]
+    own_handle = isinstance(output, str)
+    handle = open(output, "w", newline="") if own_handle else output
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(["time_ns"] + selected)
+        for row in range(0, len(result.times), stride):
+            writer.writerow(
+                ["%.6f" % result.times[row]]
+                + ["%.4f" % result.voltages[row, c] for c in columns]
+            )
+    finally:
+        if own_handle:
+            handle.close()

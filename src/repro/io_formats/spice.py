@@ -1,0 +1,198 @@
+"""SPICE netlist export.
+
+Writes a primitive netlist (INV/NAND/NOR cells) as a SPICE deck with
+level-1 MOSFET subcircuits, PWL stimulus sources derived from a
+:class:`repro.stimuli.vectors.VectorSequence`, and ``.tran`` /
+``.measure`` cards — so users with access to a real SPICE engine can
+re-run the repo's comparisons against it.
+
+The level-1 parameters are a translation of the alpha-power technology
+(threshold voltages and a KP chosen to match the saturation current at
+full drive); exact waveform equality with :mod:`repro.analog` is not the
+goal — interoperability is.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Union
+
+from ..analog.gate_dynamics import ANALOG_CELLS, analog_cell
+from ..analog.technology import Technology, default_technology
+from ..circuit.expand import is_primitive
+from ..circuit.netlist import Netlist
+from ..errors import AnalysisError
+
+#: Reference channel length (um) used for the exported devices.
+_LENGTH_UM = 0.6
+#: Reference unit width (um).
+_UNIT_WIDTH_UM = 2.4
+
+
+def _kp(tech: Technology, k: float, vth: float, alpha: float) -> float:
+    """Level-1 KP (uA/V^2) matching the alpha-power Idsat at full drive."""
+    overdrive = tech.vdd - vth
+    idsat = k * overdrive ** alpha
+    return 2.0 * idsat / (overdrive ** 2)
+
+
+def _subckt_lines(cell_name: str, tech: Technology) -> List[str]:
+    """Subcircuit body for one primitive cell."""
+    cell = analog_cell(cell_name)
+    pins = " ".join("in%d" % pin for pin in range(cell.num_inputs))
+    lines = [".subckt %s %s out vdd gnd" % (cell_name.lower(), pins)]
+    wn = cell.wn * _UNIT_WIDTH_UM
+    wp = cell.wp * _UNIT_WIDTH_UM
+    if cell.kind == "inv":
+        lines.append("mp0 out in0 vdd vdd pmos_06 w=%.2fu l=%.2fu"
+                     % (wp, _LENGTH_UM))
+        lines.append("mn0 out in0 gnd gnd nmos_06 w=%.2fu l=%.2fu"
+                     % (wn, _LENGTH_UM))
+    elif cell.kind == "nand":
+        for pin in range(cell.num_inputs):
+            lines.append(
+                "mp%d out in%d vdd vdd pmos_06 w=%.2fu l=%.2fu"
+                % (pin, pin, wp, _LENGTH_UM)
+            )
+        node_above = "out"
+        for pin in range(cell.num_inputs):
+            node_below = (
+                "gnd" if pin == cell.num_inputs - 1 else "ns%d" % pin
+            )
+            lines.append(
+                "mn%d %s in%d %s gnd nmos_06 w=%.2fu l=%.2fu"
+                % (pin, node_above, pin, node_below, wn, _LENGTH_UM)
+            )
+            node_above = node_below
+    elif cell.kind == "nor":
+        node_above = "vdd"
+        for pin in range(cell.num_inputs):
+            node_below = (
+                "out" if pin == cell.num_inputs - 1 else "ps%d" % pin
+            )
+            lines.append(
+                "mp%d %s in%d %s vdd pmos_06 w=%.2fu l=%.2fu"
+                % (pin, node_below, pin, node_above, wp, _LENGTH_UM)
+            )
+            node_above = node_below
+        for pin in range(cell.num_inputs):
+            lines.append(
+                "mn%d out in%d gnd gnd nmos_06 w=%.2fu l=%.2fu"
+                % (pin, pin, wn, _LENGTH_UM)
+            )
+    lines.append(".ends %s" % cell_name.lower())
+    return lines
+
+
+def _pwl(points: List[tuple]) -> str:
+    return "pwl(" + " ".join("%gns %gv" % (t, v) for t, v in points) + ")"
+
+
+def write_spice(
+    netlist: Netlist,
+    output: Union[str, io.TextIOBase],
+    stimulus=None,
+    technology: Optional[Technology] = None,
+    input_slew: float = 0.20,
+    tran_step_ps: float = 2.0,
+) -> None:
+    """Write ``netlist`` (primitive cells only) as a SPICE deck.
+
+    Args:
+        stimulus: optional :class:`VectorSequence`; drives primary inputs
+            with PWL sources and sizes the ``.tran`` card.  Without it,
+            inputs are tied low and a 10 ns transient is emitted.
+    """
+    if not is_primitive(netlist):
+        raise AnalysisError(
+            "SPICE export needs a primitive netlist; run "
+            "repro.circuit.expand.expand_netlist first"
+        )
+    tech = technology if technology is not None else default_technology()
+
+    used_cells = sorted({gate.cell.name for gate in netlist.gates.values()})
+    for cell_name in used_cells:
+        if cell_name not in ANALOG_CELLS:
+            raise AnalysisError("no analog model for cell %s" % cell_name)
+
+    lines: List[str] = [
+        "* %s — exported by repro.io_formats.spice" % netlist.name,
+        "* technology: %s (VDD=%.1f V)" % (tech.name, tech.vdd),
+        ".model nmos_06 nmos (level=1 vto=%.2f kp=%.1fu lambda=0.02)"
+        % (tech.vth_n, _kp(tech, tech.k_n, tech.vth_n, tech.alpha_n)),
+        ".model pmos_06 pmos (level=1 vto=-%.2f kp=%.1fu lambda=0.02)"
+        % (tech.vth_p, _kp(tech, tech.k_p, tech.vth_p, tech.alpha_p)),
+        "",
+    ]
+    for cell_name in used_cells:
+        lines.extend(_subckt_lines(cell_name, tech))
+        lines.append("")
+
+    lines.append("vdd vdd 0 dc %.1f" % tech.vdd)
+
+    # Stimulus sources.
+    horizon = 10.0
+    levels: Dict[str, float] = {}
+    waveforms: Dict[str, List[tuple]] = {}
+    if stimulus is not None:
+        horizon = stimulus.horizon + 2.0
+        initial = stimulus.initial_values(netlist)
+        for net in netlist.primary_inputs:
+            level = initial[net.name] * tech.vdd
+            levels[net.name] = level
+            waveforms[net.name] = [(0.0, level)]
+        for at_time, assignments, slew in stimulus.iter_changes():
+            ramp = slew if slew is not None else input_slew
+            for name, value in assignments.items():
+                target = value * tech.vdd
+                if abs(target - levels[name]) < 1e-12:
+                    continue
+                waveforms[name].append((at_time, levels[name]))
+                waveforms[name].append((at_time + ramp, target))
+                levels[name] = target
+    else:
+        for net in netlist.primary_inputs:
+            waveforms[net.name] = [(0.0, 0.0)]
+
+    for position, net in enumerate(netlist.primary_inputs):
+        lines.append(
+            "vin%d n_%s 0 %s" % (position, net.name, _pwl(waveforms[net.name]))
+        )
+    for net in netlist.nets.values():
+        if net.is_constant:
+            lines.append(
+                "vtie_%s n_%s 0 dc %.1f"
+                % (net.name, net.name, net.constant_value * tech.vdd)
+            )
+
+    # Gate instances; node names are prefixed to stay SPICE-safe.
+    for index, gate in enumerate(netlist.gates.values()):
+        nodes = " ".join("n_%s" % gi.net.name for gi in gate.inputs)
+        lines.append(
+            "x%d %s n_%s vdd 0 %s"
+            % (index, nodes, gate.output.name, gate.cell.name.lower())
+        )
+
+    # Explicit wire caps (pin caps are implicit in the devices).
+    for net in netlist.nets.values():
+        if net.wire_cap > 0.0:
+            lines.append(
+                "cw_%s n_%s 0 %.2ff" % (net.name, net.name, net.wire_cap)
+            )
+
+    lines.append("")
+    lines.append(".tran %.1fps %.2fns" % (tran_step_ps, horizon))
+    probes = " ".join(
+        "v(n_%s)" % net.name for net in netlist.primary_outputs
+    )
+    if probes:
+        lines.append(".print tran %s" % probes)
+    lines.append(".end")
+
+    own_handle = isinstance(output, str)
+    handle = open(output, "w") if own_handle else output
+    try:
+        handle.write("\n".join(lines) + "\n")
+    finally:
+        if own_handle:
+            handle.close()

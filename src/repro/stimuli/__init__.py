@@ -1,0 +1,20 @@
+"""Stimulus descriptions: vector sequences and pulse patterns."""
+
+from .vectors import (
+    PAPER_SEQUENCE_1,
+    PAPER_SEQUENCE_2,
+    VectorSequence,
+    multiplication_sequence,
+)
+from .patterns import glitch_pair, pulse, pulse_train, random_vectors
+
+__all__ = [
+    "VectorSequence",
+    "multiplication_sequence",
+    "PAPER_SEQUENCE_1",
+    "PAPER_SEQUENCE_2",
+    "pulse",
+    "pulse_train",
+    "glitch_pair",
+    "random_vectors",
+]

@@ -1,0 +1,130 @@
+"""Pulse and random stimulus generators.
+
+These build :class:`repro.stimuli.vectors.VectorSequence` objects for the
+glitch-centric experiments: single pulses of controlled width (the
+degradation sweep), glitch pairs, pulse trains and reproducible random
+vector streams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..errors import StimulusError
+from .vectors import VectorSequence
+
+
+def pulse(
+    name: str,
+    start: float,
+    width: float,
+    polarity: int = 1,
+    slew: Optional[float] = None,
+    background: Optional[Mapping[str, int]] = None,
+    tail: float = 5.0,
+) -> VectorSequence:
+    """A single pulse on input ``name``.
+
+    ``polarity=1`` produces a 0->1->0 pulse of the given ``width`` (the
+    time between the two ramp starts); ``polarity=0`` the complementary
+    1->0->1 dip.  ``background`` assigns the other inputs at time 0.
+    """
+    if width <= 0.0:
+        raise StimulusError("pulse width must be positive")
+    if start <= 0.0:
+        raise StimulusError("pulse start must be positive (t=0 is the DC step)")
+    if polarity not in (0, 1):
+        raise StimulusError("polarity must be 0 or 1")
+    rest = 1 - polarity
+    steps = [
+        (0.0, dict(background or {}, **{name: rest})),
+        (start, {name: polarity}),
+        (start + width, {name: rest}),
+    ]
+    return VectorSequence(steps, slew=slew, tail=tail)
+
+
+def pulse_train(
+    name: str,
+    start: float,
+    width: float,
+    spacing: float,
+    count: int,
+    polarity: int = 1,
+    slew: Optional[float] = None,
+    background: Optional[Mapping[str, int]] = None,
+    tail: float = 5.0,
+) -> VectorSequence:
+    """``count`` identical pulses; ``spacing`` is the leading-edge period.
+
+    The characterisation procedure uses trains with shrinking ``spacing``
+    to trace out the degradation curve tp(T).
+    """
+    if count < 1:
+        raise StimulusError("pulse count must be >= 1")
+    if spacing <= width:
+        raise StimulusError("spacing must exceed the pulse width")
+    rest = 1 - polarity
+    steps: list[Tuple[float, Dict[str, int]]] = [
+        (0.0, dict(background or {}, **{name: rest}))
+    ]
+    for pulse_index in range(count):
+        edge = start + pulse_index * spacing
+        steps.append((edge, {name: polarity}))
+        steps.append((edge + width, {name: rest}))
+    return VectorSequence(steps, slew=slew, tail=tail)
+
+
+def glitch_pair(
+    name: str,
+    first_start: float,
+    first_width: float,
+    gap: float,
+    second_width: float,
+    polarity: int = 1,
+    slew: Optional[float] = None,
+    background: Optional[Mapping[str, int]] = None,
+    tail: float = 5.0,
+) -> VectorSequence:
+    """Two pulses separated by ``gap`` (trailing edge to leading edge).
+
+    The canonical stimulus for observing delay degradation of the second
+    pulse as ``gap`` shrinks.
+    """
+    if gap <= 0.0:
+        raise StimulusError("gap must be positive")
+    rest = 1 - polarity
+    second_start = first_start + first_width + gap
+    steps = [
+        (0.0, dict(background or {}, **{name: rest})),
+        (first_start, {name: polarity}),
+        (first_start + first_width, {name: rest}),
+        (second_start, {name: polarity}),
+        (second_start + second_width, {name: rest}),
+    ]
+    return VectorSequence(steps, slew=slew, tail=tail)
+
+
+def random_vectors(
+    input_names: Sequence[str],
+    count: int,
+    period: float,
+    seed: int = 0,
+    slew: Optional[float] = None,
+    tail: float = 5.0,
+) -> VectorSequence:
+    """``count`` uniformly random vectors over ``input_names``.
+
+    Deterministic for a given ``seed`` (tests and benchmarks rely on it).
+    """
+    if count < 1:
+        raise StimulusError("vector count must be >= 1")
+    if period <= 0.0:
+        raise StimulusError("period must be positive")
+    generator = random.Random(seed)
+    steps = []
+    for position in range(count):
+        assignments = {name: generator.randint(0, 1) for name in input_names}
+        steps.append((position * period, assignments))
+    return VectorSequence(steps, slew=slew, tail=tail)

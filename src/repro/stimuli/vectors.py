@@ -1,0 +1,182 @@
+"""Vector sequences: timed assignments to primary inputs.
+
+A :class:`VectorSequence` is the stimulus protocol every simulator in this
+repo consumes (HALOTIS, the classical baseline and the analog engine):
+
+* ``initial_values(netlist)`` — the DC assignment at t = 0,
+* ``iter_changes()`` — ``(time, assignments, slew)`` triples, ascending,
+* ``horizon`` — the time the stimulus ends (simulators settle past it).
+
+The module also defines the paper's two multiplication sequences
+(Figures 6 and 7 / Tables 1 and 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuit.evaluate import bus_assignment
+from ..circuit.netlist import Netlist
+from ..errors import StimulusError
+
+#: The paper's Figure 6 operand sequence: 0x0, 7x7, 5xA, Ex6, FxF.
+PAPER_SEQUENCE_1: Tuple[Tuple[int, int], ...] = (
+    (0x0, 0x0),
+    (0x7, 0x7),
+    (0x5, 0xA),
+    (0xE, 0x6),
+    (0xF, 0xF),
+)
+
+#: The paper's Figure 7 operand sequence: 0x0, FxF, 0x0, FxF, 0x0.
+PAPER_SEQUENCE_2: Tuple[Tuple[int, int], ...] = (
+    (0x0, 0x0),
+    (0xF, 0xF),
+    (0x0, 0x0),
+    (0xF, 0xF),
+    (0x0, 0x0),
+)
+
+
+class VectorSequence:
+    """Timed input assignments.
+
+    Args:
+        steps: ``(time, assignments)`` pairs; times must be strictly
+            increasing and non-negative.  Steps at time 0 define the
+            initial DC state; later steps are applied as ramps.
+        slew: input ramp duration in ns applied to every change (None
+            defers to the simulator's default).
+        defaults: value for primary inputs not mentioned by any step
+            (default 0); pass ``defaults=None`` to *require* full coverage
+            at time 0.
+        horizon: stimulus end time; default is the last step time plus
+            ``tail``.
+        tail: settle margin used when ``horizon`` is not given.
+    """
+
+    def __init__(
+        self,
+        steps: Sequence[Tuple[float, Mapping[str, int]]],
+        slew: Optional[float] = None,
+        defaults: Optional[int] = 0,
+        horizon: Optional[float] = None,
+        tail: float = 5.0,
+    ):
+        if not steps:
+            raise StimulusError("a vector sequence needs at least one step")
+        ordered = sorted(steps, key=lambda step: step[0])
+        previous_time = None
+        for step_time, assignments in ordered:
+            if step_time < 0.0:
+                raise StimulusError("step times must be >= 0")
+            if previous_time is not None and step_time <= previous_time:
+                raise StimulusError("step times must be strictly increasing")
+            previous_time = step_time
+            for name, value in assignments.items():
+                if value not in (0, 1):
+                    raise StimulusError(
+                        "step at %.3f ns: %r must be 0 or 1, got %r"
+                        % (step_time, name, value)
+                    )
+        self.steps: List[Tuple[float, Dict[str, int]]] = [
+            (step_time, dict(assignments)) for step_time, assignments in ordered
+        ]
+        self.slew = slew
+        self.defaults = defaults
+        last_time = self.steps[-1][0]
+        self.horizon = horizon if horizon is not None else last_time + tail
+        if self.horizon < last_time:
+            raise StimulusError("horizon lies before the last step")
+
+    # -- protocol ------------------------------------------------------
+
+    def initial_values(self, netlist: Netlist) -> Dict[str, int]:
+        """DC assignment for every primary input of ``netlist``."""
+        values: Dict[str, int] = {}
+        if self.steps[0][0] == 0.0:
+            values.update(self.steps[0][1])
+        for net in netlist.primary_inputs:
+            if net.name not in values:
+                if self.defaults is None:
+                    raise StimulusError(
+                        "primary input %r not covered at time 0 and no "
+                        "default value configured" % net.name
+                    )
+                values[net.name] = self.defaults
+        unknown = set(values) - {net.name for net in netlist.primary_inputs}
+        if unknown:
+            raise StimulusError(
+                "stimulus drives non-primary-input nets: %s" % sorted(unknown)
+            )
+        return values
+
+    def iter_changes(self) -> Iterator[Tuple[float, Dict[str, int], Optional[float]]]:
+        """Yield every step after time 0 as ``(time, assignments, slew)``."""
+        for step_time, assignments in self.steps:
+            if step_time == 0.0:
+                continue
+            yield step_time, assignments, self.slew
+
+    # -- composition helpers --------------------------------------------
+
+    @classmethod
+    def from_bus_words(
+        cls,
+        buses: Mapping[str, Tuple[int, Sequence[int]]],
+        period: float,
+        slew: Optional[float] = None,
+        tail: float = 5.0,
+    ) -> "VectorSequence":
+        """Build a sequence from per-bus word lists.
+
+        ``buses`` maps a bus prefix to ``(width, words)``; all word lists
+        must have equal length.  Word ``k`` is applied at ``k * period``.
+        """
+        lengths = {len(words) for _width, words in buses.values()}
+        if len(lengths) != 1:
+            raise StimulusError("all buses must supply the same number of words")
+        count = lengths.pop()
+        if count == 0:
+            raise StimulusError("need at least one word")
+        if period <= 0.0:
+            raise StimulusError("period must be positive")
+        steps: List[Tuple[float, Dict[str, int]]] = []
+        for position in range(count):
+            assignments: Dict[str, int] = {}
+            for prefix, (width, words) in buses.items():
+                assignments.update(bus_assignment(prefix, width, words[position]))
+            steps.append((position * period, assignments))
+        return cls(steps, slew=slew, tail=tail)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        return "VectorSequence(%d steps, horizon=%.2f ns)" % (
+            len(self.steps),
+            self.horizon,
+        )
+
+
+def multiplication_sequence(
+    operand_pairs: Sequence[Tuple[int, int]],
+    width: int = 4,
+    period: float = 5.0,
+    slew: Optional[float] = None,
+    tail: float = 5.0,
+) -> VectorSequence:
+    """Stimulus for the Figure 5 multiplier: ``(a, b)`` words on buses
+    ``a``/``b``, one pair every ``period`` ns.
+
+    ``multiplication_sequence(PAPER_SEQUENCE_1)`` reproduces the Figure 6
+    stimulus (0x0 at 0 ns, 7x7 at 5 ns, ... on a 25 ns axis).
+    """
+    a_words = [pair[0] for pair in operand_pairs]
+    b_words = [pair[1] for pair in operand_pairs]
+    return VectorSequence.from_bus_words(
+        {"a": (width, a_words), "b": (width, b_words)},
+        period=period,
+        slew=slew,
+        tail=tail,
+    )

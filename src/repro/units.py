@@ -1,0 +1,85 @@
+"""Unit conventions and helpers.
+
+The whole library uses one fixed internal unit system, chosen so that the
+numbers involved in the paper's experiments are O(1):
+
+============  ==========  =======================================
+quantity      unit        note
+============  ==========  =======================================
+time          nanosecond  gate delays are ~0.1-1 ns in 0.6 um CMOS
+voltage       volt        VDD = 5 V for the default technology
+capacitance   femtofarad  gate input caps are ~5-20 fF
+current       microampere fF * V / ns = uA, so I = C dV/dt closes
+============  ==========  =======================================
+
+These helpers exist so that call sites can say ``5 * PS`` instead of
+``0.005`` and stay self-documenting.  They are plain floats, not a unit
+system; nothing stops you from adding seconds to volts, so keep quantities
+in the canonical units above.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond, the canonical time unit.
+NS = 1.0
+#: One picosecond expressed in nanoseconds.
+PS = 1.0e-3
+#: One femtosecond expressed in nanoseconds.
+FS = 1.0e-6
+#: One microsecond expressed in nanoseconds.
+US = 1.0e3
+
+#: One volt, the canonical voltage unit.
+V = 1.0
+#: One millivolt expressed in volts.
+MV = 1.0e-3
+
+#: One femtofarad, the canonical capacitance unit.
+FF = 1.0
+#: One picofarad expressed in femtofarads.
+PF = 1.0e3
+
+#: Default resolution used when comparing event times for equality.
+#: Two events closer than this are considered simultaneous.
+TIME_RESOLUTION = 1.0 * FS
+
+#: Smallest positive delay the engine will schedule.  Fully degraded
+#: transitions (eq. 1 yielding ``tp <= 0``) are emitted with this delay so
+#: the downstream event-order rule can annihilate them per input.
+MIN_DELAY = 1.0 * FS
+
+
+def ns_to_ps(t_ns: float) -> float:
+    """Convert a time from nanoseconds to picoseconds."""
+    return t_ns / PS
+
+
+def ps_to_ns(t_ps: float) -> float:
+    """Convert a time from picoseconds to nanoseconds."""
+    return t_ps * PS
+
+
+def format_time(t_ns: float) -> str:
+    """Render a time in engineering form (``"1.234 ns"``, ``"12.0 ps"``).
+
+    Used by traces and reports; picks ps for sub-0.1 ns magnitudes and us
+    for >= 1000 ns.
+    """
+    magnitude = abs(t_ns)
+    if magnitude >= 1000.0:
+        return "%.3f us" % (t_ns / 1000.0)
+    if magnitude >= 0.1 or magnitude == 0.0:
+        return "%.3f ns" % t_ns
+    return "%.1f ps" % (t_ns * 1000.0)
+
+
+def format_voltage(v: float) -> str:
+    """Render a voltage (``"2.500 V"`` or ``"35.0 mV"``)."""
+    if abs(v) >= 0.1 or v == 0.0:
+        return "%.3f V" % v
+    return "%.1f mV" % (v * 1000.0)
+
+
+def times_close(a: float, b: float, resolution: float = TIME_RESOLUTION) -> bool:
+    """Return True when two times are equal within the time resolution."""
+    return abs(a - b) <= resolution

@@ -1,0 +1,110 @@
+"""Characterisation: measurements and fits (coarse grids for speed)."""
+
+import math
+
+import pytest
+
+from repro.analog import characterize as ch
+from repro.circuit.library import default_library
+from repro.errors import CharacterizationError
+
+DT = 0.004
+
+
+def test_measure_delay_matches_library_scale():
+    """The fixture measurement lands within ~40% of the shipped arc (the
+    library is a rounded fit of exactly this experiment)."""
+    measurement = ch.measure_delay(
+        "INV", 0, output_rising=False, extra_load=20.0, tau_in=0.2, dt=DT
+    )
+    arc = default_library().get("INV").arc(0, False)
+    predicted = arc.delay(measurement.c_load, 0.2)
+    assert measurement.tp0 == pytest.approx(predicted, rel=0.4)
+    assert measurement.tau_out > 0
+
+
+def test_measure_delay_load_sensitivity():
+    light = ch.measure_delay("INV", 0, True, extra_load=0.0, tau_in=0.2, dt=DT)
+    heavy = ch.measure_delay("INV", 0, True, extra_load=60.0, tau_in=0.2, dt=DT)
+    assert heavy.tp0 > light.tp0
+    assert heavy.tau_out > light.tau_out
+
+
+def test_measure_threshold_matches_dc():
+    assert ch.measure_threshold("INV_LT", 0) == pytest.approx(1.6, abs=0.1)
+    assert ch.measure_threshold("INV_HT", 0) == pytest.approx(3.4, abs=0.1)
+
+
+def test_fit_arc_small_residual():
+    fit = ch.fit_arc(
+        "INV", 0, output_rising=True,
+        extra_loads=(0.0, 30.0), input_slews=(0.15, 0.45), dt=DT,
+    )
+    assert fit.d_load > 0
+    mean_delay = sum(p.tp0 for p in fit.points) / len(fit.points)
+    assert fit.d0 > -0.2 * mean_delay  # intercept may fit slightly negative
+    assert fit.delay_rms_error < 0.15 * mean_delay
+    assert len(fit.points) == 4
+
+
+def test_fit_degradation_on_synthetic_points():
+    """Exact recovery of (tau, T0) from noiseless eq. 1 samples."""
+    tp0, tau, t0 = 0.15, 0.30, 0.05
+    points = [
+        ch.DegradationPoint(
+            pulse_width=w,
+            elapsed=w,
+            tp=tp0 * (1.0 - math.exp(-(w - t0) / tau)),
+        )
+        for w in (0.08, 0.12, 0.2, 0.3, 0.5, 0.8)
+    ]
+    fitted_tau, fitted_t0 = ch.fit_degradation(points, tp0)
+    assert fitted_tau == pytest.approx(tau, rel=1e-6)
+    assert fitted_t0 == pytest.approx(t0, abs=1e-6)
+
+
+def test_fit_degradation_needs_degraded_points():
+    points = [ch.DegradationPoint(1.0, 1.0, 0.2)]
+    with pytest.raises(CharacterizationError):
+        ch.fit_degradation(points, tp0=0.1)  # tp >= tp0: no signal
+
+
+def test_degradation_curve_measured_on_inverter():
+    fit = ch.fit_degradation_curve(
+        "INV", 0, output_rising=True, extra_load=20.0, tau_in=0.2, dt=DT,
+        pulse_widths=(0.2, 0.24, 0.3, 0.4, 0.6, 1.0),
+    )
+    assert fit.tau > 0
+    assert fit.tp0 > 0
+    assert len(fit.points) >= 2
+    # The curve must actually collapse for the narrowest pulses.
+    narrowest = min(fit.points, key=lambda p: p.elapsed)
+    assert narrowest.tp < 0.9 * fit.tp0
+    # Prediction at a wide spacing approaches tp0.
+    assert fit.predicted_tp(5.0) == pytest.approx(fit.tp0, rel=0.01)
+
+
+def test_fit_degradation_coefficients_roundtrip():
+    """A/B/C recovered from fits built with known eq. 2/3 parameters."""
+    vdd = 5.0
+    a_true, b_true, c_true = 0.02, 0.004, 1.0
+
+    def fake_fit(c_load, tau_in):
+        tau = vdd * (a_true + b_true * c_load)
+        t0 = (0.5 - c_true / vdd) * tau_in
+        return ch.DegradationFit(
+            cell="INV", pin=0, output_rising=True, c_load=c_load,
+            tau_in=tau_in, tp0=0.15, tau=tau, t0=t0, points=(),
+        )
+
+    over_load = [fake_fit(cl, 0.2) for cl in (10.0, 30.0, 60.0)]
+    over_slew = [fake_fit(20.0, s) for s in (0.1, 0.3, 0.6)]
+    a, b, c = ch.fit_degradation_coefficients(over_load, over_slew, vdd)
+    assert a == pytest.approx(a_true, rel=1e-6)
+    assert b == pytest.approx(b_true, rel=1e-6)
+    assert c == pytest.approx(c_true, rel=1e-6)
+
+
+def test_fit_degradation_coefficients_input_checks():
+    with pytest.raises(CharacterizationError):
+        ch.fit_degradation_coefficients([], [], 5.0)

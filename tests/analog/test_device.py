@@ -1,0 +1,115 @@
+"""Alpha-power-law MOSFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analog.device import (
+    MosfetParams,
+    dc_inverter_threshold,
+    mosfet_current,
+)
+from repro.analog.technology import default_technology
+
+TECH = default_technology()
+NMOS = MosfetParams.nmos(TECH)
+PMOS = MosfetParams.pmos(TECH)
+
+
+def test_off_below_threshold():
+    assert mosfet_current(NMOS, 0.5, 2.0, 1.0) == 0.0
+    assert mosfet_current(NMOS, TECH.vth_n, 2.0, 1.0) == 0.0
+
+
+def test_zero_vds_zero_current():
+    assert mosfet_current(NMOS, 5.0, 0.0, 1.0) == 0.0
+
+
+def test_negative_vds_clamped():
+    assert mosfet_current(NMOS, 5.0, -1.0, 1.0) == 0.0
+
+
+def test_saturation_plateau():
+    deep = mosfet_current(NMOS, 5.0, 4.0, 1.0)
+    deeper = mosfet_current(NMOS, 5.0, 5.0, 1.0)
+    assert deep == pytest.approx(deeper)
+    expected = TECH.k_n * (5.0 - TECH.vth_n) ** TECH.alpha_n
+    assert deep == pytest.approx(expected)
+
+
+def test_linear_region_below_saturation():
+    vov = 5.0 - TECH.vth_n
+    vdsat = TECH.kv_n * vov ** (0.5 * TECH.alpha_n)
+    shallow = mosfet_current(NMOS, 5.0, 0.25 * vdsat, 1.0)
+    saturated = mosfet_current(NMOS, 5.0, 2.0 * vdsat, 1.0)
+    assert 0.0 < shallow < saturated
+
+
+def test_width_scales_linearly():
+    single = mosfet_current(NMOS, 4.0, 2.0, 1.0)
+    double = mosfet_current(NMOS, 4.0, 2.0, 2.0)
+    assert double == pytest.approx(2.0 * single)
+
+
+def test_vectorised_shapes():
+    vgs = np.array([0.0, 2.0, 5.0])
+    vds = np.array([1.0, 1.0, 1.0])
+    currents = mosfet_current(NMOS, vgs, vds, 1.0)
+    assert currents.shape == (3,)
+    assert currents[0] == 0.0
+    assert currents[1] < currents[2]
+
+
+@given(
+    vgs1=st.floats(min_value=0.0, max_value=5.0),
+    vgs2=st.floats(min_value=0.0, max_value=5.0),
+    vds=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_monotone_in_gate_drive(vgs1, vgs2, vds):
+    low, high = sorted((vgs1, vgs2))
+    assert mosfet_current(NMOS, low, vds, 1.0) <= mosfet_current(
+        NMOS, high, vds, 1.0
+    ) + 1e-12
+
+
+@given(
+    vds1=st.floats(min_value=0.0, max_value=5.0),
+    vds2=st.floats(min_value=0.0, max_value=5.0),
+    vgs=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_monotone_in_vds(vds1, vds2, vgs):
+    low, high = sorted((vds1, vds2))
+    assert mosfet_current(NMOS, vgs, low, 1.0) <= mosfet_current(
+        NMOS, vgs, high, 1.0
+    ) + 1e-12
+
+
+def test_balanced_inverter_threshold_near_midrail():
+    threshold = dc_inverter_threshold(TECH, wn=1.0, wp=1.0)
+    assert 2.2 < threshold < 2.7
+
+
+def test_skewed_inverter_thresholds_move():
+    strong_n = dc_inverter_threshold(TECH, wn=4.0, wp=1.0)
+    strong_p = dc_inverter_threshold(TECH, wn=1.0, wp=4.0)
+    balanced = dc_inverter_threshold(TECH, wn=1.0, wp=1.0)
+    assert strong_n < balanced < strong_p
+
+
+def test_technology_validation():
+    import dataclasses
+
+    from repro.analog.technology import Technology
+    from repro.errors import LibraryError
+
+    Technology().validate()
+    bad = dataclasses.replace(Technology(), vth_n=-1.0)
+    with pytest.raises(LibraryError):
+        bad.validate()
+    bad = dataclasses.replace(Technology(), alpha_n=0.5)
+    with pytest.raises(LibraryError):
+        bad.validate()
+    bad = dataclasses.replace(Technology(), k_p=0.0)
+    with pytest.raises(LibraryError):
+        bad.validate()

@@ -1,0 +1,103 @@
+"""Analog gate models: current composition and DC thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.analog.gate_dynamics import (
+    ANALOG_CELLS,
+    analog_cell,
+    dc_threshold,
+    output_current,
+)
+from repro.analog.technology import default_technology
+from repro.circuit.library import default_library
+from repro.errors import LibraryError
+
+TECH = default_technology()
+VDD = TECH.vdd
+
+
+def _current(cell_name, vin_row, vout):
+    cell = analog_cell(cell_name)
+    vin = np.array([vin_row], dtype=float)
+    vout_arr = np.array([vout], dtype=float)
+    return float(output_current(cell, TECH, vin, vout_arr)[0])
+
+
+def test_unknown_cell_raises():
+    with pytest.raises(LibraryError):
+        analog_cell("XOR2")  # macro, no direct analog model
+
+
+def test_inverter_pulls_correct_direction():
+    assert _current("INV", [0.0], 2.5) > 0.0   # input low -> pull up
+    assert _current("INV", [5.0], 2.5) < 0.0   # input high -> pull down
+
+
+def test_inverter_equilibrium_at_rails():
+    # At the settled rail the driving device is off-ish and the leak is
+    # balanced: current magnitude is tiny compared to active drive.
+    active = abs(_current("INV", [5.0], 2.5))
+    settled = abs(_current("INV", [5.0], 0.0))
+    assert settled < 0.05 * active
+
+
+def test_nand_needs_all_inputs_high():
+    assert _current("NAND2", [5.0, 5.0], 2.5) < 0.0
+    assert _current("NAND2", [5.0, 0.0], 2.5) > 0.0
+    assert _current("NAND2", [0.0, 0.0], 2.5) > 0.0
+
+
+def test_nand_stack_weakest_input_dominates():
+    strong = _current("NAND2", [5.0, 5.0], 2.5)
+    weak = _current("NAND2", [5.0, 3.0], 2.5)
+    assert strong < weak < 0.0 or abs(weak) < abs(strong)
+
+
+def test_nor_any_input_high_pulls_down():
+    assert _current("NOR2", [0.0, 0.0], 2.5) > 0.0
+    assert _current("NOR2", [5.0, 0.0], 2.5) < 0.0
+    assert _current("NOR2", [0.0, 5.0], 2.5) < 0.0
+
+
+def test_nand_sized_like_inverter_when_fully_on():
+    inv = _current("INV", [5.0], 2.5)
+    nand = _current("NAND2", [5.0, 5.0], 2.5)
+    assert nand == pytest.approx(inv, rel=0.05)
+
+
+def test_dc_thresholds_match_library_pins():
+    """The analog widths were chosen so each cell's DC threshold lands
+    near the library's pin VT (the self-consistency the characterisation
+    flow establishes)."""
+    library = default_library()
+    for cell_name, max_error in (
+        ("INV", 0.1), ("INV_LT", 0.1), ("INV_HT", 0.1), ("NAND2", 0.2),
+    ):
+        model = ANALOG_CELLS[cell_name]
+        measured = dc_threshold(model, TECH, 0)
+        shipped = library.get(cell_name).pins[0].vt
+        assert measured == pytest.approx(shipped, abs=max_error), cell_name
+
+
+def test_dc_threshold_pin_bounds():
+    with pytest.raises(LibraryError):
+        dc_threshold(ANALOG_CELLS["NAND2"], TECH, 5)
+
+
+def test_every_analog_cell_kind_valid():
+    for cell in ANALOG_CELLS.values():
+        assert cell.kind in ("inv", "nand", "nor")
+        assert cell.num_inputs >= 1
+        assert cell.wn > 0 and cell.wp > 0
+
+
+def test_vectorised_over_instances():
+    cell = analog_cell("NAND2")
+    vin = np.array([[5.0, 5.0], [0.0, 5.0], [5.0, 0.0]])
+    vout = np.array([2.5, 2.5, 2.5])
+    currents = output_current(cell, TECH, vin, vout)
+    assert currents.shape == (3,)
+    assert currents[0] < 0.0
+    assert currents[1] > 0.0
+    assert currents[2] > 0.0

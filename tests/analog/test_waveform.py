@@ -1,0 +1,108 @@
+"""Analog waveform measurements on synthetic traces."""
+
+import numpy as np
+import pytest
+
+from repro.analog.waveform import AnalogWaveform, delay_between
+from repro.errors import AnalysisError
+
+VDD = 5.0
+
+
+def _ramp_waveform():
+    """0 V until t=1, linear rise to 5 V at t=2, flat after."""
+    times = np.linspace(0.0, 4.0, 401)
+    values = np.clip((times - 1.0) / 1.0, 0.0, 1.0) * VDD
+    return AnalogWaveform(times, values, VDD, "ramp")
+
+
+def _pulse_waveform(width=1.0, peak=VDD):
+    """Triangle-ish pulse: rise over 0.5 ns, flat, fall over 0.5 ns."""
+    times = np.linspace(0.0, 6.0, 1201)
+    up = np.clip((times - 1.0) / 0.5, 0.0, 1.0)
+    down = np.clip((times - (1.5 + width)) / 0.5, 0.0, 1.0)
+    values = (up - down) * peak
+    return AnalogWaveform(times, values, VDD, "pulse")
+
+
+def test_constructor_validation():
+    with pytest.raises(AnalysisError):
+        AnalogWaveform(np.array([0.0]), np.array([0.0]), VDD)
+    with pytest.raises(AnalysisError):
+        AnalogWaveform(np.zeros((2, 2)), np.zeros((2, 2)), VDD)
+
+
+def test_value_at_interpolates():
+    wave = _ramp_waveform()
+    assert wave.value_at(0.5) == pytest.approx(0.0)
+    assert wave.value_at(1.5) == pytest.approx(2.5, abs=0.05)
+    assert wave.value_at(3.5) == pytest.approx(5.0)
+
+
+def test_crossing_times_directions():
+    wave = _pulse_waveform()
+    ups = wave.crossing_times(2.5, rising=True)
+    downs = wave.crossing_times(2.5, rising=False)
+    both = wave.crossing_times(2.5)
+    assert len(ups) == 1
+    assert len(downs) == 1
+    assert len(both) == 2
+    assert ups[0] < downs[0]
+    assert ups[0] == pytest.approx(1.25, abs=0.01)
+
+
+def test_window_and_extreme():
+    wave = _pulse_waveform(peak=3.0)
+    assert wave.extreme(0.0, 6.0, maximum=True) == pytest.approx(3.0, abs=0.02)
+    assert wave.extreme(0.0, 0.9, maximum=True) == pytest.approx(0.0, abs=0.01)
+    with pytest.raises(AnalysisError):
+        wave.window(2.0, 2.0001)
+
+
+def test_digitize_full_pulse():
+    wave = _pulse_waveform()
+    edges = wave.digitize()
+    assert len(edges) == 2
+    assert edges[0][1] == 1
+    assert edges[1][1] == 0
+    assert wave.initial_value() == 0
+    assert wave.value_digital_at(2.0) == 1
+    assert wave.value_digital_at(5.5) == 0
+
+
+def test_digitize_ignores_sub_hysteresis_runt():
+    """A bump that peaks below threshold+hysteresis must not register."""
+    runt = _pulse_waveform(peak=2.8)  # threshold 2.5, band 0.5 -> needs 3.0
+    assert runt.digitize() == []
+    passing = _pulse_waveform(peak=3.3)
+    assert len(passing.digitize()) == 2
+
+
+def test_digitize_custom_threshold():
+    wave = _pulse_waveform(peak=2.0)
+    assert wave.digitize(threshold=1.0) != []
+    assert wave.digitize(threshold=3.0) == []
+
+
+def test_transition_time_scaling():
+    wave = _ramp_waveform()
+    # 10-90 span of a 1 ns full ramp is 0.8 ns; scaled back to full swing.
+    assert wave.transition_time(1.5, rising=True) == pytest.approx(1.0, abs=0.02)
+
+
+def test_transition_time_missing_edge_raises():
+    wave = _ramp_waveform()
+    with pytest.raises(AnalysisError):
+        wave.transition_time(1.5, rising=False)
+
+
+def test_delay_between():
+    cause = _ramp_waveform()
+    times = cause.times
+    effect_values = np.clip((times - 1.8) / 1.0, 0.0, 1.0) * VDD
+    effect = AnalogWaveform(times, effect_values, VDD, "out")
+    cause_mid = cause.crossing_times(2.5, rising=True)[0]
+    delay = delay_between(cause, effect, cause_mid, effect_rising=True)
+    assert delay == pytest.approx(0.8, abs=0.02)
+    with pytest.raises(AnalysisError):
+        delay_between(cause, effect, cause_mid, effect_rising=False)

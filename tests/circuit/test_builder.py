@@ -1,0 +1,100 @@
+"""CircuitBuilder conveniences and validation hooks."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.errors import NetlistError, UnknownCellError
+
+
+def test_input_bus_lsb_first():
+    builder = CircuitBuilder(name="bus")
+    bus = builder.input_bus("a", 4)
+    assert [net.name for net in bus] == ["a0", "a1", "a2", "a3"]
+    assert all(net.is_primary_input for net in bus)
+
+
+def test_output_bus_renames():
+    builder = CircuitBuilder(name="obus")
+    a = builder.input("a")
+    nets = [builder.inv(a), builder.inv(a)]
+    outs = builder.output_bus(nets, "y")
+    assert [net.name for net in outs] == ["y0", "y1"]
+    assert all(net.is_primary_output for net in outs)
+
+
+def test_output_rename_conflict_rejected():
+    builder = CircuitBuilder(name="conflict")
+    a = builder.input("a")
+    y = builder.inv(a)
+    with pytest.raises(NetlistError):
+        builder.output(y, "a")
+
+
+def test_constants_are_shared():
+    builder = CircuitBuilder(name="ties")
+    assert builder.constant(0) is builder.constant(0)
+    assert builder.constant(1) is builder.constant(1)
+    assert builder.constant(0) is not builder.constant(1)
+
+
+def test_auto_names_unique():
+    builder = CircuitBuilder(name="auto")
+    a = builder.input("a")
+    first = builder.inv(a)
+    second = builder.inv(a)
+    assert first.name != second.name
+    gate_names = set(builder.netlist.gates)
+    assert len(gate_names) == 2
+
+
+def test_gate_with_explicit_output_and_name():
+    builder = CircuitBuilder(name="explicit")
+    a = builder.input("a")
+    out = builder.net("myout")
+    result = builder.gate("INV", a, output=out, name="mygate")
+    assert result is out
+    assert builder.netlist.gate("mygate").output is out
+
+
+def test_convenience_wrappers_pick_cells():
+    builder = CircuitBuilder(name="conv")
+    a = builder.input("a")
+    b = builder.input("b")
+    c = builder.input("c")
+    assert builder.nand(a, b).driver.cell.name == "NAND2"
+    assert builder.nand(a, b, c).driver.cell.name == "NAND3"
+    assert builder.nor(a, b).driver.cell.name == "NOR2"
+    assert builder.and_(a, b, c).driver.cell.name == "AND3"
+    assert builder.xor(a, b).driver.cell.name == "XOR2"
+    assert builder.mux(a, b, c).driver.cell.name == "MUX2"
+    assert builder.buf(a).driver.cell.name == "BUF"
+
+
+def test_unknown_arity_raises():
+    builder = CircuitBuilder(name="wide")
+    nets = [builder.input("i%d" % k) for k in range(5)]
+    with pytest.raises(UnknownCellError):
+        builder.nand(*nets)
+
+
+def test_build_validates_by_default():
+    builder = CircuitBuilder(name="invalid")
+    builder.input("a")
+    builder.net("floating")  # undriven internal net
+    with pytest.raises(NetlistError):
+        builder.build()
+    # The same netlist passes with checks disabled.
+    assert builder.build(check=False) is builder.netlist
+
+
+def test_build_allows_cycles_when_requested():
+    builder = CircuitBuilder(name="loop")
+    a = builder.input("en")
+    fb = builder.net("fb")
+    mid = builder.gate("NAND2", a, fb, name="g0")
+    builder.gate("INV", mid, output=fb, name="g1")
+    builder.output(fb, None)
+    with pytest.raises(NetlistError):
+        builder.build()
+    netlist = builder.build(allow_cycles=True)
+    assert netlist.has_cycle()

@@ -1,0 +1,63 @@
+"""Zero-delay evaluation and bus helpers."""
+
+import pytest
+
+from repro.circuit import modules
+from repro.circuit.evaluate import (
+    bus_assignment,
+    bus_value,
+    evaluate_netlist,
+)
+from repro.errors import InitializationError, StimulusError
+
+
+def test_missing_input_raises(c17):
+    with pytest.raises(StimulusError):
+        evaluate_netlist(c17, {"1": 0})
+
+
+def test_non_binary_input_raises(c17):
+    with pytest.raises(StimulusError):
+        evaluate_netlist(c17, {"1": 0, "2": 2, "3": 0, "6": 0, "7": 0})
+
+
+def test_unknown_input_name_raises(c17):
+    values = {"1": 0, "2": 0, "3": 0, "6": 0, "7": 0, "bogus": 1}
+    with pytest.raises(StimulusError):
+        evaluate_netlist(c17, values)
+
+
+def test_driving_internal_net_raises(c17):
+    values = {"1": 0, "2": 0, "3": 0, "6": 0, "7": 0, "10": 1}
+    with pytest.raises(StimulusError):
+        evaluate_netlist(c17, values)
+
+
+def test_constants_materialise(mult4):
+    values = dict(bus_assignment("a", 4, 0))
+    values.update(bus_assignment("b", 4, 0))
+    result = evaluate_netlist(mult4, values)
+    assert result["tie0"] == 0
+
+
+def test_relaxation_unstable_raises():
+    ring = modules.ring_oscillator(3)
+    # enable=1 -> the ring oscillates; no combinational fixpoint exists.
+    with pytest.raises(InitializationError):
+        evaluate_netlist(ring, {"en": 1}, max_iterations=50)
+    # enable=0 -> NAND output pinned to 1; stable.
+    values = evaluate_netlist(ring, {"en": 0})
+    assert values["osc"] in (0, 1)
+
+
+def test_bus_assignment_and_value_roundtrip():
+    for word in (0, 1, 9, 15):
+        assignment = bus_assignment("a", 4, word)
+        assert bus_value(assignment, "a", 4) == word
+
+
+def test_bus_assignment_range_checked():
+    with pytest.raises(StimulusError):
+        bus_assignment("a", 4, 16)
+    with pytest.raises(StimulusError):
+        bus_assignment("a", 4, -1)

@@ -1,0 +1,105 @@
+"""Macro expansion: boolean equivalence and primitive-only output."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.evaluate import evaluate_netlist
+from repro.circuit.expand import PRIMITIVE_CELLS, expand_netlist, is_primitive
+from repro.circuit import modules
+
+
+def _single_gate_netlist(cell_name, arity):
+    builder = CircuitBuilder(name="one_%s" % cell_name)
+    inputs = [builder.input("i%d" % k) for k in range(arity)]
+    out = builder.gate(cell_name, *inputs, name="dut")
+    builder.output(out, "y")
+    return builder.build()
+
+
+@pytest.mark.parametrize(
+    "cell_name,arity",
+    [
+        ("BUF", 1), ("INV", 1),
+        ("NAND2", 2), ("NAND3", 3), ("NAND4", 4),
+        ("NOR2", 2), ("NOR3", 3),
+        ("AND2", 2), ("AND3", 3),
+        ("OR2", 2), ("OR3", 3),
+        ("XOR2", 2), ("XNOR2", 2),
+        ("MUX2", 3), ("AOI21", 3), ("OAI21", 3), ("MAJ3", 3),
+    ],
+)
+def test_expansion_is_boolean_equivalent(cell_name, arity):
+    original = _single_gate_netlist(cell_name, arity)
+    expanded = expand_netlist(original)
+    assert is_primitive(expanded)
+    for bits in itertools.product((0, 1), repeat=arity):
+        values = {"i%d" % k: bit for k, bit in enumerate(bits)}
+        assert (
+            evaluate_netlist(expanded, values)["y"]
+            == evaluate_netlist(original, values)["y"]
+        ), (cell_name, bits)
+
+
+def test_expansion_preserves_interface_names():
+    original = _single_gate_netlist("MUX2", 3)
+    expanded = expand_netlist(original)
+    assert {n.name for n in expanded.primary_inputs} == {"i0", "i1", "i2"}
+    assert {n.name for n in expanded.primary_outputs} == {"y"}
+
+
+def test_expansion_of_primitive_netlist_is_isomorphic(mult4):
+    expanded = expand_netlist(mult4)
+    assert len(expanded.gates) == len(mult4.gates)
+    assert set(expanded.nets) == set(mult4.nets)
+
+
+def test_expansion_of_macro_multiplier_matches_function():
+    macro = modules.array_multiplier(3, expanded=False)
+    assert not is_primitive(macro)
+    prim = expand_netlist(macro)
+    assert is_primitive(prim)
+    from repro.circuit.evaluate import bus_assignment, bus_value
+
+    for a, b in [(0, 0), (7, 7), (3, 5), (6, 2)]:
+        values = dict(bus_assignment("a", 3, a))
+        values.update(bus_assignment("b", 3, b))
+        assert bus_value(evaluate_netlist(prim, values), "s", 6) == a * b
+
+
+def test_expansion_carries_constants():
+    builder = CircuitBuilder(name="ties")
+    a = builder.input("a")
+    tie = builder.constant(1)
+    out = builder.gate("AND2", a, tie, name="g")
+    builder.output(out, "y")
+    original = builder.build()
+    expanded = expand_netlist(original)
+    assert is_primitive(expanded)
+    for bit in (0, 1):
+        assert evaluate_netlist(expanded, {"a": bit})["y"] == bit
+
+
+def test_wide_gate_expansion():
+    """Gates wider than the library limit decompose into trees."""
+    builder = CircuitBuilder(name="wide")
+    # Build a fake wide NAND via the bench-style tree emission path by
+    # constructing an 8-input parity instead (deep XOR chain).
+    inputs = [builder.input("i%d" % k) for k in range(4)]
+    x1 = builder.xor(inputs[0], inputs[1])
+    x2 = builder.xor(inputs[2], inputs[3])
+    out = builder.xor(x1, x2)
+    builder.output(out, "y")
+    original = builder.build()
+    expanded = expand_netlist(original)
+    assert is_primitive(expanded)
+    for bits in itertools.product((0, 1), repeat=4):
+        values = {"i%d" % k: bit for k, bit in enumerate(bits)}
+        assert evaluate_netlist(expanded, values)["y"] == sum(bits) % 2
+
+
+def test_primitive_cell_set_is_analog_backed():
+    from repro.analog.gate_dynamics import ANALOG_CELLS
+
+    assert PRIMITIVE_CELLS == frozenset(ANALOG_CELLS)

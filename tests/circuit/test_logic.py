@@ -1,0 +1,101 @@
+"""Boolean evaluation: exhaustive truth tables and error paths."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.logic import GateFunction, evaluate, truth_table
+
+
+@pytest.mark.parametrize(
+    "function,arity,reference",
+    [
+        (GateFunction.BUF, 1, lambda v: v[0]),
+        (GateFunction.INV, 1, lambda v: 1 - v[0]),
+        (GateFunction.AND, 3, lambda v: int(all(v))),
+        (GateFunction.NAND, 3, lambda v: int(not all(v))),
+        (GateFunction.OR, 3, lambda v: int(any(v))),
+        (GateFunction.NOR, 3, lambda v: int(not any(v))),
+        (GateFunction.XOR, 3, lambda v: sum(v) % 2),
+        (GateFunction.XNOR, 3, lambda v: 1 - sum(v) % 2),
+        (GateFunction.MUX2, 3, lambda v: v[1] if v[2] else v[0]),
+        (GateFunction.AOI21, 3, lambda v: int(not ((v[0] and v[1]) or v[2]))),
+        (GateFunction.OAI21, 3, lambda v: int(not ((v[0] or v[1]) and v[2]))),
+        (GateFunction.MAJ3, 3, lambda v: int(sum(v) >= 2)),
+    ],
+)
+def test_exhaustive_truth_tables(function, arity, reference):
+    for values in itertools.product((0, 1), repeat=arity):
+        assert evaluate(function, values) == reference(values), (
+            function,
+            values,
+        )
+
+
+@pytest.mark.parametrize("arity", [2, 4, 5])
+def test_variadic_functions_accept_any_arity(arity):
+    ones = (1,) * arity
+    zeros = (0,) * arity
+    assert evaluate(GateFunction.AND, ones) == 1
+    assert evaluate(GateFunction.AND, zeros) == 0
+    assert evaluate(GateFunction.NOR, zeros) == 1
+    assert evaluate(GateFunction.XOR, ones) == arity % 2
+
+
+def test_fixed_arity_mismatch_raises():
+    with pytest.raises(ValueError):
+        evaluate(GateFunction.INV, (0, 1))
+    with pytest.raises(ValueError):
+        evaluate(GateFunction.MUX2, (0, 1))
+
+
+def test_empty_inputs_raise():
+    with pytest.raises(ValueError):
+        evaluate(GateFunction.AND, ())
+
+
+def test_non_binary_values_raise():
+    with pytest.raises(ValueError):
+        evaluate(GateFunction.AND, (0, 2))
+    with pytest.raises(ValueError):
+        evaluate(GateFunction.INV, (None,))
+
+
+def test_truth_table_layout():
+    # NAND2: output 1 except for input 0b11.
+    assert truth_table(GateFunction.NAND, 2) == [1, 1, 1, 0]
+    # Bit k of the index is input k: entry 0b01 means input0=1, input1=0.
+    assert truth_table(GateFunction.AND, 2) == [0, 0, 0, 1]
+
+
+def test_truth_table_fixed_arity_checked():
+    with pytest.raises(ValueError):
+        truth_table(GateFunction.MUX2, 2)
+
+
+def test_is_inverting_flags():
+    assert GateFunction.NAND.is_inverting
+    assert GateFunction.NOR.is_inverting
+    assert GateFunction.INV.is_inverting
+    assert not GateFunction.AND.is_inverting
+    assert not GateFunction.BUF.is_inverting
+    assert not GateFunction.XOR.is_inverting
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=8))
+def test_demorgan_duality(values):
+    """NAND(v) == INV(AND(v)) and NOR(v) == INV(OR(v))."""
+    conjunction = evaluate(GateFunction.AND, values)
+    disjunction = evaluate(GateFunction.OR, values)
+    assert evaluate(GateFunction.NAND, values) == 1 - conjunction
+    assert evaluate(GateFunction.NOR, values) == 1 - disjunction
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=8))
+def test_xor_xnor_complementary(values):
+    assert (
+        evaluate(GateFunction.XOR, values) + evaluate(GateFunction.XNOR, values)
+        == 1
+    )

@@ -1,0 +1,208 @@
+"""Generated circuits: functional correctness against reference models."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import modules
+from repro.circuit.evaluate import bus_assignment, bus_value, evaluate_netlist
+from repro.errors import NetlistError
+
+
+# ----------------------------------------------------------------------
+# small structures
+# ----------------------------------------------------------------------
+
+def test_inverter_chain_structure_and_function():
+    netlist = modules.inverter_chain(4)
+    assert len(netlist.gates) == 4
+    values = evaluate_netlist(netlist, {"in": 0})
+    assert values["out1"] == 1
+    assert values["out4"] == 0
+    values = evaluate_netlist(netlist, {"in": 1})
+    assert values["out4"] == 1
+
+
+def test_inverter_chain_rejects_zero_length():
+    with pytest.raises(NetlistError):
+        modules.inverter_chain(0)
+
+
+def test_fig1_circuit_interface():
+    netlist = modules.fig1_circuit()
+    assert {n.name for n in netlist.primary_outputs} == {
+        "out0", "out1", "out1c", "out2", "out2c"
+    }
+    assert netlist.gate("g1").cell.name == "INV_LT"
+    assert netlist.gate("g2").cell.name == "INV_HT"
+    # Both chains invert twice: steady state follows out0.
+    values = evaluate_netlist(netlist, {"in": 0})
+    assert values["out0"] == 1
+    assert values["out1c"] == values["out0"]
+    assert values["out2c"] == values["out0"]
+
+
+def test_c17_truth():
+    netlist = modules.c17()
+    # Reference: the standard c17 equations.
+    for bits in itertools.product((0, 1), repeat=5):
+        one, two, three, six, seven = bits
+        n10 = 1 - (one & three)
+        n11 = 1 - (three & six)
+        n16 = 1 - (two & n11)
+        n19 = 1 - (n11 & seven)
+        n22 = 1 - (n10 & n16)
+        n23 = 1 - (n16 & n19)
+        values = evaluate_netlist(
+            netlist,
+            {"1": one, "2": two, "3": three, "6": six, "7": seven},
+        )
+        assert values["22"] == n22
+        assert values["23"] == n23
+
+
+def test_rs_latch_set_reset_hold():
+    latch = modules.rs_latch()
+    # Set (s_n=0): q=1.
+    values = evaluate_netlist(latch, {"s_n": 0, "r_n": 1})
+    assert (values["q"], values["qn"]) == (1, 0)
+    # Reset (r_n=0): q=0.
+    values = evaluate_netlist(latch, {"s_n": 1, "r_n": 0})
+    assert (values["q"], values["qn"]) == (0, 1)
+    # Hold keeps the seeded state.
+    values = evaluate_netlist(
+        latch, {"s_n": 1, "r_n": 1}, seed={"q": 1, "qn": 0}
+    )
+    assert (values["q"], values["qn"]) == (1, 0)
+
+
+def test_ring_oscillator_rejects_even_or_short():
+    with pytest.raises(NetlistError):
+        modules.ring_oscillator(4)
+    with pytest.raises(NetlistError):
+        modules.ring_oscillator(1)
+    ring = modules.ring_oscillator(5)
+    assert ring.has_cycle()
+
+
+# ----------------------------------------------------------------------
+# arithmetic
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("expanded", [True, False])
+def test_full_adder_exhaustive(expanded):
+    from repro.circuit.builder import CircuitBuilder
+
+    builder = CircuitBuilder(name="fa")
+    a = builder.input("a")
+    b = builder.input("b")
+    cin = builder.input("cin")
+    total, carry = modules.full_adder_nets(builder, a, b, cin, "fa",
+                                           expanded=expanded)
+    builder.output(total, "s")
+    builder.output(carry, "co")
+    netlist = builder.build()
+    for va, vb, vc in itertools.product((0, 1), repeat=3):
+        values = evaluate_netlist(netlist, {"a": va, "b": vb, "cin": vc})
+        assert values["s"] == (va + vb + vc) % 2
+        assert values["co"] == (va + vb + vc) // 2
+
+
+@pytest.mark.parametrize("width", [1, 3, 5])
+def test_ripple_adder_random_pairs(width):
+    netlist = modules.ripple_adder(width)
+    mask = (1 << width) - 1
+    cases = [(0, 0, 0), (mask, mask, 1), (mask, 1, 0), (5 & mask, 3 & mask, 1)]
+    for a, b, cin in cases:
+        values = dict(bus_assignment("a", width, a))
+        values.update(bus_assignment("b", width, b))
+        values["cin"] = cin
+        result = evaluate_netlist(netlist, values)
+        total = bus_value(result, "s", width) | (result["cout"] << width)
+        assert total == a + b + cin
+
+
+def test_multiplier_4x4_exhaustive(mult4):
+    for a in range(16):
+        for b in range(16):
+            values = dict(bus_assignment("a", 4, a))
+            values.update(bus_assignment("b", 4, b))
+            assert bus_value(evaluate_netlist(mult4, values), "s", 8) == a * b
+
+
+def test_multiplier_is_primitive_when_expanded(mult4):
+    from repro.circuit.expand import is_primitive
+
+    assert is_primitive(mult4)
+    cells = {g.cell.name for g in mult4.gates.values()}
+    assert cells == {"INV", "NAND2"}
+    assert len(mult4.gates) == 140
+
+
+def test_multiplier_macro_variant_matches():
+    macro = modules.array_multiplier(3, expanded=False)
+    for a, b in [(0, 0), (7, 7), (5, 3), (6, 4), (1, 7)]:
+        values = dict(bus_assignment("a", 3, a))
+        values.update(bus_assignment("b", 3, b))
+        assert bus_value(evaluate_netlist(macro, values), "s", 6) == a * b
+
+
+@given(
+    width=st.integers(min_value=2, max_value=5),
+    a=st.integers(min_value=0),
+    b=st.integers(min_value=0),
+)
+def test_multiplier_widths_property(width, a, b):
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    netlist = modules.array_multiplier(width)
+    values = dict(bus_assignment("a", width, a))
+    values.update(bus_assignment("b", width, b))
+    product = bus_value(evaluate_netlist(netlist, values), "s", 2 * width)
+    assert product == a * b
+
+
+def test_multiplier_rejects_width_1():
+    with pytest.raises(NetlistError):
+        modules.array_multiplier(1)
+
+
+# ----------------------------------------------------------------------
+# other substrates
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("width", [2, 3, 8])
+def test_parity_tree(width):
+    netlist = modules.parity_tree(width)
+    for word in range(min(1 << width, 64)):
+        values = {"x%d" % k: (word >> k) & 1 for k in range(width)}
+        assert evaluate_netlist(netlist, values)["parity"] == bin(word).count("1") % 2
+
+
+def test_mux_tree_selects():
+    netlist = modules.mux_tree(2)
+    for sel in range(4):
+        for data_word in (0b1010, 0b0110):
+            values = {"d%d" % k: (data_word >> k) & 1 for k in range(4)}
+            values.update({"sel0": sel & 1, "sel1": (sel >> 1) & 1})
+            assert evaluate_netlist(netlist, values)["y"] == (data_word >> sel) & 1
+
+
+@pytest.mark.parametrize("bits", [1, 2, 3])
+def test_decoder_one_hot(bits):
+    netlist = modules.decoder(bits)
+    for code in range(1 << bits):
+        values = {"a%d" % k: (code >> k) & 1 for k in range(bits)}
+        result = evaluate_netlist(netlist, values)
+        for word in range(1 << bits):
+            assert result["y%d" % word] == (1 if word == code else 0)
+
+
+def test_decoder_bounds():
+    with pytest.raises(NetlistError):
+        modules.decoder(0)
+    with pytest.raises(NetlistError):
+        modules.decoder(4)

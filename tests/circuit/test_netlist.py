@@ -1,0 +1,148 @@
+"""Netlist structure: connectivity, loads, ordering."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Netlist
+from repro.errors import ConnectivityError, NetlistError
+
+
+def _simple():
+    builder = CircuitBuilder(name="simple")
+    a = builder.input("a")
+    b = builder.input("b")
+    y = builder.nand(a, b, name="g1")
+    z = builder.inv(y, name="g2")
+    builder.output(z, "z")
+    return builder.build()
+
+
+def test_structure_counts():
+    netlist = _simple()
+    assert len(netlist.gates) == 2
+    assert len(netlist.primary_inputs) == 2
+    assert len(netlist.primary_outputs) == 1
+    assert netlist.num_gate_inputs == 3
+
+
+def test_driver_and_fanout_links():
+    netlist = _simple()
+    g1 = netlist.gate("g1")
+    g2 = netlist.gate("g2")
+    assert g1.output.fanouts[0].gate is g2
+    assert g2.inputs[0].net is g1.output
+    assert netlist.net("a").driver is None
+    assert netlist.net("z").driver is g2
+
+
+def test_gate_input_uids_are_dense():
+    netlist = _simple()
+    uids = sorted(gi.uid for gi in netlist.iter_gate_inputs())
+    assert uids == list(range(netlist.num_gate_inputs))
+
+
+def test_net_load_sums_pins_wire_and_driver_cap(library):
+    builder = CircuitBuilder(name="loads")
+    a = builder.input("a")
+    mid = builder.net("mid", wire_cap=3.0)
+    builder.gate("INV", a, output=mid, name="drv")
+    builder.gate("NAND2", mid, mid, name="rdr")
+    builder.output(builder.net("unused_out"), None)  # placeholder net
+    netlist = builder.netlist
+    inv = library.get("INV")
+    nand2 = library.get("NAND2")
+    expected = 3.0 + 2 * nand2.pins[0].cap + inv.output_cap
+    assert netlist.net("mid").load() == pytest.approx(expected)
+
+
+def test_pi_load_counts_reader_pins(library):
+    netlist = _simple()
+    nand2 = library.get("NAND2")
+    assert netlist.net("a").load() == pytest.approx(nand2.pins[0].cap)
+
+
+def test_duplicate_names_rejected():
+    netlist = Netlist("dup")
+    netlist.add_net("x")
+    with pytest.raises(NetlistError):
+        netlist.add_net("x")
+
+
+def test_two_drivers_rejected(library):
+    builder = CircuitBuilder(name="twodrv")
+    a = builder.input("a")
+    y = builder.inv(a)
+    with pytest.raises(ConnectivityError):
+        builder.gate("INV", a, output=y)
+
+
+def test_driving_a_primary_input_rejected(library):
+    builder = CircuitBuilder(name="drvpi")
+    a = builder.input("a")
+    b = builder.input("b")
+    with pytest.raises(ConnectivityError):
+        builder.gate("INV", a, output=b)
+
+
+def test_arity_mismatch_rejected(library):
+    builder = CircuitBuilder(name="arity")
+    a = builder.input("a")
+    with pytest.raises(ConnectivityError):
+        builder.netlist.add_gate("g", library.get("NAND2"), [a], builder.net())
+
+
+def test_vt_override_applied_and_validated(library):
+    builder = CircuitBuilder(name="vt")
+    a = builder.input("a")
+    out = builder.gate("INV", a, vt_overrides={0: 3.0})
+    gate = out.driver
+    assert gate.inputs[0].vt == 3.0
+    with pytest.raises(ConnectivityError):
+        builder.gate("INV", a, vt_overrides={0: 9.0})
+
+
+def test_constants():
+    netlist = Netlist("const")
+    tie = netlist.add_constant("tie0", 0)
+    assert tie.is_constant
+    assert tie.constant_value == 0
+    with pytest.raises(NetlistError):
+        netlist.add_constant("tie2", 2)
+
+
+def test_topological_order_respects_dependencies():
+    netlist = _simple()
+    order = [g.name for g in netlist.topological_gates()]
+    assert order.index("g1") < order.index("g2")
+
+
+def test_topological_order_detects_cycles():
+    from repro.circuit import modules
+
+    latch = modules.rs_latch()
+    with pytest.raises(NetlistError):
+        latch.topological_gates()
+    assert latch.has_cycle()
+    assert not _simple().has_cycle()
+
+
+def test_unknown_lookups_raise():
+    netlist = _simple()
+    with pytest.raises(NetlistError):
+        netlist.net("nope")
+    with pytest.raises(NetlistError):
+        netlist.gate("nope")
+
+
+def test_source_nets():
+    netlist = _simple()
+    sources = {n.name for n in netlist.source_nets()}
+    assert sources == {"a", "b"}
+
+
+def test_repr_smoke():
+    netlist = _simple()
+    assert "simple" in repr(netlist)
+    assert "g1" in repr(netlist.gate("g1"))
+    assert "a" in repr(netlist.net("a"))
+    assert "g2" in repr(netlist.gate("g2").inputs[0])

@@ -1,0 +1,53 @@
+"""Structural statistics."""
+
+from repro.circuit import modules, stats
+
+
+def test_multiplier_stats(mult4):
+    summary = stats.gather(mult4)
+    assert summary.num_gates == 140
+    assert summary.cell_histogram == {"INV": 16, "NAND2": 124}
+    assert summary.num_inputs == 8
+    assert summary.num_outputs == 8
+    assert summary.logic_depth > 10
+    assert summary.max_fanout >= 4
+    assert summary.total_load_ff > 0
+
+
+def test_chain_depth():
+    chain = modules.inverter_chain(7)
+    summary = stats.gather(chain)
+    assert summary.logic_depth == 7
+    assert summary.mean_fanout <= 1.0 + 1e-9
+
+
+def test_cyclic_depth_is_minus_one():
+    latch = modules.rs_latch()
+    summary = stats.gather(latch)
+    assert summary.logic_depth == -1
+
+
+def test_format_mentions_key_numbers(mult4):
+    text = stats.gather(mult4).format()
+    assert "140" in text
+    assert "NAND2" in text
+    assert "mult4x4" in text
+
+
+def test_gates_naming_helpers():
+    from repro.circuit.gates import cell_name_for, parse_cell_name
+    from repro.circuit.logic import GateFunction
+    import pytest
+    from repro.errors import UnknownCellError
+
+    assert cell_name_for(GateFunction.NAND, 3) == "NAND3"
+    assert cell_name_for(GateFunction.INV, 1) == "INV"
+    assert parse_cell_name("NAND2") == (GateFunction.NAND, 2)
+    assert parse_cell_name("INV_LT") == (GateFunction.INV, 1)
+    assert parse_cell_name("NAND2_X2") == (GateFunction.NAND, 2)
+    with pytest.raises(UnknownCellError):
+        cell_name_for(GateFunction.NAND, 7)
+    with pytest.raises(UnknownCellError):
+        cell_name_for(GateFunction.INV, 2)
+    with pytest.raises(UnknownCellError):
+        parse_cell_name("WIBBLE9")

@@ -1,0 +1,79 @@
+"""Electrical rule checks."""
+
+import pytest
+
+from repro.circuit import validate
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Netlist
+from repro.errors import NetlistError
+
+
+def _clean():
+    builder = CircuitBuilder(name="clean")
+    a = builder.input("a")
+    builder.output(builder.inv(a), "y")
+    return builder.netlist
+
+
+def test_clean_netlist_passes():
+    report = validate.check(_clean())
+    assert report.ok
+    assert not report.findings
+    report.raise_on_error()
+
+
+def test_undriven_net_is_error():
+    netlist = _clean()
+    netlist.add_net("floating")
+    report = validate.check(netlist)
+    assert not report.ok
+    assert any(f.rule == "undriven-net" for f in report.errors)
+    with pytest.raises(NetlistError):
+        report.raise_on_error()
+
+
+def test_unread_net_is_warning():
+    builder = CircuitBuilder(name="unread")
+    a = builder.input("a")
+    builder.inv(a)  # output never read nor marked
+    report = validate.check(builder.netlist)
+    assert report.ok  # warnings only
+    assert any(f.rule == "unread-net" for f in report.warnings)
+
+
+def test_unused_input_is_warning():
+    builder = CircuitBuilder(name="unused")
+    builder.input("a")
+    b = builder.input("b")
+    builder.output(builder.inv(b), "y")
+    report = validate.check(builder.netlist)
+    assert any(f.rule == "unused-input" for f in report.warnings)
+
+
+def test_missing_interface_warnings():
+    netlist = Netlist("empty")
+    report = validate.check(netlist)
+    rules = {f.rule for f in report.warnings}
+    assert "no-inputs" in rules
+    assert "no-outputs" in rules
+
+
+def test_cycle_severity_depends_on_flag():
+    from repro.circuit import modules
+
+    latch = modules.rs_latch()
+    strict = validate.check(latch)
+    assert any(f.rule == "combinational-cycle" for f in strict.errors)
+    relaxed = validate.check(latch, allow_cycles=True)
+    assert relaxed.ok
+    assert any(f.rule == "combinational-cycle" for f in relaxed.warnings)
+
+
+def test_finding_str_format():
+    report = validate.check(_clean())
+    netlist = _clean()
+    netlist.add_net("floating2")
+    report = validate.check(netlist)
+    text = str(report.errors[0])
+    assert "undriven-net" in text
+    assert "error" in text

@@ -1,0 +1,41 @@
+"""Shared fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.circuit import modules
+from repro.circuit.library import default_library
+
+# One moderate profile for all property tests: the engine fixtures are
+# cheap but not free, and CI determinism matters more than example count.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The shared default cell library (immutable)."""
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def mult4():
+    """The Figure 5 4x4 multiplier (shared; never mutated by simulators)."""
+    return modules.array_multiplier(4)
+
+
+@pytest.fixture(scope="session")
+def c17():
+    return modules.c17()
+
+
+@pytest.fixture()
+def chain3():
+    return modules.inverter_chain(3)

@@ -1,0 +1,166 @@
+"""DDM (paper eq. 1) and CDM delay computations."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.cells import DegradationSpec, TimingArcSpec
+from repro.core.cdm import ConventionalDelayModel
+from repro.core.ddm import DegradationDelayModel
+from repro.core.delay_model import DelayRequest
+
+ARC = TimingArcSpec(
+    d0=0.10, d_load=0.002, d_slew=0.05,
+    s0=0.08, s_load=0.006, s_slew=0.04,
+    degradation=DegradationSpec(a=0.02, b=0.003, c=1.0),
+)
+VDD = 5.0
+
+
+def _request(t_event=10.0, t_last=None, c_load=20.0, tau_in=0.2):
+    return DelayRequest(
+        arc=ARC, c_load=c_load, tau_in=tau_in, vdd=VDD,
+        t_event=t_event, t_last_output=t_last,
+    )
+
+
+def _expected_tp0(c_load=20.0, tau_in=0.2):
+    return 0.10 + 0.002 * c_load + 0.05 * tau_in
+
+
+def test_cdm_is_always_conventional():
+    model = ConventionalDelayModel()
+    result = model.compute(_request(t_last=9.999))  # T tiny
+    assert result.tp == pytest.approx(_expected_tp0())
+    assert result.degradation_factor == 1.0
+    assert not result.degraded
+
+
+def test_ddm_without_history_equals_cdm():
+    ddm = DegradationDelayModel()
+    cdm = ConventionalDelayModel()
+    request = _request(t_last=None)
+    assert ddm.compute(request).tp == pytest.approx(cdm.compute(request).tp)
+    assert ddm.compute(request).degradation_factor == 1.0
+
+
+def test_ddm_matches_eq1_closed_form():
+    model = DegradationDelayModel()
+    t_event, t_last = 10.0, 9.7
+    request = _request(t_event=t_event, t_last=t_last)
+    elapsed = t_event - t_last
+    tau = VDD * (0.02 + 0.003 * 20.0)
+    t_offset = (0.5 - 1.0 / VDD) * 0.2
+    expected_factor = 1.0 - math.exp(-(elapsed - t_offset) / tau)
+    result = model.compute(request)
+    assert result.degradation_factor == pytest.approx(expected_factor)
+    assert result.tp == pytest.approx(_expected_tp0() * expected_factor)
+    assert result.degraded
+
+
+def test_ddm_fully_degraded_at_t0():
+    model = DegradationDelayModel(min_delay=1e-6)
+    t_offset = (0.5 - 1.0 / VDD) * 0.2  # 0.06 ns
+    request = _request(t_event=10.0, t_last=10.0 - 0.5 * t_offset)
+    result = model.compute(request)
+    assert result.fully_degraded
+    assert result.tp == 1e-6
+
+
+def test_ddm_negative_elapsed_fully_degrades():
+    """The previous output transition may still lie in the future."""
+    model = DegradationDelayModel()
+    result = model.compute(_request(t_event=10.0, t_last=10.5))
+    assert result.fully_degraded
+
+
+def test_ddm_recovers_for_large_t():
+    model = DegradationDelayModel()
+    result = model.compute(_request(t_event=1000.0, t_last=0.0))
+    assert result.tp == pytest.approx(_expected_tp0(), rel=1e-9)
+
+
+def test_ddm_monotone_in_elapsed_time():
+    model = DegradationDelayModel()
+    delays = [
+        model.compute(_request(t_event=10.0, t_last=10.0 - elapsed)).tp
+        for elapsed in (0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2)
+    ]
+    assert delays == sorted(delays)
+
+
+def test_ddm_slew_dependence_of_t0():
+    """Longer input ramps push T0 out (eq. 3), degrading more."""
+    model = DegradationDelayModel()
+    fast = model.compute(_request(t_last=9.8, tau_in=0.1))
+    slow = model.compute(_request(t_last=9.8, tau_in=0.8))
+    assert slow.degradation_factor < fast.degradation_factor
+
+
+def test_ddm_load_dependence_of_tau():
+    """Heavier loads stretch tau (eq. 2), slowing recovery."""
+    model = DegradationDelayModel()
+    light = model.compute(_request(t_last=9.7, c_load=5.0))
+    heavy = model.compute(_request(t_last=9.7, c_load=80.0))
+    light_factor = light.degradation_factor
+    heavy_factor = heavy.degradation_factor
+    assert heavy_factor < light_factor
+
+
+def test_degenerate_zero_tau_is_step():
+    arc = TimingArcSpec(
+        d0=0.1, d_load=0.0, d_slew=0.0, s0=0.1, s_load=0.0, s_slew=0.0,
+        degradation=DegradationSpec(a=0.0, b=0.0, c=1.0),
+    )
+    model = DegradationDelayModel()
+    before = DelayRequest(arc, 0.0, 0.2, VDD, t_event=10.0, t_last_output=9.99)
+    after = DelayRequest(arc, 0.0, 0.2, VDD, t_event=10.0, t_last_output=9.0)
+    assert model.compute(before).fully_degraded
+    assert model.compute(after).degradation_factor == 1.0
+
+
+def test_min_delay_validation():
+    with pytest.raises(ValueError):
+        DegradationDelayModel(min_delay=0.0)
+    with pytest.raises(ValueError):
+        ConventionalDelayModel(min_delay=-1.0)
+
+
+def test_result_tau_out_comes_from_arc():
+    model = DegradationDelayModel()
+    result = model.compute(_request())
+    assert result.tau_out == pytest.approx(ARC.slew(20.0, 0.2))
+
+
+@given(
+    elapsed=st.floats(min_value=1e-4, max_value=50.0),
+    c_load=st.floats(min_value=0.0, max_value=100.0),
+    tau_in=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_ddm_bounded_by_tp0(elapsed, c_load, tau_in):
+    """0 < tp <= tp0 always (the degradation only shortens delays)."""
+    model = DegradationDelayModel()
+    request = DelayRequest(
+        arc=ARC, c_load=c_load, tau_in=tau_in, vdd=VDD,
+        t_event=100.0, t_last_output=100.0 - elapsed,
+    )
+    result = model.compute(request)
+    assert 0.0 < result.tp <= result.tp0 + 1e-12
+
+
+@given(
+    e1=st.floats(min_value=1e-4, max_value=20.0),
+    e2=st.floats(min_value=1e-4, max_value=20.0),
+)
+def test_ddm_factor_monotone_property(e1, e2):
+    model = DegradationDelayModel()
+    small, large = sorted((e1, e2))
+    factor_small = model.degradation_factor(
+        _request(t_event=50.0, t_last=50.0 - small)
+    )
+    factor_large = model.degradation_factor(
+        _request(t_event=50.0, t_last=50.0 - large)
+    )
+    assert factor_small <= factor_large + 1e-12

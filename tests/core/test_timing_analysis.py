@@ -1,0 +1,94 @@
+"""Static timing analysis."""
+
+import pytest
+
+from repro.circuit import modules
+from repro.circuit.builder import CircuitBuilder
+from repro.config import cdm_config
+from repro.core.engine import simulate
+from repro.core import timing_analysis as sta
+from repro.errors import AnalysisError
+from repro.stimuli.vectors import multiplication_sequence
+
+
+def test_single_inverter_arrival_matches_arc(library):
+    builder = CircuitBuilder(name="one")
+    a = builder.input("a")
+    builder.output(builder.gate("INV", a, name="g"), "y")
+    netlist = builder.build()
+    report = sta.analyze(netlist, input_slew=0.2)
+    load = netlist.net("y").load()
+    arc_rise = library.get("INV").arc(0, True)
+    arc_fall = library.get("INV").arc(0, False)
+    assert report.arrival("y", True) == pytest.approx(arc_rise.delay(load, 0.2))
+    assert report.arrival("y", False) == pytest.approx(arc_fall.delay(load, 0.2))
+    assert report.critical_delay > 0
+
+
+def test_chain_arrivals_accumulate():
+    netlist = modules.inverter_chain(5)
+    report = sta.analyze(netlist)
+    arrivals = [
+        max(report.arrival("out%d" % k, True), report.arrival("out%d" % k, False))
+        for k in range(1, 6)
+    ]
+    assert arrivals == sorted(arrivals)
+    assert report.critical_output == "out5"
+    assert len(report.critical_path) == 5
+
+
+def test_unate_filtering_inverter_chain():
+    """Through an inverter, a rising output can only come from a falling
+    input: the rising arrival at out2 equals the falling arrival at out1
+    plus one delay, not the rising one."""
+    netlist = modules.inverter_chain(2)
+    report = sta.analyze(netlist)
+    assert report.arrival("out1", True) != report.arrival("out1", False)
+    # out2 rising derives from out1 falling.
+    gate = netlist.gate(netlist.net("out2").driver.name)
+    load = netlist.net("out2").load()
+    fall1 = report.net_timing["out1"][0]
+    expected = fall1.arrival + gate.cell.arc(0, True).delay(load, fall1.slew)
+    assert report.arrival("out2", True) == pytest.approx(expected)
+
+
+def test_constants_do_not_launch(mult4):
+    report = sta.analyze(mult4)
+    assert report.net_timing["tie0"][0].arrival == float("-inf")
+    assert report.critical_delay < float("inf")
+
+
+def test_multiplier_critical_path_fits_period(mult4):
+    """The calibration requirement behind the whole evaluation: the
+    Figure 5 multiplier settles within the paper's 5 ns vector period."""
+    report = sta.analyze(mult4, input_slew=0.2)
+    assert 1.0 < report.critical_delay < 5.0
+    assert report.critical_output in {"s%d" % k for k in range(8)}
+
+
+def test_sta_bounds_event_simulation(mult4):
+    """No committed CDM edge may arrive later than the STA bound (the
+    event kernel exercises one input vector; STA maxes over all)."""
+    report = sta.analyze(mult4, input_slew=0.2)
+    stimulus = multiplication_sequence([(0, 0), (15, 15)], period=5.0)
+    result = simulate(mult4, stimulus, config=cdm_config())
+    last_edge = max(
+        (trace.edges()[-1][0] for trace in result.traces if trace.edges()),
+        default=0.0,
+    )
+    # The vector launches at 5 ns.
+    assert last_edge - 5.0 <= report.critical_delay + 1e-6
+
+
+def test_cyclic_netlist_rejected():
+    latch = modules.rs_latch()
+    with pytest.raises(AnalysisError):
+        sta.analyze(latch)
+
+
+def test_report_format(mult4):
+    report = sta.analyze(mult4)
+    text = report.format(max_steps=5)
+    assert "critical delay" in text
+    assert "earlier steps" in text
+    assert "ns" in text

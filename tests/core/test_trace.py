@@ -1,0 +1,148 @@
+"""Net traces: edge derivation, sampling, pulse widths."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.trace import NetTrace, TraceSet
+from repro.core.transition import Transition
+from repro.errors import AnalysisError
+
+
+def _rise(t50, duration=0.2):
+    return Transition(t50=t50, duration=duration, rising=True, net_name="x")
+
+
+def _fall(t50, duration=0.2):
+    return Transition(t50=t50, duration=duration, rising=False, net_name="x")
+
+
+def test_initial_value_validated():
+    with pytest.raises(ValueError):
+        NetTrace("x", 2)
+
+
+def test_edges_simple_alternation():
+    trace = NetTrace("x", 0)
+    trace.append(_rise(1.0))
+    trace.append(_fall(2.0))
+    trace.append(_rise(3.0))
+    assert trace.edges() == [(1.0, 1), (2.0, 0), (3.0, 1)]
+    assert trace.toggle_count() == 3
+    assert trace.raw_count() == 3
+
+
+def test_edges_cancel_reversed_pair():
+    """A degraded transition scheduled not-after its predecessor removes
+    both — the zero-width-pulse rule."""
+    trace = NetTrace("x", 0)
+    trace.append(_rise(2.0))
+    trace.append(_fall(1.5))  # reversal in the past: runt pulse
+    assert trace.edges() == []
+    assert trace.toggle_count() == 0
+    assert trace.raw_count() == 2
+
+
+def test_edges_cancel_nested_runts():
+    trace = NetTrace("x", 0)
+    trace.append(_rise(1.0))
+    trace.append(_fall(3.0))
+    trace.append(_rise(2.9))   # runt pair with previous fall
+    trace.append(_fall(2.85))  # and again
+    assert trace.edges() == [(1.0, 1), (2.85, 0)]
+
+
+def test_value_at_and_sampling():
+    trace = NetTrace("x", 1)
+    trace.append(_fall(1.0))
+    trace.append(_rise(4.0))
+    assert trace.value_at(0.5) == 1
+    assert trace.value_at(1.0) == 0
+    assert trace.value_at(3.999) == 0
+    assert trace.value_at(10.0) == 1
+    assert trace.sample([0.0, 1.5, 4.5]) == [1, 0, 1]
+
+
+def test_sample_requires_sorted_times():
+    trace = NetTrace("x", 0)
+    with pytest.raises(AnalysisError):
+        trace.sample([1.0, 0.5])
+
+
+def test_pulse_widths():
+    trace = NetTrace("x", 0)
+    trace.append(_rise(1.0))
+    trace.append(_fall(1.4))
+    trace.append(_rise(5.0))
+    trace.append(_fall(7.0))
+    assert trace.pulse_widths() == pytest.approx([0.4, 3.6, 2.0])
+
+
+def test_analog_fraction_reconstruction():
+    trace = NetTrace("x", 0)
+    trace.append(_rise(1.0, duration=0.4))
+    assert trace.analog_fraction_at(0.0) == 0.0
+    assert trace.analog_fraction_at(1.0) == pytest.approx(0.5)
+    assert trace.analog_fraction_at(2.0) == 1.0
+
+
+def test_trace_set_basics():
+    traces = TraceSet(vdd=5.0)
+    trace = traces.create("a", 0)
+    assert "a" in traces
+    assert traces["a"] is trace
+    assert traces.names() == ["a"]
+    assert len(traces) == 1
+    with pytest.raises(AnalysisError):
+        traces.create("a", 0)
+    with pytest.raises(AnalysisError):
+        traces["missing"]
+
+
+def test_trace_set_word_at():
+    traces = TraceSet(vdd=5.0)
+    for bit in range(4):
+        traces.create("s%d" % bit, 0)
+    traces["s1"].append(_rise(1.0))
+    traces["s3"].append(_rise(2.0))
+    assert traces.word_at(0.5, "s", 4) == 0
+    assert traces.word_at(1.5, "s", 4) == 0b0010
+    assert traces.word_at(2.5, "s", 4) == 0b1010
+
+
+def test_trace_set_totals():
+    traces = TraceSet(vdd=5.0)
+    traces.create("a0", 0).append(_rise(1.0))
+    traces.create("b", 0)
+    traces["b"].append(_rise(1.0))
+    traces["b"].append(_fall(2.0))
+    assert traces.total_toggles() == 3
+    assert traces.total_toggles(["b"]) == 2
+    assert traces.bus_toggles("a", 1) == 1
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0),
+        min_size=0, max_size=30,
+    )
+)
+def test_edges_always_strictly_increasing_and_alternating(t50s):
+    """However adversarial the emission times, the derived digital view is
+    a legal waveform: strictly increasing times, alternating values."""
+    trace = NetTrace("x", 0)
+    rising = True
+    for t50 in t50s:
+        trace.append(
+            Transition(t50=t50, duration=0.1, rising=rising, net_name="x")
+        )
+        rising = not rising
+    edges = trace.edges()
+    times = [t for t, _v in edges]
+    values = [v for _t, v in edges]
+    assert times == sorted(times)
+    assert all(a < b for a, b in zip(times, times[1:]))
+    expected = 1
+    for value in values:
+        assert value == expected
+        expected = 1 - expected

@@ -1,0 +1,170 @@
+"""Analysis helpers: activity, comparison, rendering, tables."""
+
+import pytest
+
+from repro.analysis.activity import (
+    compare_activity,
+    glitch_count,
+    switching_energy_pj,
+    total_glitches,
+)
+from repro.analysis.ascii_art import render_bus, render_edges, render_waveforms
+from repro.analysis.compare import (
+    compare_trace_sets,
+    edge_lists_equal,
+    match_edges,
+    settled_words,
+)
+from repro.analysis.report import Table, paper_comparison
+from repro.core.stats import SimulationStatistics
+from repro.core.trace import NetTrace, TraceSet
+from repro.core.transition import Transition
+from repro.errors import AnalysisError
+
+
+def _stats(events, filtered, toggles):
+    stats = SimulationStatistics()
+    stats.events_executed = events
+    stats.events_filtered = filtered
+    stats.net_toggles = {"n": toggles}
+    return stats
+
+
+def test_compare_activity_matches_paper_row():
+    row = compare_activity("seq1", _stats(959, 27, 100), _stats(1411, 1, 150))
+    assert row.event_overestimation_percent == pytest.approx(47.1, abs=0.1)
+    assert row.toggle_overestimation_percent == pytest.approx(50.0)
+    cells = row.as_row()
+    assert cells[0] == "seq1"
+    assert cells[1] == 959
+
+
+def test_glitch_count_threshold():
+    trace = NetTrace("x", 0)
+    for t50, rising in [(1.0, True), (1.2, False), (3.0, True), (6.0, False)]:
+        trace.append(Transition(t50=t50, duration=0.1, rising=rising,
+                                net_name="x"))
+    assert glitch_count(trace, width_below=0.5) == 1
+    assert glitch_count(trace, width_below=10.0) == 3
+
+
+def test_total_glitches_and_energy():
+    traces = TraceSet(vdd=5.0)
+    trace = traces.create("x", 0)
+    trace.append(Transition(t50=1.0, duration=0.1, rising=True, net_name="x"))
+    trace.append(Transition(t50=1.1, duration=0.1, rising=False, net_name="x"))
+    assert total_glitches(traces, width_below=0.5) == 1
+    # 2 toggles * 10 fF * 25 V^2 / 2 = 250 fJ = 0.25 pJ
+    energy = switching_energy_pj(traces, {"x": 10.0}, vdd=5.0)
+    assert energy == pytest.approx(0.25)
+
+
+def test_match_edges_perfect_and_skewed():
+    a = [(1.0, 1), (2.0, 0), (3.0, 1)]
+    b = [(1.05, 1), (2.1, 0), (3.0, 1)]
+    outcome = match_edges(a, b, tolerance=0.2)
+    assert outcome.matched == 3
+    assert outcome.agreement == 1.0
+    assert outcome.mean_abs_skew == pytest.approx((0.05 + 0.1 + 0.0) / 3)
+    assert outcome.max_abs_skew == pytest.approx(0.1)
+
+
+def test_match_edges_polarity_and_tolerance():
+    a = [(1.0, 1)]
+    b = [(1.05, 0)]
+    assert match_edges(a, b, 0.2).matched == 0
+    far = [(2.0, 1)]
+    assert match_edges(a, far, 0.2).matched == 0
+    assert match_edges(a, far, 2.0).matched == 1
+
+
+def test_match_edges_counts_unmatched():
+    a = [(1.0, 1), (2.0, 0)]
+    b = [(1.0, 1)]
+    outcome = match_edges(a, b, 0.1)
+    assert outcome.matched == 1
+    assert outcome.unmatched_a == 1
+    assert outcome.unmatched_b == 0
+    assert outcome.agreement == pytest.approx(0.5)
+
+
+def test_match_edges_rejects_negative_tolerance():
+    with pytest.raises(AnalysisError):
+        match_edges([], [], -0.1)
+
+
+def test_edge_lists_equal():
+    a = [(1.0, 1), (2.0, 0)]
+    assert edge_lists_equal(a, [(1.01, 1), (1.99, 0)], 0.05)
+    assert not edge_lists_equal(a, [(1.01, 1)], 0.05)
+
+
+def test_compare_trace_sets_callable_interface():
+    edges = {"x": [(1.0, 1)], "y": []}
+    result = compare_trace_sets(
+        ["x", "y"], lambda n: edges[n], lambda n: edges[n], 0.1
+    )
+    assert result["x"].agreement == 1.0
+    assert result["y"].agreement == 1.0
+
+
+def test_settled_words_callable_interface():
+    words = {1.0: 5, 2.0: 9}
+    sampled = settled_words(
+        lambda t, p, w: words[t], [1.0, 2.0], "s", 8
+    )
+    assert sampled == [5, 9]
+
+
+def test_render_edges_shapes():
+    body = render_edges([(2.0, 1), (6.0, 0)], 0, 0.0, 8.0, 8)
+    assert len(body) == 8
+    assert body[0] == "_"
+    assert "/" in body
+    assert "\\" in body
+    assert body[-1] == "_"
+
+
+def test_render_edges_validation():
+    with pytest.raises(AnalysisError):
+        render_edges([], 0, 0.0, 1.0, 1)
+    with pytest.raises(AnalysisError):
+        render_edges([], 0, 1.0, 1.0, 10)
+
+
+def test_render_waveforms_layout():
+    text = render_waveforms(
+        {"a": (0, [(1.0, 1)]), "bb": (1, [])}, 0.0, 4.0, columns=16,
+        title="demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert lines[1].startswith("a ")
+    assert lines[2].startswith("bb")
+    assert "t/ns" in lines[-1]
+
+
+def test_render_bus():
+    text = render_bus([3, 255], [1.0, 2.0], label="s", hex_digits=2)
+    assert "03" in text
+    assert "FF" in text
+
+
+def test_table_rendering():
+    table = Table(["name", "value"], title="demo")
+    table.add_row(["x", 1.23456])
+    table.add_row(["long-name", 2])
+    text = table.render()
+    assert "demo" in text
+    assert "long-name" in text
+    assert "1.235" in text
+    markdown = table.render_markdown()
+    assert markdown.count("|") > 4
+    with pytest.raises(AnalysisError):
+        table.add_row(["only-one-cell"])
+
+
+def test_paper_comparison_block():
+    text = paper_comparison("T1", [["events", 959, 675, "yes"]])
+    assert "959" in text
+    assert "675" in text

@@ -1,0 +1,116 @@
+"""Classical event-driven baseline: semantics and correctness."""
+
+import pytest
+
+from repro.baselines.inertial_simulator import (
+    ClassicalSimulator,
+    DelaySemantics,
+    classical_simulate,
+)
+from repro.circuit import modules
+from repro.errors import SimulationError, StimulusError
+from repro.stimuli.patterns import pulse
+from repro.stimuli.vectors import VectorSequence, multiplication_sequence
+
+
+def test_requires_initialize(chain3):
+    simulator = ClassicalSimulator(chain3)
+    with pytest.raises(SimulationError):
+        simulator.run()
+    with pytest.raises(SimulationError):
+        simulator.set_input("in", 1, 0.0)
+
+
+def test_step_propagates_with_gate_delays(chain3):
+    simulator = ClassicalSimulator(chain3)
+    simulator.initialize({"in": 0})
+    simulator.set_input("in", 1, at_time=1.0)
+    simulator.run()
+    assert simulator.value("out3") == 0
+    edges = {k: simulator.edges("out%d" % k) for k in (1, 2, 3)}
+    assert all(len(e) == 1 for e in edges.values())
+    times = [edges[k][0][0] for k in (1, 2, 3)]
+    assert times == sorted(times)
+    assert times[0] > 1.0
+
+
+def test_inertial_filters_narrow_pulse_for_all_readers():
+    """The defining (wrong) behaviour: the runt disappears at the driver,
+    identically for both threshold-skewed readers."""
+    netlist = modules.fig1_circuit()
+    stimulus = pulse("in", start=2.0, width=0.22, slew=0.2)
+    result = classical_simulate(netlist, stimulus,
+                                semantics=DelaySemantics.INERTIAL)
+    low = result.edges("out1c")
+    high = result.edges("out2c")
+    # Whatever the verdict, it cannot distinguish the chains.
+    assert bool(low) == bool(high)
+
+
+def test_transport_never_filters():
+    netlist = modules.inverter_chain(4)
+    narrow = pulse("in", start=1.0, width=0.02, slew=0.2)
+    inertial = classical_simulate(netlist, narrow,
+                                  semantics=DelaySemantics.INERTIAL)
+    transport = classical_simulate(netlist, narrow,
+                                   semantics=DelaySemantics.TRANSPORT)
+    assert len(inertial.edges("out4")) == 0
+    assert len(transport.edges("out4")) == 2
+    assert inertial.stats.events_filtered > 0
+    assert transport.stats.events_filtered == 0
+
+
+def test_pulse_wider_than_delay_propagates():
+    netlist = modules.inverter_chain(4)
+    wide = pulse("in", start=1.0, width=2.0, slew=0.2)
+    result = classical_simulate(netlist, wide,
+                                semantics=DelaySemantics.INERTIAL)
+    assert len(result.edges("out4")) == 2
+
+
+def test_multiplier_products_match(mult4):
+    sequence = multiplication_sequence([(0, 0), (7, 7), (15, 15)])
+    result = classical_simulate(mult4, sequence)
+    assert result.simulator.word("s", 8) == 225
+
+
+def test_word_during_sequence(mult4):
+    simulator = ClassicalSimulator(mult4)
+    init = {"a%d" % k: 0 for k in range(4)}
+    init.update({"b%d" % k: 0 for k in range(4)})
+    simulator.initialize(init)
+    simulator.set_input("a0", 1, at_time=1.0)
+    simulator.set_input("b0", 1, at_time=1.0)
+    simulator.run()
+    assert simulator.word("s", 8) == 1
+
+
+def test_stimulus_errors(chain3):
+    simulator = ClassicalSimulator(chain3)
+    simulator.initialize({"in": 0})
+    with pytest.raises(StimulusError):
+        simulator.set_input("out1", 1, 1.0)
+    simulator.run(until=5.0)
+    with pytest.raises(StimulusError):
+        simulator.set_input("in", 1, 2.0)
+
+
+def test_rs_latch_with_seed():
+    latch = modules.rs_latch()
+    stimulus = VectorSequence(
+        [(0.0, {"s_n": 1, "r_n": 1}), (2.0, {"s_n": 0}), (4.0, {"s_n": 1})],
+        tail=4.0,
+    )
+    result = classical_simulate(latch, stimulus, seed={"q": 0, "qn": 1})
+    assert result.final_values["q"] == 1
+    assert result.final_values["qn"] == 0
+
+
+def test_run_until_and_resume(chain3):
+    simulator = ClassicalSimulator(chain3)
+    simulator.initialize({"in": 0})
+    simulator.set_input("in", 1, at_time=1.0)
+    simulator.run(until=1.01)
+    early = simulator.stats.events_executed
+    simulator.run()
+    assert simulator.stats.events_executed > early

@@ -1,0 +1,72 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "tech06" in out
+    assert "NAND2" in out
+    assert "mult4" in out
+
+
+def test_simulate_builtin(capsys):
+    assert main(["simulate", "--circuit", "c17", "--vectors", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "HALOTIS-DDM" in out
+    assert "events executed" in out
+
+
+def test_simulate_cdm_mode(capsys):
+    assert main([
+        "simulate", "--circuit", "chain8", "--vectors", "3", "--mode", "cdm",
+    ]) == 0
+    assert "HALOTIS-CDM" in capsys.readouterr().out
+
+
+def test_simulate_bench_file(tmp_path, capsys):
+    bench = tmp_path / "tiny.bench"
+    bench.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+    assert main(["simulate", "--bench", str(bench), "--vectors", "3"]) == 0
+    assert "netlist tiny" in capsys.readouterr().out
+
+
+def test_simulate_writes_vcd(tmp_path, capsys):
+    vcd = tmp_path / "waves.vcd"
+    assert main([
+        "simulate", "--circuit", "c17", "--vectors", "3", "--vcd", str(vcd),
+    ]) == 0
+    assert vcd.exists()
+    assert "$timescale" in vcd.read_text()
+
+
+def test_experiment_fig3(capsys):
+    assert main(["experiment", "fig3"]) == 0
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_experiment_table1_with_json(tmp_path, capsys):
+    out_path = tmp_path / "t1.json"
+    assert main(["experiment", "table1", "--json", str(out_path)]) == 0
+    assert "Table 1" in capsys.readouterr().out
+    payload = json.loads(out_path.read_text())
+    assert "table1" in payload
+
+
+def test_error_reported_not_raised(tmp_path, capsys):
+    missing = tmp_path / "nope.bench"
+    missing.write_text("garbage !!!")
+    code = main(["simulate", "--bench", str(missing), "--vectors", "1"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0

@@ -1,0 +1,58 @@
+"""SimulationConfig semantics."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    DelayMode,
+    InertialPolicy,
+    SimulationConfig,
+    cdm_config,
+    ddm_config,
+)
+
+
+def test_default_config_is_ddm_event_order():
+    config = SimulationConfig()
+    assert config.delay_mode is DelayMode.DDM
+    assert config.inertial_policy is InertialPolicy.EVENT_ORDER
+    config.validate()
+
+
+def test_convenience_constructors():
+    assert ddm_config().delay_mode is DelayMode.DDM
+    assert cdm_config().delay_mode is DelayMode.CDM
+
+
+def test_with_mode_changes_only_mode():
+    base = ddm_config(max_events=123, record_filtered=True)
+    other = base.with_mode(DelayMode.CDM)
+    assert other.delay_mode is DelayMode.CDM
+    assert other.max_events == 123
+    assert other.record_filtered is True
+    # the original is untouched
+    assert base.delay_mode is DelayMode.DDM
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("max_events", 0),
+        ("max_events", -5),
+        ("min_delay", 0.0),
+        ("min_delay", -1.0),
+        ("time_resolution", -1e-9),
+        ("default_input_slew", 0.0),
+    ],
+)
+def test_validate_rejects_bad_values(field, value):
+    config = dataclasses.replace(SimulationConfig(), **{field: value})
+    with pytest.raises(ValueError):
+        config.validate()
+
+
+def test_configs_are_plain_dataclasses():
+    config = SimulationConfig()
+    clone = dataclasses.replace(config)
+    assert clone == config

@@ -1,0 +1,90 @@
+"""Experiment drivers: end-to-end on reduced parameters.
+
+Full-fidelity runs live in benchmarks/; these tests keep the drivers
+honest quickly (coarser analog steps, no panels where possible).
+"""
+
+import pytest
+
+from repro.config import DelayMode
+from repro.experiments import common, fig1, fig3, fig6_fig7, table1, table2
+
+
+def test_common_fixtures():
+    assert common.expected_words(1) == [0, 49, 50, 84, 225]
+    assert common.expected_words(2) == [0, 225, 0, 225, 0]
+    assert len(common.sample_times(1)) == 5
+    assert common.output_nets()[0] == "s0"
+    assert common.multiplier_netlist() is common.multiplier_netlist()
+
+
+def test_fig3_event_ordering():
+    result = fig3.run()
+    assert [row.gate for row in result.rows] == ["G2", "G3", "G1"]
+    thresholds = [row.threshold_v for row in result.rows]
+    assert thresholds == sorted(thresholds, reverse=True)
+    times = [row.time for row in result.rows]
+    assert times == sorted(times)
+    text = result.format()
+    assert "E1" in text and "3.40" in text
+
+
+def test_fig1_default_width_reproduces_the_paper():
+    result = fig1.run(analog_dt=0.002)
+    assert result.analog_is_selective
+    assert result.iddm_matches_analog
+    assert not result.classical_matches_analog
+    assert result.vt_low < result.dip_minimum_v < result.vt_high
+    text = result.format()
+    assert "HALOTIS-IDDM" in text
+    assert "(b) analog" in result.panels
+
+
+def test_fig6_without_analog_is_fast_and_correct():
+    result = fig6_fig7.run(which=1, include_analog=False,
+                           include_panels=False)
+    assert result.ddm_words == result.expected_words
+    assert result.cdm_words == result.expected_words
+    assert result.cdm_out_edges > result.ddm_out_edges
+    assert result.analog_words is None
+    assert result.settled_ok
+
+
+def test_fig7_panels_render():
+    result = fig6_fig7.run(which=2, include_analog=False)
+    assert "(b) HALOTIS-DDM" in result.panels
+    assert "(c) HALOTIS-CDM" in result.panels
+    text = result.format()
+    assert "Figure 7" in text
+    assert "s7" in text
+
+
+def test_table1_shape():
+    result = table1.run()
+    assert result.shape_holds()
+    for row in result.rows.values():
+        assert row.cdm_events > row.ddm_events
+        assert row.ddm_filtered > row.cdm_filtered
+    text = result.format()
+    assert "paper reference" in text
+    assert "47" in text  # the paper's own number is displayed
+
+
+def test_table2_shape_with_coarse_analog():
+    result = table2.run(logic_repeats=1, analog_dt=0.01)
+    # Even a 5x coarser analog step keeps the orders-of-magnitude gap.
+    assert result.shape_holds(min_speedup=20.0, ddm_cdm_slack=1.6)
+    text = result.format()
+    assert "analog/DDM" in text
+
+
+def test_run_halotis_modes_differ():
+    ddm = common.run_halotis(1, DelayMode.DDM, record_traces=False)
+    cdm = common.run_halotis(1, DelayMode.CDM, record_traces=False)
+    assert ddm.stats.events_executed < cdm.stats.events_executed
+
+
+@pytest.mark.parametrize("which", [1, 2])
+def test_settled_words_logic(which):
+    result = common.run_halotis(which, DelayMode.DDM)
+    assert common.settled_words_logic(result, which) == common.expected_words(which)

@@ -1,0 +1,75 @@
+"""Golden-waveform regression.
+
+Pins the exact edge lists of the Figure 6 DDM run (outputs s0..s7) to a
+committed JSON file.  Any change to the kernel's event ordering, the
+delay arithmetic, the library numbers or the annihilation rule shows up
+here first — deliberately strict, because the rest of the suite asserts
+shapes, not bit-exact behaviour.
+
+If a change is *intended* (e.g. a re-characterised library), regenerate
+the golden file:
+
+    python -c "import tests.test_golden_regression as g; g.regenerate()"
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import DelayMode
+from repro.experiments import common
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_mult4_seq1_ddm.json"
+
+
+def _current():
+    result = common.run_halotis(1, DelayMode.DDM)
+    return {
+        "stats": {
+            "events_executed": result.stats.events_executed,
+            "events_filtered": result.stats.events_filtered,
+            "transitions_emitted": result.stats.transitions_emitted,
+        },
+        "edges": {
+            name: [[round(t, 9), v] for t, v in result.traces[name].edges()]
+            for name in common.output_nets()
+        },
+    }
+
+
+def regenerate() -> None:
+    payload = _current()
+    payload["description"] = (
+        "HALOTIS-DDM edge lists of the Figure 6 run "
+        "(mult4x4, sequence 0x0,7x7,5xA,Ex6,FxF, default library)"
+    )
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return _current()
+
+
+def test_stats_match_golden(golden, current):
+    assert current["stats"] == golden["stats"]
+
+
+def test_edge_counts_match_golden(golden, current):
+    for name in common.output_nets():
+        assert len(current["edges"][name]) == len(golden["edges"][name]), name
+
+
+def test_edge_lists_match_golden(golden, current):
+    for name in common.output_nets():
+        got = current["edges"][name]
+        want = golden["edges"][name]
+        for (t_got, v_got), (t_want, v_want) in zip(got, want):
+            assert v_got == v_want, name
+            assert t_got == pytest.approx(t_want, abs=1e-9), name

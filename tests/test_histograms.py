@@ -1,0 +1,85 @@
+"""Pulse-width histograms."""
+
+import pytest
+
+from repro.analysis.histograms import (
+    compare_histograms,
+    pulse_width_histogram,
+)
+from repro.core.trace import TraceSet
+from repro.core.transition import Transition
+from repro.errors import AnalysisError
+
+
+def _traces_with_pulses(widths):
+    traces = TraceSet(vdd=5.0)
+    trace = traces.create("x", 0)
+    cursor = 1.0
+    for width in widths:
+        trace.append(Transition(t50=cursor, duration=0.05, rising=True,
+                                net_name="x"))
+        trace.append(Transition(t50=cursor + width, duration=0.05,
+                                rising=False, net_name="x"))
+        cursor += width + 2.0
+    return traces
+
+
+def test_binning():
+    traces = _traces_with_pulses([0.05, 0.15, 0.15, 0.95])
+    hist = pulse_width_histogram(traces, bin_width=0.1, bins=5)
+    # pulses: 0.05, 0.15, 0.15, 0.95 plus the inter-pulse gaps (2.0) in
+    # overflow.
+    assert hist.counts[0] == 1
+    assert hist.counts[1] == 2
+    assert hist.overflow >= 1
+    assert hist.total == len(traces["x"].pulse_widths())
+
+
+def test_fraction_below():
+    traces = _traces_with_pulses([0.05, 0.05, 0.45])
+    hist = pulse_width_histogram(traces, bin_width=0.1, bins=5)
+    assert hist.fraction_below(0.1) == pytest.approx(2 / hist.total)
+    assert 0.0 <= hist.fraction_below(0.3) <= 1.0
+
+
+def test_empty_histogram():
+    traces = TraceSet(vdd=5.0)
+    traces.create("x", 0)
+    hist = pulse_width_histogram(traces, bin_width=0.1, bins=3)
+    assert hist.total == 0
+    assert hist.fraction_below(1.0) == 0.0
+
+
+def test_validation():
+    traces = TraceSet(vdd=5.0)
+    traces.create("x", 0)
+    with pytest.raises(AnalysisError):
+        pulse_width_histogram(traces, bin_width=0.0)
+    with pytest.raises(AnalysisError):
+        pulse_width_histogram(traces, bins=0)
+
+
+def test_render_and_compare():
+    traces = _traces_with_pulses([0.05, 0.15])
+    hist = pulse_width_histogram(traces, bin_width=0.1, bins=3)
+    text = hist.render()
+    assert "ns |" in text
+    assert "#" in text
+    summary = compare_histograms(hist, hist, narrow_cutoff=0.1)
+    assert "DDM" in summary and "CDM" in summary
+
+
+def test_ddm_shifts_mass_out_of_narrow_bins(mult4):
+    """Circuit-level check: CDM has more narrow-pulse mass than DDM."""
+    from repro.config import cdm_config, ddm_config
+    from repro.core.engine import simulate
+    from repro.stimuli.vectors import PAPER_SEQUENCE_2, multiplication_sequence
+
+    stimulus = multiplication_sequence(PAPER_SEQUENCE_2)
+    ddm = simulate(mult4, stimulus, config=ddm_config())
+    cdm = simulate(mult4, stimulus, config=cdm_config())
+    ddm_hist = pulse_width_histogram(ddm.traces, bin_width=0.2, bins=10)
+    cdm_hist = pulse_width_histogram(cdm.traces, bin_width=0.2, bins=10)
+    narrow_ddm = sum(ddm_hist.counts[:3])
+    narrow_cdm = sum(cdm_hist.counts[:3])
+    assert narrow_cdm > narrow_ddm

@@ -1,0 +1,140 @@
+"""Cross-module integration: the three engines against each other.
+
+These tests encode the repo's central consistency claims:
+
+* every engine settles to the same boolean answers,
+* HALOTIS delays agree with the analog substrate within model accuracy,
+* the public package surface stays importable and coherent.
+"""
+
+import itertools
+
+import pytest
+
+import repro
+from repro.analog.simulator import AnalogSimulator
+from repro.baselines.inertial_simulator import classical_simulate
+from repro.circuit import modules
+from repro.circuit.evaluate import evaluate_netlist
+from repro.config import cdm_config, ddm_config
+from repro.core.engine import simulate
+from repro.stimuli.vectors import VectorSequence, multiplication_sequence
+
+
+def test_public_api_surface():
+    assert repro.__version__ == "1.0.0"
+    netlist = repro.array_multiplier(2)
+    stimulus = repro.multiplication_sequence([(0, 0), (3, 3)], width=2)
+    result = repro.simulate(netlist, stimulus, config=repro.ddm_config())
+    assert result.final_values["s0"] == 1  # 9 = 0b1001
+    assert result.final_values["s3"] == 1
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_three_engines_agree_on_settled_c17(c17):
+    """Zero-delay logic, HALOTIS (both modes), classical and analog all
+    settle to identical outputs for every c17 input vector."""
+    names = ("1", "2", "3", "6", "7")
+    for bits in itertools.islice(itertools.product((0, 1), repeat=5), 0, 32, 5):
+        values = dict(zip(names, bits))
+        stimulus = VectorSequence([(0.0, values)], tail=3.0)
+        expected = evaluate_netlist(c17, values)
+
+        halotis = simulate(c17, stimulus, config=ddm_config())
+        classical = classical_simulate(c17, stimulus)
+        analog = AnalogSimulator(c17, dt=0.005).run(stimulus)
+
+        for out in ("22", "23"):
+            assert halotis.final_values[out] == expected[out]
+            assert classical.final_values[out] == expected[out]
+            level = analog.waveform(out).value_at(analog.times[-1])
+            assert round(level / 5.0) == expected[out]
+
+
+def test_halotis_delay_tracks_analog_on_chain():
+    """50%-50% stage delays of HALOTIS and the analog engine agree within
+    30% on an inverter chain (the library is a fit of the substrate)."""
+    netlist = modules.inverter_chain(5)
+    stimulus = VectorSequence(
+        [(0.0, {"in": 0}), (2.0, {"in": 1})], slew=0.2, tail=4.0
+    )
+    halotis = simulate(netlist, stimulus, config=ddm_config())
+    analog = AnalogSimulator(netlist, dt=0.002).run(stimulus)
+
+    for stage in range(2, 6):
+        logic_edge = halotis.traces["out%d" % stage].edges()[0][0]
+        direction = stage % 2 == 0
+        analog_edge = analog.waveform("out%d" % stage).crossing_times(
+            2.5, rising=direction
+        )[0]
+        assert logic_edge == pytest.approx(analog_edge, rel=0.3, abs=0.1)
+
+
+def test_multiplier_settles_correctly_under_random_vectors(mult4):
+    import random
+
+    generator = random.Random(42)
+    pairs = [(generator.randrange(16), generator.randrange(16))
+             for _ in range(6)]
+    stimulus = multiplication_sequence(pairs, period=5.0)
+    ddm = simulate(mult4, stimulus, config=ddm_config())
+    cdm = simulate(mult4, stimulus, config=cdm_config())
+    for index, (a, b) in enumerate(pairs):
+        at_time = (index + 1) * 5.0 - 0.1
+        assert ddm.traces.word_at(at_time, "s", 8) == a * b
+        assert cdm.traces.word_at(at_time, "s", 8) == a * b
+
+
+def test_ddm_never_slower_settling_than_cdm(mult4):
+    """Degradation only shortens delays: DDM's last output edge cannot be
+    later than CDM's."""
+    stimulus = multiplication_sequence([(0, 0), (15, 15), (0, 0)])
+    ddm = simulate(mult4, stimulus, config=ddm_config())
+    cdm = simulate(mult4, stimulus, config=cdm_config())
+
+    def last_edge(result):
+        return max(
+            (trace.edges()[-1][0] for trace in result.traces if trace.edges()),
+            default=0.0,
+        )
+
+    assert last_edge(ddm) <= last_edge(cdm) + 1e-9
+
+
+def test_expanded_bench_circuit_cross_engines(tmp_path):
+    """A .bench circuit: parse -> expand -> all engines agree settled."""
+    from repro.circuit import bench_io
+    from repro.circuit.expand import expand_netlist
+
+    text = (
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+        "m = XOR(a, b)\n"
+        "y = OR(m, c)\n"
+    )
+    macro = bench_io.read_bench(text, name="mini")
+    primitive = expand_netlist(macro)
+    for bits in itertools.product((0, 1), repeat=3):
+        values = dict(zip("abc", bits))
+        stimulus = VectorSequence([(0.0, values)], tail=3.0)
+        expected = evaluate_netlist(macro, values)["y"]
+        halotis = simulate(primitive, stimulus, config=ddm_config())
+        analog = AnalogSimulator(primitive, dt=0.005).run(stimulus)
+        assert halotis.final_values["y"] == expected
+        level = analog.waveform("y").value_at(analog.times[-1])
+        assert round(level / 5.0) == expected
+
+
+def test_vcd_of_experiment_is_loadable_text(tmp_path):
+    from repro.io_formats.vcd import write_vcd
+
+    netlist = modules.inverter_chain(3)
+    stimulus = VectorSequence(
+        [(0.0, {"in": 0}), (1.0, {"in": 1}), (3.0, {"in": 0})], tail=3.0
+    )
+    result = simulate(netlist, stimulus, config=ddm_config())
+    path = tmp_path / "chain.vcd"
+    write_vcd(result.traces, str(path))
+    content = path.read_text()
+    assert content.startswith("$comment")
+    assert content.count("$var") == len(result.traces)

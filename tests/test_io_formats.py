@@ -1,0 +1,139 @@
+"""VCD / CSV / JSON exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.circuit import modules
+from repro.config import ddm_config
+from repro.core.engine import simulate
+from repro.core.trace import TraceSet
+from repro.core.transition import Transition
+from repro.errors import AnalysisError
+from repro.io_formats.csv_trace import write_analog_csv, write_trace_csv
+from repro.io_formats.json_results import dump_results
+from repro.io_formats.vcd import _identifier, write_vcd
+from repro.stimuli.patterns import pulse
+
+
+@pytest.fixture()
+def traced_run():
+    netlist = modules.inverter_chain(3)
+    return simulate(netlist, pulse("in", start=1.0, width=2.0),
+                    config=ddm_config())
+
+
+def test_identifier_unique_and_printable():
+    seen = set()
+    for index in range(500):
+        code = _identifier(index)
+        assert code not in seen
+        seen.add(code)
+        assert all(33 <= ord(ch) <= 126 for ch in code)
+    with pytest.raises(AnalysisError):
+        _identifier(-1)
+
+
+def test_vcd_structure(traced_run):
+    buffer = io.StringIO()
+    write_vcd(traced_run.traces, buffer, module_name="chain")
+    text = buffer.getvalue()
+    assert "$timescale 1 fs $end" in text
+    assert "$scope module chain $end" in text
+    assert text.count("$var wire 1") == len(traced_run.traces)
+    assert "$dumpvars" in text
+    # Change times are monotone.
+    stamps = [int(line[1:]) for line in text.splitlines()
+              if line.startswith("#")]
+    assert stamps == sorted(stamps)
+    assert stamps  # the pulse produced activity
+
+
+def test_vcd_subset_and_unknown(traced_run, tmp_path):
+    path = tmp_path / "out.vcd"
+    write_vcd(traced_run.traces, str(path), names=["in", "out3"])
+    content = path.read_text()
+    assert content.count("$var") == 2
+    with pytest.raises(AnalysisError):
+        write_vcd(traced_run.traces, io.StringIO(), names=["missing"])
+
+
+def test_vcd_accepts_plain_mapping():
+    buffer = io.StringIO()
+    write_vcd({"x": (0, [(1.0, 1), (2.0, 0)])}, buffer)
+    text = buffer.getvalue()
+    assert "#1000000" in text  # 1 ns = 1e6 fs
+    assert "#2000000" in text
+
+
+def test_trace_csv(traced_run):
+    buffer = io.StringIO()
+    write_trace_csv(traced_run.traces, buffer, names=["in", "out1"],
+                    sample_step=0.5)
+    lines = buffer.getvalue().strip().splitlines()
+    assert lines[0] == "time_ns,in,out1"
+    assert len(lines) > 5
+    first = lines[1].split(",")
+    assert first[1] in ("0", "1")
+
+
+def test_trace_csv_requires_horizon():
+    traces = TraceSet(vdd=5.0)
+    traces.create("x", 0)
+    with pytest.raises(AnalysisError):
+        write_trace_csv(traces, io.StringIO())
+
+
+def test_analog_csv(chain3):
+    from repro.analog.simulator import AnalogSimulator
+    from repro.stimuli.vectors import VectorSequence
+
+    stimulus = VectorSequence([(0.0, {"in": 0})], tail=0.5)
+    result = AnalogSimulator(chain3, dt=0.01).run(stimulus)
+    buffer = io.StringIO()
+    write_analog_csv(result, buffer, names=["in", "out1"], stride=5)
+    lines = buffer.getvalue().strip().splitlines()
+    assert lines[0] == "time_ns,in,out1"
+    assert len(lines) >= 3
+
+
+def test_json_dump_dataclasses(tmp_path, traced_run):
+    path = tmp_path / "results.json"
+    payload = {
+        "stats": traced_run.stats,
+        "values": traced_run.final_values,
+        "tuple": (1, 2),
+    }
+    dump_results(payload, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["stats"]["events_executed"] == traced_run.stats.events_executed
+    assert loaded["tuple"] == [1, 2]
+    assert isinstance(loaded["values"], dict)
+
+
+def test_json_dump_handles_enums_and_arrays():
+    import numpy as np
+
+    from repro.config import DelayMode
+
+    buffer = io.StringIO()
+    dump_results({"mode": DelayMode.DDM, "arr": np.arange(3)}, buffer)
+    loaded = json.loads(buffer.getvalue())
+    assert loaded["mode"] == "ddm"
+    assert loaded["arr"] == [0, 1, 2]
+
+
+def test_vcd_trace_transition_roundtrip_values():
+    traces = TraceSet(vdd=5.0)
+    trace = traces.create("sig", 1)
+    trace.append(Transition(t50=1.0, duration=0.1, rising=False,
+                            net_name="sig"))
+    buffer = io.StringIO()
+    write_vcd(traces, buffer)
+    text = buffer.getvalue()
+    lines = text.splitlines()
+    dump_index = lines.index("$dumpvars")
+    assert lines[dump_index + 1].startswith("1")  # initial value 1
+    assert any(line.startswith("0") and not line.startswith("0.")
+               for line in lines[dump_index + 2:])

@@ -1,0 +1,189 @@
+"""Property-based cross-engine invariants on random circuits.
+
+A deterministic random-DAG generator builds small combinational netlists;
+hypothesis drives structure, stimulus and delay mode.  Invariants:
+
+* after every stimulus settles, the event-driven engines (DDM, CDM,
+  classical) agree with zero-delay functional evaluation on every net;
+* simulation is deterministic;
+* every recorded trace is a legal digital waveform (strictly increasing,
+  alternating edges starting from the DC value);
+* executed events at any gate input alternate in value.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.inertial_simulator import classical_simulate
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.evaluate import evaluate_netlist
+from repro.config import cdm_config, ddm_config
+from repro.core.engine import simulate
+from repro.stimuli.vectors import VectorSequence
+
+_CELL_CHOICES = [
+    ("INV", 1), ("INV_LT", 1), ("INV_HT", 1),
+    ("NAND2", 2), ("NAND3", 3), ("NOR2", 2),
+    ("AND2", 2), ("OR2", 2), ("XOR2", 2), ("MUX2", 3),
+]
+
+
+def random_netlist(seed: int, num_inputs: int, num_gates: int):
+    """A connected random combinational DAG (deterministic per seed)."""
+    generator = random.Random(seed)
+    builder = CircuitBuilder(name="rand%d" % seed)
+    nets = [builder.input("i%d" % k) for k in range(num_inputs)]
+    for index in range(num_gates):
+        cell_name, arity = generator.choice(_CELL_CHOICES)
+        operands = [generator.choice(nets) for _ in range(arity)]
+        nets.append(builder.gate(cell_name, *operands, name="g%d" % index))
+    # Mark unread nets as outputs so validation passes and everything is
+    # observable.
+    for net in list(builder.netlist.nets.values()):
+        if not net.fanouts and not net.is_primary_input:
+            builder.output(net)
+    for net in list(builder.netlist.primary_inputs):
+        if not net.fanouts:
+            builder.output(builder.buf(net, name="obs_%s" % net.name))
+    return builder.build()
+
+
+def random_stimulus(seed: int, input_names, vectors: int) -> VectorSequence:
+    generator = random.Random(seed ^ 0x5EED)
+    steps = []
+    for position in range(vectors):
+        assignments = {
+            name: generator.randint(0, 1) for name in input_names
+        }
+        steps.append((position * 4.0, assignments))
+    return VectorSequence(steps, slew=0.2, tail=6.0)
+
+
+circuit_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),   # seed
+    st.integers(min_value=1, max_value=5),        # inputs
+    st.integers(min_value=1, max_value=22),       # gates
+    st.integers(min_value=1, max_value=3),        # vectors
+)
+
+
+@settings(max_examples=25)
+@given(params=circuit_params, use_ddm=st.booleans())
+def test_settled_values_match_functional_evaluation(params, use_ddm):
+    seed, num_inputs, num_gates, vectors = params
+    netlist = random_netlist(seed, num_inputs, num_gates)
+    input_names = [net.name for net in netlist.primary_inputs]
+    stimulus = random_stimulus(seed, input_names, vectors)
+    config = ddm_config() if use_ddm else cdm_config()
+    result = simulate(netlist, stimulus, config=config)
+    final_inputs = stimulus.initial_values(netlist)
+    for _time, assignments, _slew in stimulus.iter_changes():
+        final_inputs.update(assignments)
+    expected = evaluate_netlist(netlist, final_inputs)
+    assert result.final_values == expected
+
+
+@settings(max_examples=15)
+@given(params=circuit_params)
+def test_classical_settles_like_functional_evaluation(params):
+    seed, num_inputs, num_gates, vectors = params
+    netlist = random_netlist(seed, num_inputs, num_gates)
+    input_names = [net.name for net in netlist.primary_inputs]
+    stimulus = random_stimulus(seed, input_names, vectors)
+    result = classical_simulate(netlist, stimulus)
+    final_inputs = stimulus.initial_values(netlist)
+    for _time, assignments, _slew in stimulus.iter_changes():
+        final_inputs.update(assignments)
+    assert result.final_values == evaluate_netlist(netlist, final_inputs)
+
+
+@settings(max_examples=15)
+@given(params=circuit_params)
+def test_simulation_is_deterministic(params):
+    seed, num_inputs, num_gates, vectors = params
+    netlist = random_netlist(seed, num_inputs, num_gates)
+    input_names = [net.name for net in netlist.primary_inputs]
+    stimulus = random_stimulus(seed, input_names, vectors)
+    first = simulate(netlist, stimulus, config=ddm_config())
+    second = simulate(netlist, stimulus, config=ddm_config())
+    assert first.stats.events_executed == second.stats.events_executed
+    assert first.stats.events_filtered == second.stats.events_filtered
+    for name in netlist.nets:
+        assert first.traces[name].edges() == second.traces[name].edges()
+
+
+@settings(max_examples=20)
+@given(params=circuit_params, use_ddm=st.booleans())
+def test_traces_are_legal_waveforms(params, use_ddm):
+    seed, num_inputs, num_gates, vectors = params
+    netlist = random_netlist(seed, num_inputs, num_gates)
+    input_names = [net.name for net in netlist.primary_inputs]
+    stimulus = random_stimulus(seed, input_names, vectors)
+    config = ddm_config() if use_ddm else cdm_config()
+    result = simulate(netlist, stimulus, config=config)
+    for name in netlist.nets:
+        trace = result.traces[name]
+        edges = trace.edges()
+        times = [t for t, _v in edges]
+        assert times == sorted(times)
+        assert all(b > a for a, b in zip(times, times[1:]))
+        expected_value = 1 - trace.initial_value
+        for _time, value in edges:
+            assert value == expected_value
+            expected_value = 1 - expected_value
+
+
+@settings(max_examples=15)
+@given(params=circuit_params)
+def test_executed_events_alternate_per_input(params):
+    seed, num_inputs, num_gates, vectors = params
+    netlist = random_netlist(seed, num_inputs, num_gates)
+    input_names = [net.name for net in netlist.primary_inputs]
+    stimulus = random_stimulus(seed, input_names, vectors)
+
+    from repro.core.engine import HalotisSimulator
+
+    simulator = HalotisSimulator(netlist, config=ddm_config())
+    simulator.initialize(stimulus.initial_values(netlist))
+    executed_values = {}
+    initial = stimulus.initial_values(netlist)
+    initial_values_by_uid = {}
+    for gate_input in netlist.iter_gate_inputs():
+        initial_values_by_uid[gate_input.uid] = evaluate_netlist(
+            netlist, initial
+        )[gate_input.net.name]
+
+    # Queue every stimulus change up front (the kernel's cancellation
+    # rule works on pending stacks, not on the current time), then drain
+    # event by event so the observation sees every execution.
+    for at_time, assignments, slew in stimulus.iter_changes():
+        simulator.apply_word(assignments, at_time, slew)
+    while True:
+        event = simulator.step()
+        if event is None:
+            break
+        history = executed_values.setdefault(event.gate_input.uid, [])
+        history.append(event.value)
+    for uid, history in executed_values.items():
+        expected = 1 - initial_values_by_uid[uid]
+        for value in history:
+            assert value == expected
+            expected = 1 - expected
+
+
+@settings(max_examples=10)
+@given(params=circuit_params)
+def test_ddm_events_never_exceed_cdm(params):
+    """Degradation can only remove activity, never add it (on glitch-free
+    stimuli counts can tie)."""
+    seed, num_inputs, num_gates, vectors = params
+    netlist = random_netlist(seed, num_inputs, num_gates)
+    input_names = [net.name for net in netlist.primary_inputs]
+    stimulus = random_stimulus(seed, input_names, vectors)
+    ddm = simulate(netlist, stimulus, config=ddm_config())
+    cdm = simulate(netlist, stimulus, config=cdm_config())
+    assert ddm.stats.events_executed <= cdm.stats.events_executed

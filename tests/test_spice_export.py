@@ -1,0 +1,89 @@
+"""SPICE deck export."""
+
+import io
+
+import pytest
+
+from repro.circuit import modules
+from repro.circuit.expand import expand_netlist
+from repro.errors import AnalysisError
+from repro.io_formats.spice import write_spice
+from repro.stimuli.vectors import VectorSequence
+
+
+def _deck(netlist, stimulus=None):
+    buffer = io.StringIO()
+    write_spice(netlist, buffer, stimulus=stimulus)
+    return buffer.getvalue()
+
+
+def test_rejects_macro_netlists():
+    with pytest.raises(AnalysisError):
+        write_spice(modules.parity_tree(4), io.StringIO())
+
+
+def test_inverter_chain_deck_structure(chain3):
+    text = _deck(chain3)
+    assert ".model nmos_06 nmos" in text
+    assert ".model pmos_06 pmos" in text
+    assert ".subckt inv" in text
+    assert text.count("\nx") == 3  # three gate instances
+    assert ".tran" in text
+    assert text.rstrip().endswith(".end")
+
+
+def test_nand_subckt_has_series_stack(mult4):
+    text = _deck(mult4)
+    assert ".subckt nand2 in0 in1 out vdd gnd" in text
+    # Series NMOS stack: an internal node ns0 appears.
+    section = text.split(".subckt nand2")[1].split(".ends")[0]
+    assert "ns0" in section
+    assert section.count("mp") == 2
+    assert section.count("mn") == 2
+
+
+def test_constants_become_dc_sources(mult4):
+    text = _deck(mult4)
+    assert "vtie_tie0 n_tie0 0 dc 0.0" in text
+
+
+def test_stimulus_becomes_pwl(chain3):
+    stimulus = VectorSequence(
+        [(0.0, {"in": 0}), (2.0, {"in": 1}), (4.0, {"in": 0})],
+        slew=0.25, tail=3.0,
+    )
+    text = _deck(chain3, stimulus)
+    assert "pwl(0ns 0v 2ns 0v 2.25ns 5v 4ns 5v 4.25ns 0v)" in text
+    assert ".tran 2.0ps 9.00ns" in text
+
+
+def test_outputs_probed(chain3):
+    text = _deck(chain3)
+    assert ".print tran" in text
+    assert "v(n_out3)" in text
+
+
+def test_wire_caps_emitted():
+    from repro.circuit.builder import CircuitBuilder
+
+    builder = CircuitBuilder(name="loaded")
+    a = builder.input("a")
+    out = builder.net("y", wire_cap=25.0)
+    builder.gate("INV", a, output=out, name="g")
+    builder.output(out)
+    netlist = builder.build()
+    text = _deck(netlist)
+    assert "cw_y n_y 0 25.00f" in text
+
+
+def test_expanded_macro_circuit_exports():
+    netlist = expand_netlist(modules.parity_tree(4))
+    text = _deck(netlist)
+    assert ".subckt nand2" in text
+    assert text.count("\nx") == len(netlist.gates)
+
+
+def test_file_output(tmp_path, chain3):
+    path = tmp_path / "chain.cir"
+    write_spice(chain3, str(path))
+    assert path.read_text().startswith("* inv_chain")

@@ -1,0 +1,145 @@
+"""Vector sequences and pulse patterns."""
+
+import pytest
+
+from repro.circuit import modules
+from repro.errors import StimulusError
+from repro.stimuli.patterns import glitch_pair, pulse, pulse_train, random_vectors
+from repro.stimuli.vectors import (
+    PAPER_SEQUENCE_1,
+    PAPER_SEQUENCE_2,
+    VectorSequence,
+    multiplication_sequence,
+)
+
+
+def test_paper_sequences_are_the_paper_ones():
+    assert PAPER_SEQUENCE_1 == ((0, 0), (7, 7), (5, 10), (14, 6), (15, 15))
+    assert PAPER_SEQUENCE_2 == ((0, 0), (15, 15), (0, 0), (15, 15), (0, 0))
+
+
+def test_sequence_validation():
+    with pytest.raises(StimulusError):
+        VectorSequence([])
+    with pytest.raises(StimulusError):
+        VectorSequence([(0.0, {"a": 0}), (0.0, {"a": 1})])
+    with pytest.raises(StimulusError):
+        VectorSequence([(-1.0, {"a": 0})])
+    with pytest.raises(StimulusError):
+        VectorSequence([(0.0, {"a": 2})])
+    with pytest.raises(StimulusError):
+        VectorSequence([(0.0, {"a": 0})], horizon=-1.0)
+
+
+def test_initial_values_fill_defaults(chain3):
+    sequence = VectorSequence([(1.0, {"in": 1})])
+    assert sequence.initial_values(chain3) == {"in": 0}
+
+
+def test_initial_values_strict_mode(chain3):
+    sequence = VectorSequence([(1.0, {"in": 1})], defaults=None)
+    with pytest.raises(StimulusError):
+        sequence.initial_values(chain3)
+
+
+def test_initial_values_reject_unknown_nets(chain3):
+    sequence = VectorSequence([(0.0, {"in": 0, "bogus": 1})])
+    with pytest.raises(StimulusError):
+        sequence.initial_values(chain3)
+
+
+def test_iter_changes_skips_time_zero():
+    sequence = VectorSequence(
+        [(0.0, {"a": 0}), (2.0, {"a": 1}), (4.0, {"a": 0})], slew=0.3
+    )
+    changes = list(sequence.iter_changes())
+    assert changes == [(2.0, {"a": 1}, 0.3), (4.0, {"a": 0}, 0.3)]
+
+
+def test_horizon_defaults_to_last_step_plus_tail():
+    sequence = VectorSequence([(0.0, {"a": 0}), (7.0, {"a": 1})], tail=3.0)
+    assert sequence.horizon == 10.0
+    explicit = VectorSequence([(0.0, {"a": 0})], horizon=42.0)
+    assert explicit.horizon == 42.0
+
+
+def test_from_bus_words():
+    sequence = VectorSequence.from_bus_words(
+        {"a": (2, [0, 3]), "b": (2, [1, 2])}, period=4.0
+    )
+    assert len(sequence) == 2
+    first_time, first = sequence.steps[0]
+    assert first_time == 0.0
+    assert first == {"a0": 0, "a1": 0, "b0": 1, "b1": 0}
+    second_time, second = sequence.steps[1]
+    assert second_time == 4.0
+    assert second == {"a0": 1, "a1": 1, "b0": 0, "b1": 1}
+
+
+def test_from_bus_words_validation():
+    with pytest.raises(StimulusError):
+        VectorSequence.from_bus_words({"a": (2, [0]), "b": (2, [0, 1])}, 5.0)
+    with pytest.raises(StimulusError):
+        VectorSequence.from_bus_words({"a": (2, [])}, 5.0)
+    with pytest.raises(StimulusError):
+        VectorSequence.from_bus_words({"a": (2, [0])}, 0.0)
+
+
+def test_multiplication_sequence_matches_figure6_axis():
+    sequence = multiplication_sequence(PAPER_SEQUENCE_1)
+    times = [t for t, _a in sequence.steps]
+    assert times == [0.0, 5.0, 10.0, 15.0, 20.0]
+    assert sequence.horizon == 25.0
+
+
+def test_pulse_shape():
+    stimulus = pulse("x", start=2.0, width=0.5, background={"y": 1})
+    assert stimulus.steps[0] == (0.0, {"y": 1, "x": 0})
+    assert stimulus.steps[1] == (2.0, {"x": 1})
+    assert stimulus.steps[2] == (2.5, {"x": 0})
+
+
+def test_pulse_polarity_zero():
+    stimulus = pulse("x", start=1.0, width=0.5, polarity=0)
+    assert stimulus.steps[0][1]["x"] == 1
+    assert stimulus.steps[1][1]["x"] == 0
+
+
+def test_pulse_validation():
+    with pytest.raises(StimulusError):
+        pulse("x", start=0.0, width=1.0)
+    with pytest.raises(StimulusError):
+        pulse("x", start=1.0, width=0.0)
+    with pytest.raises(StimulusError):
+        pulse("x", start=1.0, width=1.0, polarity=2)
+
+
+def test_pulse_train_steps():
+    stimulus = pulse_train("x", start=1.0, width=0.2, spacing=1.0, count=3)
+    rising = [t for t, a in stimulus.steps if a.get("x") == 1]
+    assert rising == [1.0, 2.0, 3.0]
+    with pytest.raises(StimulusError):
+        pulse_train("x", start=1.0, width=0.5, spacing=0.4, count=2)
+    with pytest.raises(StimulusError):
+        pulse_train("x", start=1.0, width=0.2, spacing=1.0, count=0)
+
+
+def test_glitch_pair_gap():
+    stimulus = glitch_pair("x", first_start=1.0, first_width=0.3, gap=0.5,
+                           second_width=0.2)
+    times = [t for t, _a in stimulus.steps]
+    assert times == [0.0, 1.0, 1.3, 1.8, 2.0]
+    with pytest.raises(StimulusError):
+        glitch_pair("x", 1.0, 0.3, 0.0, 0.2)
+
+
+def test_random_vectors_deterministic():
+    names = ["a", "b", "c"]
+    first = random_vectors(names, count=5, period=2.0, seed=7)
+    second = random_vectors(names, count=5, period=2.0, seed=7)
+    different = random_vectors(names, count=5, period=2.0, seed=8)
+    assert first.steps == second.steps
+    assert first.steps != different.steps
+    assert len(first) == 5
+    with pytest.raises(StimulusError):
+        random_vectors(names, count=0, period=1.0)

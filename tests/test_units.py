@@ -1,0 +1,36 @@
+"""Unit helpers."""
+
+from repro import units
+
+
+def test_time_constants_are_consistent():
+    assert units.PS == 1e-3 * units.NS
+    assert units.FS == 1e-6 * units.NS
+    assert units.US == 1e3 * units.NS
+
+
+def test_conversions_roundtrip():
+    assert units.ps_to_ns(units.ns_to_ps(3.25)) == 3.25
+    assert units.ns_to_ps(0.5) == 500.0
+
+
+def test_format_time_picks_sensible_scales():
+    assert units.format_time(1.5) == "1.500 ns"
+    assert units.format_time(0.012) == "12.0 ps"
+    assert units.format_time(2500.0) == "2.500 us"
+    assert units.format_time(0.0) == "0.000 ns"
+
+
+def test_format_voltage():
+    assert units.format_voltage(2.5) == "2.500 V"
+    assert units.format_voltage(0.035) == "35.0 mV"
+
+
+def test_times_close_uses_resolution():
+    assert units.times_close(1.0, 1.0 + 0.5 * units.TIME_RESOLUTION)
+    assert not units.times_close(1.0, 1.0 + 10 * units.TIME_RESOLUTION)
+    assert units.times_close(1.0, 1.1, resolution=0.2)
+
+
+def test_min_delay_positive_and_tiny():
+    assert 0.0 < units.MIN_DELAY < 1e-3

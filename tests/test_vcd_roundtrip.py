@@ -1,0 +1,112 @@
+"""VCD write -> read round trips."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import modules
+from repro.config import ddm_config
+from repro.core.engine import simulate
+from repro.errors import AnalysisError
+from repro.io_formats.vcd import read_vcd, write_vcd
+from repro.stimuli.patterns import pulse
+
+
+def _roundtrip(mapping):
+    buffer = io.StringIO()
+    write_vcd(mapping, buffer)
+    buffer.seek(0)
+    return read_vcd(buffer)
+
+
+def test_simple_roundtrip():
+    original = {
+        "a": (0, [(1.0, 1), (2.5, 0)]),
+        "b": (1, [(0.125, 0)]),
+        "quiet": (0, []),
+    }
+    recovered = _roundtrip(original)
+    assert set(recovered) == set(original)
+    for name, (initial, edges) in original.items():
+        got_initial, got_edges = recovered[name]
+        assert got_initial == initial
+        assert len(got_edges) == len(edges)
+        for (t_got, v_got), (t_want, v_want) in zip(got_edges, edges):
+            assert v_got == v_want
+            assert t_got == pytest.approx(t_want, abs=1e-6)
+
+
+def test_simulation_roundtrip():
+    netlist = modules.inverter_chain(4)
+    result = simulate(netlist, pulse("in", start=1.0, width=2.0),
+                      config=ddm_config())
+    buffer = io.StringIO()
+    write_vcd(result.traces, buffer)
+    buffer.seek(0)
+    recovered = read_vcd(buffer)
+    for trace in result.traces:
+        initial, edges = recovered[trace.net_name]
+        assert initial == trace.initial_value
+        want = trace.edges()
+        assert len(edges) == len(want)
+        for (t_got, v_got), (t_want, v_want) in zip(edges, want):
+            assert v_got == v_want
+            assert t_got == pytest.approx(t_want, abs=1e-6)
+
+
+def test_reader_rejects_vector_wires():
+    with pytest.raises(AnalysisError):
+        read_vcd(io.StringIO(
+            "$timescale 1 fs $end\n$var wire 8 ! bus $end\n"
+        ))
+
+
+def test_reader_rejects_unknown_id():
+    with pytest.raises(AnalysisError):
+        read_vcd(io.StringIO(
+            "$timescale 1 fs $end\n$var wire 1 ! a $end\n"
+            "$enddefinitions $end\n#100\n1?\n"
+        ))
+
+
+def test_reader_rejects_garbage():
+    with pytest.raises(AnalysisError):
+        read_vcd(io.StringIO("$timescale 1 fs $end\nwibble\n"))
+
+
+def test_reader_supports_ps_timescale():
+    recovered = read_vcd(io.StringIO(
+        "$timescale 1 ps $end\n"
+        "$var wire 1 ! a $end\n"
+        "$enddefinitions $end\n"
+        "$dumpvars\n0!\n$end\n"
+        "#1500\n1!\n"
+    ))
+    initial, edges = recovered["a"]
+    assert initial == 0
+    assert edges == [(1.5, 1)]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.integers(min_value=0, max_value=1),
+        ),
+        max_size=20,
+    ),
+    st.integers(min_value=0, max_value=1),
+)
+def test_roundtrip_property(raw_edges, initial):
+    edges = sorted(
+        {round(t, 4): v for t, v in raw_edges}.items()
+    )
+    recovered = _roundtrip({"sig": (initial, edges)})
+    got_initial, got_edges = recovered["sig"]
+    assert got_initial == initial
+    assert len(got_edges) == len(edges)
+    for (t_got, v_got), (t_want, v_want) in zip(got_edges, edges):
+        assert v_got == v_want
+        assert t_got == pytest.approx(t_want, abs=1e-6)
