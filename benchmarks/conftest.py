@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.engine import ENGINE_KINDS
 from repro.experiments import common
 
 
@@ -18,6 +19,12 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "analog: benchmark drives the analog (slow) engine"
     )
+
+
+@pytest.fixture(params=sorted(ENGINE_KINDS))
+def engine_kind(request):
+    """Parametrises a benchmark over every registered backend."""
+    return request.param
 
 
 @pytest.fixture(scope="session")

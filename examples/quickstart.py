@@ -1,7 +1,11 @@
 #!/usr/bin/env python
 """Quickstart: build a circuit, simulate it with the IDDM, read waveforms.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [engine_kind]
+
+``engine_kind`` is ``reference`` (default) or ``compiled``; both
+backends produce identical results (the compiled one is the fast
+array-lowered kernel).
 
 Covers the core public API in ~60 lines:
 
@@ -11,8 +15,11 @@ Covers the core public API in ~60 lines:
 4. inspect statistics, waveforms and threshold-crossing events.
 """
 
+import sys
+
 from repro import (
     CircuitBuilder,
+    ENGINE_KINDS,
     VectorSequence,
     cdm_config,
     ddm_config,
@@ -37,7 +44,13 @@ def build_demo_circuit():
     return builder.build()
 
 
-def main():
+def main(engine_kind="reference"):
+    if engine_kind not in ENGINE_KINDS:
+        raise SystemExit(
+            "unknown engine kind %r (choose from %s)"
+            % (engine_kind, sorted(ENGINE_KINDS))
+        )
+    print("engine backend: %s" % engine_kind)
     netlist = build_demo_circuit()
 
     # b pulses low for 0.15 ns while a is high: the NAND emits a short
@@ -53,7 +66,9 @@ def main():
     )
 
     for label, config in (("DDM", ddm_config()), ("CDM", cdm_config())):
-        result = simulate(netlist, stimulus, config=config)
+        result = simulate(
+            netlist, stimulus, config=config, engine_kind=engine_kind
+        )
         print("=== HALOTIS-%s ===" % label)
         print(result.stats.format())
         print()
@@ -78,4 +93,4 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else "reference")

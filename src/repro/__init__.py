@@ -42,7 +42,15 @@ from .circuit.modules import (
     ripple_adder,
 )
 from .circuit.netlist import Netlist
-from .core.engine import HalotisSimulator, SimulationResult, simulate
+from .core.engine import (
+    ENGINE_KINDS,
+    EngineBase,
+    HalotisSimulator,
+    SimulationResult,
+    make_engine,
+    simulate,
+)
+from .core.compiled import CompiledNetlist, CompiledSimulator
 from .core.cdm import ConventionalDelayModel
 from .core.ddm import DegradationDelayModel
 from .stimuli.vectors import (
@@ -69,8 +77,13 @@ __all__ = [
     "fig1_circuit",
     "inverter_chain",
     "ripple_adder",
+    "ENGINE_KINDS",
+    "EngineBase",
     "HalotisSimulator",
+    "CompiledNetlist",
+    "CompiledSimulator",
     "SimulationResult",
+    "make_engine",
     "simulate",
     "DegradationDelayModel",
     "ConventionalDelayModel",

@@ -157,3 +157,4 @@ class CircuitBuilder:
         del self.netlist.nets[net.name]
         net.name = new_name
         self.netlist.nets[new_name] = net
+        self.netlist._structure_version += 1

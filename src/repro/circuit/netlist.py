@@ -151,6 +151,9 @@ class Netlist:
         self.gates: Dict[str, Gate] = {}
         self.primary_inputs: List[Net] = []
         self.primary_outputs: List[Net] = []
+        #: bumped on every structural change; lets ``compile()`` cache.
+        self._structure_version = 0
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # construction primitives
@@ -162,6 +165,7 @@ class Netlist:
         net = Net(name, wire_cap=wire_cap)
         net.index = len(self.nets)
         self.nets[name] = net
+        self._structure_version += 1
         return net
 
     def add_primary_input(self, name: str) -> Net:
@@ -231,6 +235,7 @@ class Netlist:
         output_net.driver = gate
         self.gates[name] = gate
         self._renumber_inputs()
+        self._structure_version += 1
         return gate
 
     def _renumber_inputs(self) -> None:
@@ -263,6 +268,24 @@ class Netlist:
     def iter_gate_inputs(self) -> Iterator[GateInput]:
         for gate in self.gates.values():
             yield from gate.inputs
+
+    def compile(self):
+        """Lower this netlist into struct-of-arrays form.
+
+        Returns a :class:`repro.core.compiled.CompiledNetlist` snapshot
+        of the current structure.  The lowering is cached and reused
+        until the netlist changes structurally (``add_net``,
+        ``add_gate``, net renames), so repeated simulations of the same
+        circuit pay the lowering cost once.
+        """
+        cached = self._compiled_cache
+        if cached is not None and cached[0] == self._structure_version:
+            return cached[1]
+        from ..core.compiled import CompiledNetlist
+
+        compiled = CompiledNetlist(self)
+        self._compiled_cache = (self._structure_version, compiled)
+        return compiled
 
     def source_nets(self) -> List[Net]:
         """Nets with no driving gate: primary inputs and constants."""

@@ -22,7 +22,9 @@ from .analysis.report import Table
 from .circuit import bench_io, modules, stats as circuit_stats
 from .circuit.library import default_library
 from .config import DelayMode, cdm_config, ddm_config
-from .core.engine import simulate
+# importing .core.engine initialises the repro.core package, which
+# registers every backend in ENGINE_KINDS
+from .core.engine import ENGINE_KINDS, simulate
 from .errors import ReproError
 from .io_formats.json_results import dump_results
 from .io_formats.vcd import write_vcd
@@ -65,6 +67,11 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument(
         "--mode", choices=["ddm", "cdm"], default="ddm",
         help="delay model (default ddm)",
+    )
+    simulate_cmd.add_argument(
+        "--engine", choices=sorted(ENGINE_KINDS), default="reference",
+        help="simulation backend (default reference); both backends "
+        "produce identical results, 'compiled' is faster",
     )
     simulate_cmd.add_argument(
         "--vectors", type=int, default=10,
@@ -148,10 +155,11 @@ def _cmd_simulate(args) -> int:
         period=args.period,
         seed=args.seed,
     )
-    result = simulate(netlist, stimulus, config=config)
+    result = simulate(netlist, stimulus, config=config, engine_kind=args.engine)
     print(circuit_stats.gather(netlist).format())
     print()
     print("mode: HALOTIS-%s" % args.mode.upper())
+    print("engine: %s" % args.engine)
     print(result.stats.format())
     if args.vcd:
         write_vcd(result.traces, args.vcd, module_name=netlist.name)

@@ -46,6 +46,10 @@ class SimulationConfig:
         delay_mode: DDM (degradation on) or CDM (degradation off).
         inertial_policy: per-input pulse-filtering rule (see
             :class:`InertialPolicy`).
+        engine_kind: simulation backend — ``"reference"`` (object-graph
+            kernel) or ``"compiled"`` (array-lowered kernel); the full
+            set is ``repro.core.engine.ENGINE_KINDS``.  Both produce
+            bit-identical results; ``"compiled"`` is faster.
         max_events: hard budget of executed events; exceeding it raises
             :class:`repro.errors.SimulationLimitError`.  Guards against
             zero-delay oscillation in looped circuits.
@@ -63,6 +67,7 @@ class SimulationConfig:
 
     delay_mode: DelayMode = DelayMode.DDM
     inertial_policy: InertialPolicy = InertialPolicy.EVENT_ORDER
+    engine_kind: str = "reference"
     max_events: int = 5_000_000
     min_delay: float = units.MIN_DELAY
     time_resolution: float = units.TIME_RESOLUTION
@@ -72,6 +77,8 @@ class SimulationConfig:
 
     def validate(self) -> None:
         """Raise ``ValueError`` for out-of-range settings."""
+        if not isinstance(self.engine_kind, str) or not self.engine_kind:
+            raise ValueError("engine_kind must be a non-empty string")
         if self.max_events <= 0:
             raise ValueError("max_events must be positive")
         if self.min_delay <= 0.0:

@@ -19,7 +19,14 @@ from .event_queue import BinaryHeapQueue, SortedListQueue, make_queue
 from .delay_model import DelayModel, DelayRequest, DelayResult
 from .ddm import DegradationDelayModel
 from .cdm import ConventionalDelayModel
-from .engine import HalotisSimulator, simulate
+from .engine import (
+    ENGINE_KINDS,
+    EngineBase,
+    HalotisSimulator,
+    make_engine,
+    simulate,
+)
+from .compiled import CompiledNetlist, CompiledSimulator
 from .trace import NetTrace, TraceSet
 from .stats import SimulationStatistics
 
@@ -34,7 +41,12 @@ __all__ = [
     "DelayResult",
     "DegradationDelayModel",
     "ConventionalDelayModel",
+    "ENGINE_KINDS",
+    "EngineBase",
     "HalotisSimulator",
+    "CompiledNetlist",
+    "CompiledSimulator",
+    "make_engine",
     "simulate",
     "NetTrace",
     "TraceSet",

@@ -1,0 +1,707 @@
+"""Array-lowered ("compiled") simulation backend.
+
+The reference kernel in :mod:`repro.core.engine` walks the netlist object
+graph on every event: it hashes net names to find capacitive loads,
+hashes gate-input uids to find thresholds, allocates a frozen
+``DelayRequest`` dataclass per gate switch and a ``Transition`` per
+fanout decision.  That is the right shape for reading the paper, but it
+is not the right shape for throughput.
+
+This module lowers the circuit *once* into struct-of-arrays form
+(:class:`CompiledNetlist`) and runs the identical algorithm over flat
+integer indices (:class:`CompiledSimulator`):
+
+* per-gate-input arrays: threshold fraction ``VT/VDD``, owning gate id,
+  pin index — indexed by the input's dense ``uid``;
+* fanout adjacency as CSR-style ``(offsets, targets)`` index arrays over
+  net ids (stdlib ``array`` storage; :meth:`CompiledNetlist.as_numpy`
+  exposes the same arrays as ``numpy`` vectors when numpy is installed);
+* per-(gate input, output edge) delay-arc tables with the output net's
+  capacitive load already folded in, so the hot path evaluates a delay
+  with two multiply-adds instead of a dataclass round-trip;
+* per-gate truth tables replacing boolean-function dispatch.
+
+Events are plain Python lists (``[time, seq, uid, value, t50, dur,
+rising, state]``) ordered by their first two slots, so the queue never
+compares beyond the unique ``seq``.  The inertial decision and both
+delay models are inlined on scalars; ``Transition`` objects are only
+allocated when a transition survives *and* trace recording is on — never
+for filtered events.
+
+The arithmetic is ordered exactly as in the reference backend, so both
+engines produce bit-identical event times, traces and statistics
+(property-tested in ``tests/core/test_backend_parity.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from bisect import bisect_left, insort
+from math import exp as _exp
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.evaluate import evaluate_netlist
+from ..circuit.logic import evaluate as evaluate_function, truth_table
+from ..circuit.netlist import Net, Netlist
+from ..config import DelayMode, InertialPolicy, SimulationConfig
+from ..errors import SimulationError, SimulationLimitError
+from .engine import EngineBase, FilteredEventRecord, register_engine
+from .transition import Transition
+
+#: Largest gate arity lowered to a dense truth table; wider gates (only
+#: reachable through hand-built cells) fall back to function dispatch.
+_MAX_TABLE_ARITY = 16
+
+# Entry layout of a compiled event (a plain list, ordered by the first
+# two slots; ``seq`` is globally unique so comparisons never reach the
+# payload).
+E_TIME, E_SEQ, E_UID, E_VALUE, E_T50, E_DUR, E_RISING, E_STATE = range(8)
+_PENDING, _CANCELLED, _EXECUTED = 0, 1, 2
+
+
+class CompiledNetlist:
+    """Flat-array lowering of a :class:`~repro.circuit.netlist.Netlist`.
+
+    The lowering is purely static: it captures connectivity, thresholds,
+    loads and timing-arc parameters, and can be shared by any number of
+    :class:`CompiledSimulator` instances (and, later, batched
+    multi-vector runs over the same arrays).
+    """
+
+    __slots__ = (
+        "netlist",
+        "vdd",
+        "num_nets",
+        "num_gates",
+        "num_inputs",
+        "net_names",
+        "net_constant",
+        "net_is_pi",
+        "net_driver",
+        "net_load",
+        "fanout_offsets",
+        "fanout_targets",
+        "gate_names",
+        "gate_functions",
+        "gate_output_net",
+        "gate_input_offsets",
+        "gate_tables",
+        "vt_fraction",
+        "input_gate",
+        "input_pin",
+        "input_net",
+        "arc_rise",
+        "arc_fall",
+    )
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.vdd = netlist.vdd
+        # Array position must equal the object's dense index.  Renaming a
+        # net (CircuitBuilder._rename) moves it to the end of the dict
+        # without touching its index, so dict order is NOT index order.
+        nets = sorted(netlist.nets.values(), key=lambda net: net.index)
+        gates = sorted(netlist.gates.values(), key=lambda gate: gate.index)
+        self.num_nets = len(nets)
+        self.num_gates = len(gates)
+        self.num_inputs = netlist.num_gate_inputs
+        if [net.index for net in nets] != list(range(self.num_nets)) or [
+            gate.index for gate in gates
+        ] != list(range(self.num_gates)):
+            raise SimulationError(
+                "cannot lower netlist %r: net/gate indices are not dense"
+                % netlist.name
+            )
+
+        # --- nets ----------------------------------------------------
+        self.net_names: List[str] = [net.name for net in nets]
+        self.net_constant: List[Optional[int]] = [net.constant_value for net in nets]
+        self.net_is_pi = array("b", [1 if net.is_primary_input else 0 for net in nets])
+        self.net_driver = array(
+            "q", [net.driver.index if net.driver is not None else -1 for net in nets]
+        )
+        self.net_load = array("d", [net.load() for net in nets])
+
+        # Fanout adjacency in CSR form: the fanout inputs of net ``n``
+        # are ``fanout_targets[fanout_offsets[n]:fanout_offsets[n+1]]``.
+        offsets = [0]
+        targets: List[int] = []
+        for net in nets:
+            targets.extend(gate_input.uid for gate_input in net.fanouts)
+            offsets.append(len(targets))
+        self.fanout_offsets = array("q", offsets)
+        self.fanout_targets = array("q", targets)
+
+        # --- gates ---------------------------------------------------
+        self.gate_names: List[str] = [gate.name for gate in gates]
+        self.gate_functions = [gate.cell.function for gate in gates]
+        self.gate_output_net = array("q", [gate.output.index for gate in gates])
+        # Dense uids are assigned gate-by-gate (Netlist._renumber_inputs),
+        # so each gate's pins occupy a contiguous uid range.
+        input_offsets = [0]
+        for gate in gates:
+            if [gi.uid for gi in gate.inputs] != list(
+                range(input_offsets[-1], input_offsets[-1] + len(gate.inputs))
+            ):
+                raise SimulationError(
+                    "cannot lower netlist %r: gate %r input uids are not "
+                    "contiguous" % (netlist.name, gate.name)
+                )
+            input_offsets.append(input_offsets[-1] + len(gate.inputs))
+        self.gate_input_offsets = array("q", input_offsets)
+        self.gate_tables: List[Optional[List[int]]] = [
+            truth_table(gate.cell.function, len(gate.inputs))
+            if len(gate.inputs) <= _MAX_TABLE_ARITY
+            else None
+            for gate in gates
+        ]
+
+        # --- gate inputs (indexed by uid) ----------------------------
+        vdd = self.vdd
+        vt_fraction = array("d", bytes(8 * self.num_inputs))
+        input_gate = array("q", bytes(8 * self.num_inputs))
+        input_pin = array("q", bytes(8 * self.num_inputs))
+        input_net = array("q", bytes(8 * self.num_inputs))
+        # Per-(input uid, output edge) delay-arc parameters with the
+        # gate's constant output load folded in:
+        # ``tp0 = tp0_base + d_slew*tau_in``, ``tau_out = tau_base +
+        # s_slew*tau_in``, ``tau_deg = vdd*(A + B*CL)`` (paper eq. 2) and
+        # ``T0 = t0_coef*tau_in`` (paper eq. 3).
+        arc_rise: List[Tuple[float, float, float, float, float, float]] = [None] * self.num_inputs  # type: ignore[list-item]
+        arc_fall: List[Tuple[float, float, float, float, float, float]] = [None] * self.num_inputs  # type: ignore[list-item]
+        for gate in gates:
+            c_load = self.net_load[gate.output.index]
+            for gate_input in gate.inputs:
+                uid = gate_input.uid
+                vt_fraction[uid] = gate_input.vt / vdd
+                input_gate[uid] = gate.index
+                input_pin[uid] = gate_input.index
+                input_net[uid] = gate_input.net.index
+                for rising in (False, True):
+                    arc = gate.cell.arc(gate_input.index, rising)
+                    degradation = arc.degradation
+                    params = (
+                        arc.d0 + arc.d_load * c_load,
+                        arc.d_slew,
+                        arc.s0 + arc.s_load * c_load,
+                        arc.s_slew,
+                        vdd * (degradation.a + degradation.b * c_load),
+                        0.5 - degradation.c / vdd,
+                    )
+                    if rising:
+                        arc_rise[uid] = params
+                    else:
+                        arc_fall[uid] = params
+        self.vt_fraction = vt_fraction
+        self.input_gate = input_gate
+        self.input_pin = input_pin
+        self.input_net = input_net
+        self.arc_rise = arc_rise
+        self.arc_fall = arc_fall
+
+    def as_numpy(self) -> Dict[str, "object"]:
+        """The index/parameter arrays as numpy vectors (optional dep).
+
+        Raises :class:`SimulationError` when numpy is unavailable.  This
+        is the substrate for future batched multi-vector simulation; the
+        scalar hot path deliberately sticks to stdlib containers.
+        """
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - numpy present in CI
+            raise SimulationError(
+                "numpy is not installed; as_numpy() needs it"
+            ) from None
+        return {
+            "vt_fraction": numpy.frombuffer(self.vt_fraction, dtype=numpy.float64),
+            "net_load": numpy.frombuffer(self.net_load, dtype=numpy.float64),
+            "fanout_offsets": numpy.frombuffer(self.fanout_offsets, dtype=numpy.int64),
+            "fanout_targets": numpy.frombuffer(self.fanout_targets, dtype=numpy.int64),
+            "gate_input_offsets": numpy.frombuffer(
+                self.gate_input_offsets, dtype=numpy.int64
+            ),
+            "gate_output_net": numpy.frombuffer(self.gate_output_net, dtype=numpy.int64),
+            "input_gate": numpy.frombuffer(self.input_gate, dtype=numpy.int64),
+            "input_net": numpy.frombuffer(self.input_net, dtype=numpy.int64),
+        }
+
+    def __repr__(self) -> str:
+        return "CompiledNetlist(%s: %d gates, %d nets, %d inputs)" % (
+            self.netlist.name,
+            self.num_gates,
+            self.num_nets,
+            self.num_inputs,
+        )
+
+
+# ----------------------------------------------------------------------
+# event queues over compiled entries
+# ----------------------------------------------------------------------
+
+class _CompiledHeapQueue:
+    """Binary heap with lazy cancellation, over list entries."""
+
+    def __init__(self):
+        self._heap: List[list] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, entry: list) -> None:
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+
+    def cancel(self, entry: list) -> None:
+        if entry[E_STATE] == _PENDING:
+            entry[E_STATE] = _CANCELLED
+            self._live -= 1
+
+    def pop(self) -> Optional[list]:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[E_STATE] == _CANCELLED:
+                continue
+            self._live -= 1
+            return entry
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        heap = self._heap
+        while heap and heap[0][E_STATE] == _CANCELLED:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return heap[0][E_TIME]
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+
+def _descending_key(entry: list) -> Tuple[float, int]:
+    return (-entry[E_TIME], -entry[E_SEQ])
+
+
+class _CompiledSortedQueue:
+    """Descending-sorted list (earliest last, so pop is O(1)); mirrors
+    :class:`repro.core.event_queue.SortedListQueue` for the ablation."""
+
+    def __init__(self):
+        self._entries: List[list] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def push(self, entry: list) -> None:
+        insort(self._entries, entry, key=_descending_key)
+
+    def cancel(self, entry: list) -> None:
+        if entry[E_STATE] != _PENDING:
+            return
+        entry[E_STATE] = _CANCELLED
+        position = bisect_left(
+            self._entries, _descending_key(entry), key=_descending_key
+        )
+        if (
+            position < len(self._entries)
+            and self._entries[position] is entry
+        ):
+            del self._entries[position]
+        else:  # pragma: no cover - defensive; keys are unique by seq
+            self._entries = [e for e in self._entries if e is not entry]
+
+    def pop(self) -> Optional[list]:
+        if not self._entries:
+            return None
+        return self._entries.pop()
+
+    def peek_time(self) -> Optional[float]:
+        if not self._entries:
+            return None
+        return self._entries[-1][E_TIME]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_COMPILED_QUEUES = {
+    "heap": _CompiledHeapQueue,
+    "sorted-list": _CompiledSortedQueue,
+}
+
+
+# ----------------------------------------------------------------------
+# the compiled backend
+# ----------------------------------------------------------------------
+
+@register_engine("compiled")
+class CompiledSimulator(EngineBase):
+    """The HALOTIS kernel over a :class:`CompiledNetlist`.
+
+    Behaviourally identical to :class:`repro.core.engine.HalotisSimulator`
+    — same event order, same floats, same statistics — but the hot path
+    (``_execute`` / ``_broadcast_indexed``) touches only ints, floats and
+    preallocated lists.
+
+    Args:
+        netlist: the circuit; lowered on construction unless a
+            pre-lowered ``compiled`` is supplied.
+        config: engine knobs (the default is HALOTIS-DDM).
+        queue_kind: event-queue implementation (same names as the
+            reference backend: ``"heap"`` or ``"sorted-list"``).
+        compiled: optional pre-built :class:`CompiledNetlist` (must wrap
+            ``netlist``); lets many simulators share one lowering.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        config: Optional[SimulationConfig] = None,
+        queue_kind: str = "heap",
+        compiled: Optional[CompiledNetlist] = None,
+    ):
+        if compiled is not None and compiled.netlist is not netlist:
+            raise SimulationError(
+                "compiled netlist does not wrap the given netlist"
+            )
+        self._cn = compiled if compiled is not None else netlist.compile()
+        super().__init__(netlist, config=config, queue_kind=queue_kind)
+        policy = self.config.inertial_policy
+        if policy not in (InertialPolicy.EVENT_ORDER, InertialPolicy.PEAK_VOLTAGE):
+            raise ValueError("unknown inertial policy %r" % (policy,))
+        self._event_order = policy is InertialPolicy.EVENT_ORDER
+        self._use_ddm = self.config.delay_mode is DelayMode.DDM
+        self._min_delay = self.config.min_delay
+        self._resolution = self.config.time_resolution
+        self._max_events = self.config.max_events
+        # Hot-path copies of the lowered index arrays as plain lists:
+        # list indexing returns the stored (already-boxed) objects, where
+        # ``array`` indexing re-boxes a fresh int/float per access.
+        cn = self._cn
+        self._fanout_offsets = list(cn.fanout_offsets)
+        self._fanout_targets = list(cn.fanout_targets)
+        self._vt_fraction = list(cn.vt_fraction)
+        self._input_gate = list(cn.input_gate)
+        self._gate_offsets = list(cn.gate_input_offsets)
+        self._gate_out_net = list(cn.gate_output_net)
+        # dynamic state (built by _build_state)
+        self._input_values: List[int] = []
+        self._gate_out: List[int] = []
+        self._gate_last: List[Optional[float]] = []
+        self._stacks: List[List[list]] = []
+        self._pi: List[int] = []
+        self._toggles: List[int] = []
+        self._toggles_dirty = False
+        self._trace_appenders: Optional[List] = None
+
+    @property
+    def compiled_netlist(self) -> CompiledNetlist:
+        return self._cn
+
+    def _make_queue(self, queue_kind: str):
+        try:
+            factory = _COMPILED_QUEUES[queue_kind]
+        except KeyError:
+            raise SimulationError(
+                "unknown queue kind %r (choose from %s)"
+                % (queue_kind, sorted(_COMPILED_QUEUES))
+            ) from None
+        return factory()
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
+    # ------------------------------------------------------------------
+
+    def _build_state(
+        self,
+        input_values: Dict[str, int],
+        seed: Optional[Dict[str, int]],
+    ) -> Dict[str, int]:
+        values = evaluate_netlist(self.netlist, input_values, seed=seed)
+        netlist = self.netlist
+        self._input_values = [
+            values[gate_input.net.name] for gate_input in netlist.iter_gate_inputs()
+        ]
+        self._gate_out = [values[gate.output.name] for gate in netlist.gates.values()]
+        self._gate_last = [None] * self._cn.num_gates
+        self._stacks = [[] for _ in range(self._cn.num_inputs)]
+        self._pi = [0] * self._cn.num_nets
+        self._toggles = [0] * self._cn.num_nets
+        self._toggles_dirty = False
+        for net in netlist.primary_inputs:
+            self._pi[net.index] = values[net.name]
+        return values
+
+    def _after_initialize(self) -> None:
+        if self.config.record_traces:
+            self._trace_appenders = [
+                self.traces[name].append for name in self._cn.net_names
+            ]
+        else:
+            self._trace_appenders = None
+
+    # ------------------------------------------------------------------
+    # stimulus hooks
+    # ------------------------------------------------------------------
+
+    def _pi_value(self, net: Net) -> int:
+        return self._pi[net.index]
+
+    def _commit_pi_value(self, net: Net, value: int) -> None:
+        self._pi[net.index] = value
+
+    def _count_toggle(self, net: Net) -> None:
+        self._toggles[net.index] += 1
+        self._toggles_dirty = True
+
+    def _after_run(self) -> None:
+        # Materialise the per-net-id toggle counters into the by-name
+        # dict of SimulationStatistics (the hot loop only touches ints).
+        # The dirty flag keeps step()-driven loops from paying an
+        # O(nets) rebuild on events that toggled nothing.
+        if not self._toggles_dirty:
+            return
+        self._toggles_dirty = False
+        names = self._cn.net_names
+        self.stats.net_toggles = {
+            names[index]: count
+            for index, count in enumerate(self._toggles)
+            if count
+        }
+
+    def _broadcast_transition(self, transition: Transition, net: Net) -> None:
+        self._broadcast_indexed(
+            net.index, transition.t50, transition.duration, transition.rising
+        )
+
+    # ------------------------------------------------------------------
+    # the hot path
+    # ------------------------------------------------------------------
+
+    def _execute(self, entry: list) -> None:
+        stats = self.stats
+        if stats.events_executed >= self._max_events:
+            raise SimulationLimitError(
+                "event budget (%d) exhausted at t=%.4f ns — zero-delay "
+                "oscillation?" % (self._max_events, self.now)
+            )
+        entry[E_STATE] = _EXECUTED
+        time_now = entry[E_TIME]
+        self.now = time_now
+        stats.events_executed += 1
+
+        uid = entry[E_UID]
+        value = entry[E_VALUE]
+        input_values = self._input_values
+        if input_values[uid] == value:
+            # Defensive: alternation normally guarantees a change here.
+            return
+        input_values[uid] = value
+
+        cn = self._cn
+        gate = self._input_gate[uid]
+        offsets = self._gate_offsets
+        start = offsets[gate]
+        end = offsets[gate + 1]
+        table = cn.gate_tables[gate]
+        if table is not None:
+            index = 0
+            for bit in range(end - start):
+                index |= input_values[start + bit] << bit
+            output_value = table[index]
+        else:  # pragma: no cover - only hand-built cells exceed the cap
+            output_value = evaluate_function(
+                cn.gate_functions[gate], input_values[start:end]
+            )
+        gate_out = self._gate_out
+        if output_value == gate_out[gate]:
+            return
+        gate_out[gate] = output_value
+
+        rising = output_value == 1
+        tau_in = entry[E_DUR]
+        tp0_base, d_slew, tau_base, s_slew, tau_deg, t0_coef = (
+            cn.arc_rise[uid] if rising else cn.arc_fall[uid]
+        )
+        tp0 = tp0_base + d_slew * tau_in
+        tau_out = tau_base + s_slew * tau_in
+
+        last = self._gate_last[gate]
+        if not self._use_ddm or last is None:
+            factor = 1.0
+            tp = tp0 if tp0 > self._min_delay else self._min_delay
+        else:
+            # paper eq. 1 with eq. 2/3 folded into tau_deg / t0_coef
+            elapsed = time_now - last
+            t_offset = t0_coef * tau_in
+            if tau_deg <= 0.0:
+                factor = 1.0 if elapsed > t_offset else 0.0
+            else:
+                factor = 1.0 - _exp(-(elapsed - t_offset) / tau_deg)
+            if factor <= 0.0:
+                tp = self._min_delay
+            else:
+                tp = tp0 * factor
+                if tp < self._min_delay:
+                    tp = self._min_delay
+
+        t50 = time_now + tp
+        self._gate_last[gate] = t50
+        out_net = self._gate_out_net[gate]
+        stats.transitions_emitted += 1
+        self._toggles[out_net] += 1
+        self._toggles_dirty = True
+        if factor < 1.0:
+            stats.transitions_degraded += 1
+            if factor <= 0.0:
+                stats.transitions_fully_degraded += 1
+        appenders = self._trace_appenders
+        if appenders is not None:
+            appenders[out_net](
+                Transition(
+                    t50=t50,
+                    duration=tau_out,
+                    rising=rising,
+                    net_name=cn.net_names[out_net],
+                    degradation_factor=factor,
+                    cause_time=time_now,
+                )
+            )
+        self._broadcast_indexed(out_net, t50, tau_out, rising)
+
+    def _broadcast_indexed(
+        self, net_index: int, t50: float, duration: float, rising: bool
+    ) -> None:
+        cn = self._cn
+        offsets = self._fanout_offsets
+        targets = self._fanout_targets
+        vt_fraction = self._vt_fraction
+        stacks = self._stacks
+        stats = self.stats
+        queue = self.queue
+        resolution = self._resolution
+        record_filtered = self.config.record_filtered
+        now = self.now
+        value = 1 if rising else 0
+        seq = self._seq
+        for position in range(offsets[net_index], offsets[net_index + 1]):
+            uid = targets[position]
+            fraction = vt_fraction[uid]
+            if rising:
+                crossing = t50 + duration * (fraction - 0.5)
+            else:
+                crossing = t50 + duration * (0.5 - fraction)
+            stack = stacks[uid]
+            previous = stack[-1] if stack else None
+
+            if previous is not None and previous[E_STATE] == _PENDING:
+                # inertial decision, inlined (see repro.core.inertial)
+                if self._event_order:
+                    if crossing <= previous[E_TIME] + resolution:
+                        event_time = None
+                    else:
+                        event_time = crossing
+                else:
+                    event_time = self._peak_voltage_time(
+                        crossing, previous, t50, duration, rising, fraction
+                    )
+                if event_time is None:
+                    queue.cancel(previous)
+                    stack.pop()
+                    stats.events_filtered += 1
+                    if record_filtered:
+                        self.filtered_log.append(
+                            FilteredEventRecord(
+                                time_now=now,
+                                gate_name=cn.gate_names[cn.input_gate[uid]],
+                                pin_index=cn.input_pin[uid],
+                                net_name=cn.net_names[net_index],
+                                previous_event_time=previous[E_TIME],
+                                new_event_time=crossing,
+                            )
+                        )
+                    continue
+            else:
+                event_time = crossing
+                if previous is not None and crossing <= previous[E_TIME]:
+                    # The predecessor already executed; we cannot unwind
+                    # the past, so the restoring event runs immediately.
+                    stats.late_events += 1
+                    if event_time < now:
+                        event_time = now
+                elif crossing < now:
+                    stats.late_events += 1
+                    event_time = now
+
+            seq += 1
+            entry = [event_time, seq, uid, value, t50, duration, rising, _PENDING]
+            queue.push(entry)
+            stack.append(entry)
+            stats.events_scheduled += 1
+        self._seq = seq
+
+    def _peak_voltage_time(
+        self,
+        crossing: float,
+        previous: list,
+        t50: float,
+        duration: float,
+        rising: bool,
+        fraction: float,
+    ) -> Optional[float]:
+        """Scalar PEAK_VOLTAGE rule; None means annihilate.
+
+        Mirrors :func:`repro.core.inertial._decide_peak` over the raw
+        ramp parameters carried by the previous entry.
+        """
+        leading_rising = previous[E_RISING]
+        if leading_rising == rising:
+            # Same-direction transitions cannot bound a pulse; fall back
+            # to the event-order rule.
+            if crossing <= previous[E_TIME] + self._resolution:
+                return None
+            return crossing
+        leading_duration = previous[E_DUR]
+        if leading_duration <= 0.0:  # pragma: no cover - durations are > 0
+            peak = 1.0
+        else:
+            progress = (
+                (t50 - 0.5 * duration)
+                - (previous[E_T50] - 0.5 * leading_duration)
+            ) / leading_duration
+            peak = min(1.0, max(0.0, progress))
+        threshold_progress = fraction if leading_rising else 1.0 - fraction
+        if peak <= threshold_progress:
+            return None
+        corrected = crossing - (1.0 - peak) * duration
+        return max(corrected, previous[E_TIME] + self._resolution)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def value(self, net_name: str) -> int:
+        """Committed logic value of a net at the current time."""
+        self._require_ready()
+        net = self.netlist.net(net_name)
+        index = net.index
+        constant = self._cn.net_constant[index]
+        if constant is not None:
+            return constant
+        if self._cn.net_is_pi[index]:
+            return self._pi[index]
+        driver = self._cn.net_driver[index]
+        if driver < 0:
+            # -1 sentinel: without this guard Python's negative indexing
+            # would silently return the last gate's output.
+            raise SimulationError("net %r has no driver" % net_name)
+        return self._gate_out[driver]

@@ -17,13 +17,26 @@ The kernel is an event-driven loop over *threshold-crossing events*:
 Primary-input stimuli enter through exactly the same broadcast path, so a
 runt pulse applied at a primary input is filtered per-input like any
 internally generated glitch.
+
+Two interchangeable *backends* implement this algorithm (see
+``ENGINE_KINDS``):
+
+* ``"reference"`` — :class:`HalotisSimulator`, the readable object-graph
+  kernel below, walking ``Netlist``/``Gate``/``GateInput`` objects;
+* ``"compiled"`` — :class:`repro.core.compiled.CompiledSimulator`, an
+  array-lowered kernel whose hot path touches only integers and floats.
+
+Both share :class:`EngineBase` (lifecycle, stimulus, inspection and the
+:func:`simulate` facade) and are property-tested to produce bit-identical
+traces and statistics.
 """
 
 from __future__ import annotations
 
+import abc
 import dataclasses
 import time as _time
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple, Type
 
 from ..circuit.logic import evaluate as evaluate_function
 from ..circuit.netlist import Net, Netlist
@@ -54,7 +67,301 @@ class FilteredEventRecord:
     new_event_time: float
 
 
-class HalotisSimulator:
+# ----------------------------------------------------------------------
+# engine registry
+# ----------------------------------------------------------------------
+
+#: Registry of simulation backends, mirroring ``QUEUE_KINDS``.  Keys are
+#: the values accepted by ``SimulationConfig.engine_kind``, ``simulate()``
+#: and the CLI's ``--engine`` option.
+ENGINE_KINDS: Dict[str, Type["EngineBase"]] = {}
+
+
+def register_engine(kind: str) -> Callable[[type], type]:
+    """Class decorator adding a backend to :data:`ENGINE_KINDS`."""
+
+    def decorator(cls: type) -> type:
+        cls.kind = kind
+        ENGINE_KINDS[kind] = cls
+        return cls
+
+    return decorator
+
+
+def _ensure_backends_registered() -> None:
+    # The compiled backend lives in its own module (it imports EngineBase
+    # from here); importing it lazily avoids a circular import while
+    # guaranteeing the registry is complete whenever it is consulted.
+    from . import compiled  # noqa: F401
+
+
+def make_engine(
+    netlist: Netlist,
+    config: Optional[SimulationConfig] = None,
+    queue_kind: str = "heap",
+    engine_kind: Optional[str] = None,
+) -> "EngineBase":
+    """Instantiate a simulation backend by name.
+
+    ``engine_kind=None`` defers to ``config.engine_kind`` (and to
+    ``"reference"`` when no config is given).
+    """
+    _ensure_backends_registered()
+    if engine_kind is None:
+        engine_kind = config.engine_kind if config is not None else "reference"
+    try:
+        factory = ENGINE_KINDS[engine_kind]
+    except KeyError:
+        raise SimulationError(
+            "unknown engine kind %r (choose from %s)"
+            % (engine_kind, sorted(ENGINE_KINDS))
+        ) from None
+    return factory(netlist, config=config, queue_kind=queue_kind)
+
+
+# ----------------------------------------------------------------------
+# shared engine machinery
+# ----------------------------------------------------------------------
+
+class EngineBase(abc.ABC):
+    """Lifecycle, stimulus, kernel loop and inspection shared by every
+    backend.
+
+    A backend provides four hooks: ``_build_state`` (DC-initialise its
+    internal representation), ``_pi_value``/``_commit_pi_value`` (primary
+    input bookkeeping), ``_broadcast_transition`` (fan a transition out to
+    its receiving inputs) and ``_execute`` (process one popped event).
+    Everything else — input validation, the run loop, trace plumbing,
+    values/word inspection — lives here, so the backends cannot drift
+    apart behaviourally.
+    """
+
+    #: registry key, set by :func:`register_engine`.
+    kind: str = "abstract"
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        config: Optional[SimulationConfig] = None,
+        queue_kind: str = "heap",
+    ):
+        self.netlist = netlist
+        self.config = config if config is not None else SimulationConfig()
+        self.config.validate()
+        self.vdd = netlist.vdd
+        self.queue_kind = queue_kind
+        self.queue = self._make_queue(queue_kind)
+        self.stats = SimulationStatistics()
+        self.traces = TraceSet(self.vdd)
+        self.filtered_log: list[FilteredEventRecord] = []
+        self.now = 0.0
+        self._seq = 0
+        self._ready = False
+
+    # -- hooks ---------------------------------------------------------
+
+    def _make_queue(self, queue_kind: str):
+        """Build the event queue (validated against ``QUEUE_KINDS``)."""
+        return make_queue(queue_kind)
+
+    @abc.abstractmethod
+    def _build_state(
+        self,
+        input_values: Dict[str, int],
+        seed: Optional[Dict[str, int]],
+    ) -> Dict[str, int]:
+        """DC-initialise backend state; return the value of every net."""
+
+    @abc.abstractmethod
+    def _pi_value(self, net: Net) -> int:
+        """Currently driven value of primary input ``net``."""
+
+    @abc.abstractmethod
+    def _commit_pi_value(self, net: Net, value: int) -> None:
+        """Record that primary input ``net`` is now driven to ``value``."""
+
+    @abc.abstractmethod
+    def _broadcast_transition(self, transition: Transition, net: Net) -> None:
+        """Generate threshold-crossing events at every fanout of ``net``."""
+
+    @abc.abstractmethod
+    def _execute(self, event) -> None:
+        """Process one event popped from the queue."""
+
+    def _count_toggle(self, net: Net) -> None:
+        """Record one emitted/source transition on ``net`` for the
+        switching-activity statistics."""
+        self.stats.count_toggle(net.name)
+
+    def _after_run(self) -> None:
+        """Backend hook invoked after every ``run()``/``step()``."""
+
+    # -- lifecycle -----------------------------------------------------
+
+    def initialize(
+        self,
+        input_values: Mapping[str, int],
+        seed: Optional[Mapping[str, int]] = None,
+        start_time: float = 0.0,
+    ) -> None:
+        """DC-initialise the circuit and reset all dynamic state.
+
+        ``input_values`` must cover every primary input; ``seed`` provides
+        starting guesses for feedback circuits (see
+        :mod:`repro.circuit.evaluate`).
+        """
+        initial = self._build_state(
+            dict(input_values), dict(seed) if seed else None
+        )
+        self.queue.clear()
+        self.stats.reset()
+        self.filtered_log = []
+        self.now = start_time
+        self._seq = 0
+        self.traces = TraceSet(self.vdd)
+        if self.config.record_traces:
+            for net in self.netlist.nets.values():
+                self.traces.create(net.name, initial[net.name])
+        self._ready = True
+        self._after_initialize()
+
+    def _after_initialize(self) -> None:
+        """Backend hook invoked once traces exist (bind fast paths)."""
+
+    @property
+    def initialized(self) -> bool:
+        return self._ready
+
+    def _require_ready(self) -> None:
+        if not self._ready:
+            raise SimulationError("call initialize() before simulating")
+
+    # -- stimulus ------------------------------------------------------
+
+    def set_input(
+        self,
+        name: str,
+        value: int,
+        at_time: float,
+        slew: Optional[float] = None,
+    ) -> Optional[Transition]:
+        """Drive primary input ``name`` to ``value`` with a ramp starting
+        at ``at_time``.
+
+        Returns the source transition, or None when the input already
+        holds ``value`` (no transition needed).
+        """
+        self._require_ready()
+        net = self.netlist.net(name)
+        if not net.is_primary_input:
+            raise StimulusError("%r is not a primary input" % name)
+        if value not in (0, 1):
+            raise StimulusError("input value must be 0 or 1, got %r" % (value,))
+        if at_time < self.now:
+            raise StimulusError(
+                "cannot drive input at %.4f ns: simulation time is %.4f ns"
+                % (at_time, self.now)
+            )
+        if self._pi_value(net) == value:
+            return None
+        if slew is None:
+            slew = self.config.default_input_slew
+        if slew <= 0.0:
+            raise StimulusError("input slew must be positive")
+
+        transition = Transition(
+            t50=at_time + 0.5 * slew,
+            duration=slew,
+            rising=(value == 1),
+            net_name=name,
+            cause_time=at_time,
+        )
+        self._commit_pi_value(net, value)
+        self.stats.source_transitions += 1
+        self._count_toggle(net)
+        if self.config.record_traces:
+            self.traces[name].append(transition)
+        self._broadcast_transition(transition, net)
+        return transition
+
+    def apply_word(
+        self,
+        assignments: Mapping[str, int],
+        at_time: float,
+        slew: Optional[float] = None,
+    ) -> int:
+        """Drive several inputs at once; returns how many actually toggled."""
+        changed = 0
+        for name in sorted(assignments):
+            if self.set_input(name, assignments[name], at_time, slew) is not None:
+                changed += 1
+        return changed
+
+    # -- the kernel loop -----------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SimulationStatistics:
+        """Process events (up to and including ``until``; all if None)."""
+        self._require_ready()
+        wall_start = _time.perf_counter()
+        peek_time = self.queue.peek_time
+        pop = self.queue.pop
+        execute = self._execute
+        while True:
+            next_time = peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = pop()
+            if event is None:  # pragma: no cover - peek guarantees one
+                break
+            execute(event)
+        if until is not None and until > self.now:
+            self.now = until
+        self.traces.horizon = max(self.traces.horizon, self.now)
+        self.stats.runtime_seconds += _time.perf_counter() - wall_start
+        self._after_run()
+        return self.stats
+
+    def step(self):
+        """Execute a single event; returns it (None when queue empty).
+
+        The concrete event type is backend-specific (an :class:`Event`
+        for the reference backend).
+        """
+        self._require_ready()
+        event = self.queue.pop()
+        if event is None:
+            return None
+        self._execute(event)
+        self.traces.horizon = max(self.traces.horizon, self.now)
+        self._after_run()
+        return event
+
+    # -- inspection ----------------------------------------------------
+
+    @abc.abstractmethod
+    def value(self, net_name: str) -> int:
+        """Committed logic value of a net at the current time."""
+
+    def values(self) -> Dict[str, int]:
+        """Committed logic values of every net."""
+        return {name: self.value(name) for name in self.netlist.nets}
+
+    def word(self, prefix: str, width: int) -> int:
+        """Integer value of output bus ``prefix0..prefix{w-1}``."""
+        word = 0
+        for bit in range(width):
+            word |= self.value("%s%d" % (prefix, bit)) << bit
+        return word
+
+
+# ----------------------------------------------------------------------
+# the reference backend
+# ----------------------------------------------------------------------
+
+@register_engine("reference")
+class HalotisSimulator(EngineBase):
     """Event-driven logic timing simulator with the IDDM.
 
     Typical use::
@@ -80,10 +387,7 @@ class HalotisSimulator:
         delay_model: Optional[DelayModel] = None,
         queue_kind: str = "heap",
     ):
-        self.netlist = netlist
-        self.config = config if config is not None else SimulationConfig()
-        self.config.validate()
-        self.vdd = netlist.vdd
+        super().__init__(netlist, config=config, queue_kind=queue_kind)
         if delay_model is not None:
             self.delay_model = delay_model
         elif self.config.delay_mode is DelayMode.DDM:
@@ -99,47 +403,19 @@ class HalotisSimulator:
         self._net_load: Dict[str, float] = {
             net.name: net.load() for net in netlist.nets.values()
         }
-
-        self.queue = make_queue(queue_kind)
-        self.stats = SimulationStatistics()
-        self.traces = TraceSet(self.vdd)
-        self.filtered_log: list[FilteredEventRecord] = []
-        self.now = 0.0
-        self._seq = 0
         self._state: Optional[KernelState] = None
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
-    def initialize(
+    def _build_state(
         self,
-        input_values: Mapping[str, int],
-        seed: Optional[Mapping[str, int]] = None,
-        start_time: float = 0.0,
-    ) -> None:
-        """DC-initialise the circuit and reset all dynamic state.
-
-        ``input_values`` must cover every primary input; ``seed`` provides
-        starting guesses for feedback circuits (see
-        :mod:`repro.circuit.evaluate`).
-        """
-        self._state = build_state(
-            self.netlist, dict(input_values), seed=dict(seed) if seed else None
-        )
-        self.queue.clear()
-        self.stats.reset()
-        self.filtered_log = []
-        self.now = start_time
-        self._seq = 0
-        self.traces = TraceSet(self.vdd)
-        if self.config.record_traces:
-            for net in self.netlist.nets.values():
-                self.traces.create(net.name, self._state.initial_values[net.name])
-
-    @property
-    def initialized(self) -> bool:
-        return self._state is not None
+        input_values: Dict[str, int],
+        seed: Optional[Dict[str, int]],
+    ) -> Dict[str, int]:
+        self._state = build_state(self.netlist, input_values, seed=seed)
+        return self._state.initial_values
 
     def _require_state(self) -> KernelState:
         if self._state is None:
@@ -147,101 +423,21 @@ class HalotisSimulator:
         return self._state
 
     # ------------------------------------------------------------------
-    # stimulus
+    # stimulus hooks
     # ------------------------------------------------------------------
 
-    def set_input(
-        self,
-        name: str,
-        value: int,
-        at_time: float,
-        slew: Optional[float] = None,
-    ) -> Optional[Transition]:
-        """Drive primary input ``name`` to ``value`` with a ramp starting
-        at ``at_time``.
+    def _pi_value(self, net: Net) -> int:
+        return self._require_state().pi_values[net.name]
 
-        Returns the source transition, or None when the input already
-        holds ``value`` (no transition needed).
-        """
-        state = self._require_state()
-        net = self.netlist.net(name)
-        if not net.is_primary_input:
-            raise StimulusError("%r is not a primary input" % name)
-        if value not in (0, 1):
-            raise StimulusError("input value must be 0 or 1, got %r" % (value,))
-        if at_time < self.now:
-            raise StimulusError(
-                "cannot drive input at %.4f ns: simulation time is %.4f ns"
-                % (at_time, self.now)
-            )
-        if state.pi_values[name] == value:
-            return None
-        if slew is None:
-            slew = self.config.default_input_slew
-        if slew <= 0.0:
-            raise StimulusError("input slew must be positive")
+    def _commit_pi_value(self, net: Net, value: int) -> None:
+        self._require_state().pi_values[net.name] = value
 
-        transition = Transition(
-            t50=at_time + 0.5 * slew,
-            duration=slew,
-            rising=(value == 1),
-            net_name=name,
-            cause_time=at_time,
-        )
-        state.pi_values[name] = value
-        self.stats.source_transitions += 1
-        self.stats.count_toggle(name)
-        if self.config.record_traces:
-            self.traces[name].append(transition)
+    def _broadcast_transition(self, transition: Transition, net: Net) -> None:
         self._broadcast(transition, net)
-        return transition
-
-    def apply_word(
-        self,
-        assignments: Mapping[str, int],
-        at_time: float,
-        slew: Optional[float] = None,
-    ) -> int:
-        """Drive several inputs at once; returns how many actually toggled."""
-        changed = 0
-        for name in sorted(assignments):
-            if self.set_input(name, assignments[name], at_time, slew) is not None:
-                changed += 1
-        return changed
 
     # ------------------------------------------------------------------
-    # the kernel loop
+    # event execution
     # ------------------------------------------------------------------
-
-    def run(self, until: Optional[float] = None) -> SimulationStatistics:
-        """Process events (up to and including ``until``; all if None)."""
-        self._require_state()
-        wall_start = _time.perf_counter()
-        while True:
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                break
-            event = self.queue.pop()
-            if event is None:  # pragma: no cover - peek guarantees one
-                break
-            self._execute(event)
-        if until is not None and until > self.now:
-            self.now = until
-        self.traces.horizon = max(self.traces.horizon, self.now)
-        self.stats.runtime_seconds += _time.perf_counter() - wall_start
-        return self.stats
-
-    def step(self) -> Optional[Event]:
-        """Execute a single event; returns it (None when queue empty)."""
-        self._require_state()
-        event = self.queue.pop()
-        if event is None:
-            return None
-        self._execute(event)
-        self.traces.horizon = max(self.traces.horizon, self.now)
-        return event
 
     def _execute(self, event: Event) -> None:
         if self.stats.events_executed >= self.config.max_events:
@@ -370,18 +566,9 @@ class HalotisSimulator:
             return net.constant_value
         if net.is_primary_input:
             return state.pi_values[net_name]
+        if net.driver is None:
+            raise SimulationError("net %r has no driver" % net_name)
         return state.gate_states[net.driver.index].output_value
-
-    def values(self) -> Dict[str, int]:
-        """Committed logic values of every net."""
-        return {name: self.value(name) for name in self.netlist.nets}
-
-    def word(self, prefix: str, width: int) -> int:
-        """Integer value of output bus ``prefix0..prefix{w-1}``."""
-        word = 0
-        for bit in range(width):
-            word |= self.value("%s%d" % (prefix, bit)) << bit
-        return word
 
 
 # ----------------------------------------------------------------------
@@ -395,7 +582,7 @@ class SimulationResult:
     traces: TraceSet
     stats: SimulationStatistics
     final_values: Dict[str, int]
-    simulator: HalotisSimulator
+    simulator: EngineBase
 
 
 def simulate(
@@ -405,6 +592,7 @@ def simulate(
     settle: float = 0.0,
     queue_kind: str = "heap",
     seed: Optional[Mapping[str, int]] = None,
+    engine_kind: Optional[str] = None,
 ) -> SimulationResult:
     """Run a complete stimulus through a fresh simulator.
 
@@ -413,9 +601,12 @@ def simulate(
     ``initial_values(netlist)``, an ``iter_changes()`` iterator of
     ``(time, assignments, slew)`` triples, and a ``horizon`` attribute.
     ``settle`` extends the run past the stimulus horizon so the last
-    vector's effects propagate out.
+    vector's effects propagate out.  ``engine_kind`` picks the backend
+    (see ``ENGINE_KINDS``); None defers to ``config.engine_kind``.
     """
-    simulator = HalotisSimulator(netlist, config=config, queue_kind=queue_kind)
+    simulator = make_engine(
+        netlist, config=config, queue_kind=queue_kind, engine_kind=engine_kind
+    )
     simulator.initialize(stimulus.initial_values(netlist), seed=seed)
     changes: Iterable[Tuple[float, Mapping[str, int], Optional[float]]]
     changes = stimulus.iter_changes()

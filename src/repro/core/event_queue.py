@@ -76,11 +76,16 @@ class BinaryHeapQueue:
 class SortedListQueue:
     """Insertion-sorted event queue (oracle / ablation implementation).
 
-    Keeps the pending events in a sorted list; cancellation removes the
-    event eagerly.  O(n) insert and cancel, O(1) pop.
+    Keeps the pending events sorted in *descending* time order, so the
+    earliest event sits at the end of the list and ``pop`` is an O(1)
+    ``list.pop()`` (popping from the front would shift the whole list on
+    every event).  Cancellation removes the event eagerly.  O(n) insert
+    and cancel, O(1) pop.
     """
 
     def __init__(self):
+        # entries are (-time, -seq, event): ascending order on the
+        # negated key is descending time order, with the earliest last.
         self._events: List[tuple] = []
 
     def __len__(self) -> int:
@@ -92,7 +97,7 @@ class SortedListQueue:
     def push(self, event: Event) -> None:
         if event.cancelled:
             raise SimulationError("cannot schedule a cancelled event")
-        bisect.insort(self._events, (event.time, event.seq, event))
+        bisect.insort(self._events, (-event.time, -event.seq, event))
 
     def cancel(self, event: Event) -> None:
         if event.executed:
@@ -100,7 +105,7 @@ class SortedListQueue:
         if event.cancelled:
             return
         event.cancel()
-        position = bisect.bisect_left(self._events, (event.time, event.seq, event))
+        position = bisect.bisect_left(self._events, (-event.time, -event.seq))
         if (
             position < len(self._events)
             and self._events[position][2] is event
@@ -112,13 +117,13 @@ class SortedListQueue:
     def pop(self) -> Optional[Event]:
         if not self._events:
             return None
-        _time, _seq, event = self._events.pop(0)
+        _time, _seq, event = self._events.pop()
         return event
 
     def peek_time(self) -> Optional[float]:
         if not self._events:
             return None
-        return self._events[0][0]
+        return -self._events[-1][0]
 
     def clear(self) -> None:
         self._events.clear()

@@ -91,14 +91,25 @@ def run_halotis(
     mode: DelayMode,
     record_traces: bool = True,
     queue_kind: str = "heap",
+    engine_kind: str = "reference",
 ) -> SimulationResult:
-    """Simulate a paper sequence with HALOTIS-DDM or HALOTIS-CDM."""
+    """Simulate a paper sequence with HALOTIS-DDM or HALOTIS-CDM.
+
+    ``engine_kind`` picks the backend (``"reference"`` or
+    ``"compiled"``); both reproduce the paper numbers identically.
+    """
     config = ddm_config() if mode is DelayMode.DDM else cdm_config()
     if not record_traces:
         config = SimulationConfig(
             delay_mode=config.delay_mode, record_traces=False
         )
-    return simulate(multiplier_netlist(), paper_stimulus(which), config=config)
+    return simulate(
+        multiplier_netlist(),
+        paper_stimulus(which),
+        config=config,
+        queue_kind=queue_kind,
+        engine_kind=engine_kind,
+    )
 
 
 def run_analog(which: int, dt: float = ANALOG_DT,

@@ -1,0 +1,205 @@
+"""The engine backend registry and per-backend config knobs.
+
+Covers the satellite requirements: unknown ``engine_kind`` raises a
+:class:`SimulationError` naming the valid kinds, and both backends honor
+``queue_kind``, ``max_events`` and ``record_filtered``.
+"""
+
+import pytest
+
+from repro.circuit import modules
+from repro.config import SimulationConfig, ddm_config
+from repro.core.compiled import CompiledNetlist, CompiledSimulator
+from repro.core.engine import (
+    ENGINE_KINDS,
+    EngineBase,
+    HalotisSimulator,
+    make_engine,
+    simulate,
+)
+from repro.errors import SimulationError, SimulationLimitError
+from repro.stimuli.vectors import VectorSequence
+
+ALL_KINDS = sorted(ENGINE_KINDS)
+
+
+def _ring_stimulus(chain):
+    inputs = [net.name for net in chain.primary_inputs]
+    steps = [(0.0, {name: 0 for name in inputs}),
+             (2.0, {name: 1 for name in inputs}),
+             (4.0, {name: 0 for name in inputs})]
+    return VectorSequence(steps, slew=0.2, tail=4.0)
+
+
+def test_registry_has_both_backends():
+    assert ENGINE_KINDS["reference"] is HalotisSimulator
+    assert ENGINE_KINDS["compiled"] is CompiledSimulator
+    for cls in ENGINE_KINDS.values():
+        assert issubclass(cls, EngineBase)
+
+
+def test_registered_kind_attribute_matches_key():
+    for kind, cls in ENGINE_KINDS.items():
+        assert cls.kind == kind
+
+
+def test_make_engine_rejects_unknown_kind(chain3):
+    with pytest.raises(SimulationError) as excinfo:
+        make_engine(chain3, engine_kind="jit")
+    message = str(excinfo.value)
+    for kind in ALL_KINDS:
+        assert kind in message
+
+
+def test_simulate_rejects_unknown_kind(chain3):
+    with pytest.raises(SimulationError):
+        simulate(chain3, _ring_stimulus(chain3), engine_kind="turbo")
+
+
+def test_engine_kind_defaults_from_config(chain3):
+    engine = make_engine(chain3, config=ddm_config(engine_kind="compiled"))
+    assert isinstance(engine, CompiledSimulator)
+    engine = make_engine(chain3, config=ddm_config())
+    assert isinstance(engine, HalotisSimulator)
+    # explicit argument beats the config
+    engine = make_engine(
+        chain3, config=ddm_config(engine_kind="compiled"), engine_kind="reference"
+    )
+    assert isinstance(engine, HalotisSimulator)
+
+
+def test_config_validates_engine_kind_type():
+    with pytest.raises(ValueError):
+        SimulationConfig(engine_kind="").validate()
+
+
+@pytest.mark.parametrize("engine_kind", ALL_KINDS)
+def test_backends_reject_unknown_queue_kind(chain3, engine_kind):
+    with pytest.raises(SimulationError) as excinfo:
+        make_engine(chain3, queue_kind="fibonacci", engine_kind=engine_kind)
+    assert "heap" in str(excinfo.value)
+    assert "sorted-list" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("engine_kind", ALL_KINDS)
+def test_backends_honor_queue_kind(chain3, engine_kind):
+    stimulus = _ring_stimulus(chain3)
+    heap = simulate(
+        chain3, stimulus, config=ddm_config(), queue_kind="heap",
+        engine_kind=engine_kind,
+    )
+    sorted_list = simulate(
+        chain3, stimulus, config=ddm_config(), queue_kind="sorted-list",
+        engine_kind=engine_kind,
+    )
+    assert heap.stats.events_executed == sorted_list.stats.events_executed
+    assert heap.stats.events_filtered == sorted_list.stats.events_filtered
+    for name in chain3.nets:
+        assert heap.traces[name].edges() == sorted_list.traces[name].edges()
+    assert heap.simulator.queue_kind == "heap"
+    assert sorted_list.simulator.queue_kind == "sorted-list"
+
+
+@pytest.mark.parametrize("engine_kind", ALL_KINDS)
+def test_backends_honor_max_events(engine_kind):
+    netlist = modules.array_multiplier(4)
+    from repro.stimuli.vectors import PAPER_SEQUENCE_1, multiplication_sequence
+
+    stimulus = multiplication_sequence(PAPER_SEQUENCE_1)
+    config = ddm_config(max_events=10)
+    with pytest.raises(SimulationLimitError) as excinfo:
+        simulate(netlist, stimulus, config=config, engine_kind=engine_kind)
+    assert "event budget (10)" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("engine_kind", ALL_KINDS)
+def test_backends_honor_record_filtered(engine_kind):
+    netlist = modules.array_multiplier(4)
+    from repro.stimuli.vectors import PAPER_SEQUENCE_1, multiplication_sequence
+
+    stimulus = multiplication_sequence(PAPER_SEQUENCE_1)
+    on = simulate(
+        netlist, stimulus, config=ddm_config(record_filtered=True),
+        engine_kind=engine_kind,
+    )
+    off = simulate(
+        netlist, stimulus, config=ddm_config(record_filtered=False),
+        engine_kind=engine_kind,
+    )
+    assert on.stats.events_filtered > 0
+    assert len(on.simulator.filtered_log) == on.stats.events_filtered
+    assert off.simulator.filtered_log == []
+    record = on.simulator.filtered_log[0]
+    assert record.gate_name in netlist.gates
+    assert record.net_name in netlist.nets
+
+
+@pytest.mark.parametrize("engine_kind", ALL_KINDS)
+def test_backends_honor_record_traces_off(chain3, engine_kind):
+    result = simulate(
+        chain3, _ring_stimulus(chain3),
+        config=ddm_config(record_traces=False), engine_kind=engine_kind,
+    )
+    assert len(result.traces) == 0
+    assert result.stats.events_executed > 0
+
+
+@pytest.mark.parametrize("engine_kind", ALL_KINDS)
+def test_value_on_undriven_net_raises(engine_kind):
+    """Both backends must reject undriven nets identically (the compiled
+    driver array uses a -1 sentinel that must not wrap via negative
+    indexing)."""
+    from repro.circuit.library import default_library
+    from repro.circuit.netlist import Netlist
+
+    library = default_library()
+    netlist = Netlist(name="floating", vdd=library.vdd)
+    source = netlist.add_primary_input("a")
+    driven = netlist.add_net("y")
+    netlist.add_gate("g0", library.get("INV"), [source], driven)
+    netlist.add_net("floating")  # declared, never driven, not a PI
+
+    # record_traces=False: the undriven net has no DC value, so trace
+    # creation would fail before value() is ever reachable.
+    engine = make_engine(
+        netlist, config=ddm_config(record_traces=False), engine_kind=engine_kind
+    )
+    engine.initialize({"a": 0})
+    assert engine.value("y") == 1
+    with pytest.raises(SimulationError):
+        engine.value("floating")
+
+
+def test_netlist_compile_is_cached(chain3):
+    first = chain3.compile()
+    assert isinstance(first, CompiledNetlist)
+    assert chain3.compile() is first
+
+
+def test_netlist_compile_invalidated_by_structural_change():
+    from repro.circuit.builder import CircuitBuilder
+
+    builder = CircuitBuilder(name="grow")
+    a = builder.input("a")
+    y = builder.inv(a, name="g0")
+    netlist = builder.netlist
+    first = netlist.compile()
+    builder.output(builder.inv(y, name="g1"), "out")
+    second = netlist.compile()
+    assert second is not first
+    assert second.num_gates == first.num_gates + 1
+
+
+def test_compiled_rejects_foreign_lowering(chain3, c17):
+    with pytest.raises(SimulationError):
+        CompiledSimulator(chain3, compiled=c17.compile())
+
+
+def test_compiled_as_numpy_views():
+    pytest.importorskip("numpy")
+    netlist = modules.c17()
+    compiled = netlist.compile()
+    arrays = compiled.as_numpy()
+    assert arrays["vt_fraction"].shape == (compiled.num_inputs,)
+    assert arrays["fanout_offsets"].shape == (compiled.num_nets + 1,)
+    assert int(arrays["fanout_offsets"][-1]) == len(compiled.fanout_targets)

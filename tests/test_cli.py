@@ -29,6 +29,28 @@ def test_simulate_cdm_mode(capsys):
     assert "HALOTIS-CDM" in capsys.readouterr().out
 
 
+def test_simulate_compiled_engine_matches_reference(capsys):
+    assert main([
+        "simulate", "--circuit", "c17", "--vectors", "5", "--engine", "compiled",
+    ]) == 0
+    compiled_out = capsys.readouterr().out
+    assert "engine: compiled" in compiled_out
+    assert main([
+        "simulate", "--circuit", "c17", "--vectors", "5", "--engine", "reference",
+    ]) == 0
+    reference_out = capsys.readouterr().out
+    assert "engine: reference" in reference_out
+    # identical event counts: the engine line is the only difference
+    assert [line for line in compiled_out.splitlines() if "events" in line] == [
+        line for line in reference_out.splitlines() if "events" in line
+    ]
+
+
+def test_simulate_rejects_unknown_engine(capsys):
+    with pytest.raises(SystemExit):
+        main(["simulate", "--circuit", "c17", "--engine", "warp"])
+
+
 def test_simulate_bench_file(tmp_path, capsys):
     bench = tmp_path / "tiny.bench"
     bench.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")

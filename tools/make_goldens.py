@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Deterministically (re)generate the committed golden files.
+
+Currently one golden exists: ``tests/data/golden_mult4_seq1_ddm.json``,
+the exact HALOTIS-DDM edge lists of the Figure 6 run (4x4 multiplier,
+paper sequence 1, default library).  The payload depends only on the
+library numbers and the kernel arithmetic — no randomness, no wall
+clock — so regeneration is reproducible bit-for-bit.
+
+Usage::
+
+    python tools/make_goldens.py          # rewrite the golden file(s)
+    python tools/make_goldens.py --check  # exit 1 if committed goldens
+                                          # differ from current behaviour
+
+Run with ``--check`` in CI; run without arguments (and commit the
+result) after an *intended* behaviour change, e.g. a re-characterised
+library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def _load_golden_module():
+    """Import tests/test_golden_regression.py by path (tests/ is not a
+    package), so this tool and the regression test can never drift."""
+    path = ROOT / "tests" / "test_golden_regression.py"
+    spec = importlib.util.spec_from_file_location("golden_regression", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed goldens instead of rewriting them",
+    )
+    args = parser.parse_args(argv)
+
+    module = _load_golden_module()
+    golden_path = module.GOLDEN_PATH
+    golden_path.parent.mkdir(parents=True, exist_ok=True)
+
+    if args.check:
+        if not golden_path.exists():
+            print("MISSING %s (run tools/make_goldens.py)" % golden_path)
+            return 1
+        committed = json.loads(golden_path.read_text())
+        current = module._current()
+        for key in ("stats", "edges"):
+            if committed.get(key) != current[key]:
+                print(
+                    "STALE %s: %r differs from current behaviour "
+                    "(rerun tools/make_goldens.py if the change is "
+                    "intended)" % (golden_path, key)
+                )
+                return 1
+        print("OK %s" % golden_path)
+        return 0
+
+    module.regenerate()
+    print("wrote %s" % golden_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
