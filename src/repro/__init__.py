@@ -48,9 +48,11 @@ from .core.engine import (
     HalotisSimulator,
     SimulationResult,
     make_engine,
+    run_stimulus,
     simulate,
 )
 from .core.compiled import CompiledNetlist, CompiledSimulator
+from .core.batch import BatchResult, simulate_batch
 from .core.cdm import ConventionalDelayModel
 from .core.ddm import DegradationDelayModel
 from .stimuli.vectors import (
@@ -83,8 +85,11 @@ __all__ = [
     "CompiledNetlist",
     "CompiledSimulator",
     "SimulationResult",
+    "BatchResult",
     "make_engine",
+    "run_stimulus",
     "simulate",
+    "simulate_batch",
     "DegradationDelayModel",
     "ConventionalDelayModel",
     "VectorSequence",

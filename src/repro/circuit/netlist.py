@@ -185,6 +185,10 @@ class Netlist:
         if not net.is_primary_output:
             net.is_primary_output = True
             self.primary_outputs.append(net)
+            # The lowering captures primary-output flags, so marking an
+            # output after a compile() must invalidate the cached
+            # CompiledNetlist (it would otherwise miss the new output).
+            self._structure_version += 1
 
     def add_gate(
         self,
@@ -269,14 +273,28 @@ class Netlist:
         for gate in self.gates.values():
             yield from gate.inputs
 
+    def invalidate_lowering(self) -> None:
+        """Force the next :meth:`compile` to re-lower the netlist.
+
+        Every ``Netlist`` method that changes structure (``add_net``,
+        ``add_gate``, ``mark_primary_output``, renames) already
+        invalidates the cache.  Call this after mutating attributes
+        *directly* — e.g. assigning ``net.wire_cap`` or a
+        ``GateInput.vt`` on an already-built circuit — since the
+        lowering folds loads and thresholds into its arrays and cannot
+        observe those assignments.
+        """
+        self._structure_version += 1
+
     def compile(self):
         """Lower this netlist into struct-of-arrays form.
 
         Returns a :class:`repro.core.compiled.CompiledNetlist` snapshot
         of the current structure.  The lowering is cached and reused
         until the netlist changes structurally (``add_net``,
-        ``add_gate``, net renames), so repeated simulations of the same
-        circuit pay the lowering cost once.
+        ``add_gate``, ``mark_primary_output``, net renames, or an
+        explicit :meth:`invalidate_lowering`), so repeated simulations
+        of the same circuit pay the lowering cost once.
         """
         cached = self._compiled_cache
         if cached is not None and cached[0] == self._structure_version:
@@ -290,6 +308,73 @@ class Netlist:
     def source_nets(self) -> List[Net]:
         """Nets with no driving gate: primary inputs and constants."""
         return [net for net in self.nets.values() if net.driver is None]
+
+    # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+
+    def __reduce__(self):
+        """Pickle via a flat snapshot instead of the object graph.
+
+        The Net <-> Gate <-> GateInput graph is deeply self-referential,
+        so default pickling recurses once per connectivity edge and
+        overflows the interpreter stack on circuits of a few hundred
+        gates.  Reducing to primitive records (and rebuilding
+        iteratively) keeps pickling O(size) with O(1) stack — this is
+        what lets batched simulation ship one netlist to worker
+        processes (:mod:`repro.core.batch`), and it makes
+        ``copy.deepcopy`` work on large circuits as a side effect.
+        """
+        return (_rebuild_netlist, (self._flat_state(),))
+
+    def _flat_state(self) -> Dict[str, object]:
+        """Primitive-only snapshot of the full netlist structure.
+
+        Preserves dict insertion order, dense indices, pin-exact
+        ``vt``/``cap`` values (which may have been overridden per
+        instance) and whether a lowering was cached, so the rebuilt
+        netlist is behaviourally indistinguishable from the original.
+        """
+        cached = self._compiled_cache
+        return {
+            "name": self.name,
+            "vdd": self.vdd,
+            "nets": [
+                (
+                    net.name,
+                    net.wire_cap,
+                    net.is_primary_input,
+                    net.is_primary_output,
+                    net.constant_value,
+                    net.index,
+                )
+                for net in self.nets.values()
+            ],
+            "primary_inputs": [net.name for net in self.primary_inputs],
+            "primary_outputs": [net.name for net in self.primary_outputs],
+            "gates": [
+                (
+                    gate.name,
+                    gate.cell,
+                    gate.output.name,
+                    [gate_input.net.name for gate_input in gate.inputs],
+                    [gate_input.vt for gate_input in gate.inputs],
+                    [gate_input.cap for gate_input in gate.inputs],
+                    gate.index,
+                )
+                for gate in self.gates.values()
+            ],
+            "version": self._structure_version,
+            # The lowered arrays travel with the snapshot (the lowering
+            # strips its netlist back-reference for transport, see
+            # CompiledNetlist.__getstate__), so a worker process starts
+            # warm without re-lowering.
+            "compiled": (
+                cached[1]
+                if cached is not None and cached[0] == self._structure_version
+                else None
+            ),
+        }
 
     # ------------------------------------------------------------------
     # ordering
@@ -341,3 +426,46 @@ class Netlist:
             len(self.gates),
             len(self.nets),
         )
+
+
+def _rebuild_netlist(state: Dict[str, object]) -> Netlist:
+    """Inverse of :meth:`Netlist._flat_state` (module-level so pickles
+    reference it by qualified name)."""
+    netlist = Netlist(state["name"], vdd=state["vdd"])
+    for name, wire_cap, is_pi, is_po, constant, index in state["nets"]:
+        net = Net(name, wire_cap=wire_cap)
+        net.is_primary_input = is_pi
+        net.is_primary_output = is_po
+        net.constant_value = constant
+        net.index = index
+        netlist.nets[name] = net
+    netlist.primary_inputs = [netlist.nets[n] for n in state["primary_inputs"]]
+    netlist.primary_outputs = [netlist.nets[n] for n in state["primary_outputs"]]
+    for name, cell, output_name, input_names, vts, caps, index in state["gates"]:
+        output_net = netlist.nets[output_name]
+        gate = Gate(name, cell, output_net)
+        gate.index = index
+        for pin_index, input_name in enumerate(input_names):
+            gate_input = GateInput(
+                gate,
+                pin_index,
+                netlist.nets[input_name],
+                vt=vts[pin_index],
+                cap=caps[pin_index],
+            )
+            gate.inputs.append(gate_input)
+            netlist.nets[input_name].fanouts.append(gate_input)
+        output_net.driver = gate
+        netlist.gates[name] = gate
+    netlist._renumber_inputs()
+    netlist._structure_version = state["version"]
+    compiled = state["compiled"]
+    if compiled is not None and compiled.netlist is None:
+        # Adopt the transported lowering only when it is detached
+        # (pickle/deepcopy strip the back-reference).  copy.copy hands
+        # the *live* lowering through the shared state dict — adopting
+        # that one would steal it from the original netlist, so a
+        # shallow copy simply starts cold and re-lowers on demand.
+        compiled.netlist = netlist
+        netlist._compiled_cache = (netlist._structure_version, compiled)
+    return netlist

@@ -24,11 +24,14 @@ from .circuit.library import default_library
 from .config import DelayMode, cdm_config, ddm_config
 # importing .core.engine initialises the repro.core package, which
 # registers every backend in ENGINE_KINDS
+from .core.batch import simulate_batch
 from .core.engine import ENGINE_KINDS, simulate
-from .errors import ReproError
+from .errors import ReproError, SimulationError
+from .io_formats.batch_results import BATCH_FORMATS, write_batch_results
 from .io_formats.json_results import dump_results
 from .io_formats.vcd import write_vcd
-from .stimuli.patterns import random_vectors
+from .stimuli.patterns import random_vector_batch, random_vectors
+from .stimuli.vectors import load_vector_batches
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,13 +78,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate_cmd.add_argument(
         "--vectors", type=int, default=10,
-        help="number of random input vectors (default 10)",
+        help="number of random input vectors (default 10); in batch "
+        "mode, vectors per sequence",
     )
     simulate_cmd.add_argument(
         "--period", type=float, default=5.0, help="vector period in ns"
     )
     simulate_cmd.add_argument("--seed", type=int, default=0)
     simulate_cmd.add_argument("--vcd", metavar="PATH", help="dump waveforms as VCD")
+    batch_source = simulate_cmd.add_mutually_exclusive_group()
+    batch_source.add_argument(
+        "--batch", type=int, metavar="N",
+        help="batch mode: run N random vector sequences (seeds "
+        "seed..seed+N-1) through one shared lowering",
+    )
+    batch_source.add_argument(
+        "--vector-file", metavar="PATH",
+        help="batch mode: read explicit vector sequences from a JSON "
+        "file (a list of {steps: [[time, {net: value}], ...]} objects)",
+    )
+    simulate_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for batch mode (default 1: in-process)",
+    )
+    simulate_cmd.add_argument(
+        "--batch-out", metavar="DIR",
+        help="write per-vector batch results into DIR",
+    )
+    simulate_cmd.add_argument(
+        "--batch-format", choices=sorted(BATCH_FORMATS), default="json",
+        help="per-vector result format for --batch-out (default json)",
+    )
 
     characterize = commands.add_parser(
         "characterize",
@@ -149,6 +176,13 @@ def _cmd_simulate(args) -> int:
     else:
         netlist = _BUILTIN_CIRCUITS[args.circuit]()
     config = ddm_config() if args.mode == "ddm" else cdm_config()
+    if args.batch is not None or args.vector_file:
+        return _cmd_simulate_batch(args, netlist, config)
+    if args.batch_out or args.jobs != 1:
+        raise SimulationError(
+            "--jobs/--batch-out apply to batch mode only; add --batch N "
+            "or --vector-file PATH"
+        )
     stimulus = random_vectors(
         [net.name for net in netlist.primary_inputs],
         count=args.vectors,
@@ -164,6 +198,45 @@ def _cmd_simulate(args) -> int:
     if args.vcd:
         write_vcd(result.traces, args.vcd, module_name=netlist.name)
         print("VCD written to %s" % args.vcd)
+    return 0
+
+
+def _cmd_simulate_batch(args, netlist, config) -> int:
+    """The ``simulate --batch`` / ``--vector-file`` path: one lowering,
+    N vector sequences, optional per-vector result files."""
+    if args.vcd:
+        raise SimulationError(
+            "--vcd applies to single runs; use --batch-out with "
+            "--batch-format csv for per-vector waveforms"
+        )
+    if args.vector_file:
+        stimuli = load_vector_batches(args.vector_file)
+    else:
+        stimuli = random_vector_batch(
+            [net.name for net in netlist.primary_inputs],
+            batch=args.batch,
+            count=args.vectors,
+            period=args.period,
+            base_seed=args.seed,
+        )
+    batch = simulate_batch(
+        netlist,
+        stimuli,
+        config=config,
+        engine_kind=args.engine,
+        jobs=args.jobs,
+    )
+    print(circuit_stats.gather(netlist).format())
+    print()
+    print("mode: HALOTIS-%s (batch)" % args.mode.upper())
+    print(batch.format())
+    if args.batch_out:
+        written = write_batch_results(
+            batch, args.batch_out, fmt=args.batch_format
+        )
+        print(
+            "%d result files written to %s" % (len(written), args.batch_out)
+        )
     return 0
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+from typing import Optional
 
 from . import units
 
@@ -63,6 +64,11 @@ class SimulationConfig:
             inspection.
         default_input_slew: transition time, in ns, applied to primary-input
             ramps when the stimulus does not specify one.
+        batch_jobs: default worker-process count for
+            :func:`repro.core.batch.simulate_batch`; 1 (the default)
+            runs every vector in-process through one reused engine.
+        batch_chunk_size: vectors per shard in process-pool batch mode;
+            None splits the batch evenly across the workers.
     """
 
     delay_mode: DelayMode = DelayMode.DDM
@@ -74,6 +80,8 @@ class SimulationConfig:
     record_traces: bool = True
     record_filtered: bool = False
     default_input_slew: float = 0.20
+    batch_jobs: int = 1
+    batch_chunk_size: Optional[int] = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` for out-of-range settings."""
@@ -87,6 +95,10 @@ class SimulationConfig:
             raise ValueError("time_resolution must be non-negative")
         if self.default_input_slew <= 0.0:
             raise ValueError("default_input_slew must be positive")
+        if self.batch_jobs < 1:
+            raise ValueError("batch_jobs must be >= 1")
+        if self.batch_chunk_size is not None and self.batch_chunk_size < 1:
+            raise ValueError("batch_chunk_size must be >= 1 (or None)")
 
     def with_mode(self, delay_mode: DelayMode) -> "SimulationConfig":
         """Return a copy differing only in ``delay_mode``.

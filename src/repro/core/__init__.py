@@ -23,10 +23,13 @@ from .engine import (
     ENGINE_KINDS,
     EngineBase,
     HalotisSimulator,
+    SimulationResult,
     make_engine,
+    run_stimulus,
     simulate,
 )
 from .compiled import CompiledNetlist, CompiledSimulator
+from .batch import BatchResult, simulate_batch
 from .trace import NetTrace, TraceSet
 from .stats import SimulationStatistics
 
@@ -44,10 +47,14 @@ __all__ = [
     "ENGINE_KINDS",
     "EngineBase",
     "HalotisSimulator",
+    "SimulationResult",
     "CompiledNetlist",
     "CompiledSimulator",
+    "BatchResult",
     "make_engine",
+    "run_stimulus",
     "simulate",
+    "simulate_batch",
     "NetTrace",
     "TraceSet",
     "SimulationStatistics",

@@ -1,0 +1,280 @@
+"""Batched multi-vector simulation: lower once, simulate many.
+
+The single-shot front end (:func:`repro.core.engine.simulate`) pays per
+call for engine construction and — on the compiled backend — for the
+struct-of-arrays lowering (amortised by the cache on the netlist, but
+still per-object bookkeeping).  Throughput workloads ask a different
+question: *one* circuit, *N* stimulus sequences.  This module answers it
+the way LightningSim/GSIM-style simulators do — compile the circuit
+once, then stream every vector through reused simulator state:
+
+* :func:`simulate_batch` builds one engine (one
+  :class:`~repro.core.compiled.CompiledNetlist` lowering for the
+  compiled backend) and replays each :class:`VectorSequence` through it
+  via :func:`repro.core.engine.run_stimulus`.  Re-initialisation resets
+  all dynamic state, so vector ``i`` of a batch is bit-identical to a
+  standalone ``simulate()`` of the same stimulus (parity-tested in
+  ``tests/core/test_batch.py``).
+* With ``jobs > 1`` the batch is sharded across worker processes: the
+  netlist — including its cached lowering — is pickled once per shard,
+  and each worker runs its shard as an in-process batch.  Results come
+  back in input order with ``result.simulator`` set to None (engines do
+  not cross process boundaries).
+
+:class:`BatchResult` wraps the per-vector
+:class:`~repro.core.engine.SimulationResult` list with aggregate
+statistics and wall-clock accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Netlist
+from ..config import SimulationConfig
+from ..errors import SimulationError
+from .engine import (
+    ENGINE_KINDS,
+    SimulationResult,
+    _ensure_backends_registered,
+    make_engine,
+    run_stimulus,
+)
+from .stats import SimulationStatistics
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Results of one :func:`simulate_batch` call.
+
+    Attributes:
+        results: one :class:`SimulationResult` per input stimulus, in
+            input order.
+        engine_kind: backend every vector ran on.
+        jobs: worker processes used (1 = in-process).
+        lowering_seconds: wall-clock spent lowering the netlist up
+            front (0.0 when the lowering was already cached or the
+            backend does not lower).
+        wall_seconds: end-to-end wall-clock of the whole batch,
+            including sharding overhead.
+    """
+
+    results: List[SimulationResult]
+    engine_kind: str
+    jobs: int
+    lowering_seconds: float
+    wall_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[SimulationResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> SimulationResult:
+        return self.results[index]
+
+    def aggregate_stats(self) -> SimulationStatistics:
+        """Counters summed over every vector of the batch.
+
+        Aggregation iterates the dataclass fields, so counters added to
+        :class:`SimulationStatistics` later are summed automatically
+        (numeric fields add, dict fields merge per key).
+        ``runtime_seconds`` is the summed in-kernel time; compare with
+        ``wall_seconds`` for the batching/sharding overhead.
+        """
+        total = SimulationStatistics()
+        fields = dataclasses.fields(SimulationStatistics)
+        for result in self.results:
+            for field in fields:
+                value = getattr(result.stats, field.name)
+                if isinstance(value, dict):
+                    merged = getattr(total, field.name)
+                    for key, count in value.items():
+                        merged[key] = merged.get(key, 0) + count
+                else:
+                    setattr(
+                        total, field.name, getattr(total, field.name) + value
+                    )
+        return total
+
+    def per_vector_seconds(self) -> List[float]:
+        """In-kernel wall-clock of each vector's run."""
+        return [result.stats.runtime_seconds for result in self.results]
+
+    def format(self) -> str:
+        """Multi-line human-readable batch summary."""
+        count = len(self.results)
+        lines = [
+            "vectors:                %d" % count,
+            "engine:                 %s" % self.engine_kind,
+            "jobs:                   %d" % self.jobs,
+            "lowering:               %.4f s" % self.lowering_seconds,
+            "batch wall-clock:       %.4f s" % self.wall_seconds,
+        ]
+        if count:
+            lines.append(
+                "amortised per vector:   %.6f s" % (self.wall_seconds / count)
+            )
+        lines.append("--- aggregate over all vectors ---")
+        lines.append(self.aggregate_stats().format())
+        return "\n".join(lines)
+
+
+def _shard_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, end)`` shards of ``chunk_size`` vectors."""
+    return [
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    ]
+
+
+def _simulate_shard(payload) -> List[SimulationResult]:
+    """Worker-process entry point: one shard as an in-process batch.
+
+    Module-level so it pickles; the netlist inside ``payload`` carries
+    its cached lowering across the process boundary, so workers never
+    re-lower.  Engines are stripped from the returned results — they
+    are process-local and expensive to pickle.
+    """
+    netlist, stimuli, config, settle, queue_kind, seed, engine_kind = payload
+    batch = simulate_batch(
+        netlist,
+        stimuli,
+        config=config,
+        settle=settle,
+        queue_kind=queue_kind,
+        seed=seed,
+        engine_kind=engine_kind,
+        jobs=1,
+    )
+    for result in batch.results:
+        result.simulator = None
+    return batch.results
+
+
+def simulate_batch(
+    netlist: Netlist,
+    stimuli: Sequence,
+    config: Optional[SimulationConfig] = None,
+    settle: float = 0.0,
+    queue_kind: str = "heap",
+    seed: Optional[Mapping[str, int]] = None,
+    engine_kind: Optional[str] = None,
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> BatchResult:
+    """Run N stimulus sequences through one circuit, lowering it once.
+
+    Every entry of ``stimuli`` follows the
+    :class:`repro.stimuli.vectors.VectorSequence` protocol; ``config``,
+    ``settle``, ``queue_kind``, ``seed`` and ``engine_kind`` mean
+    exactly what they mean for :func:`repro.core.engine.simulate` and
+    apply to every vector.  Result ``i`` is bit-identical to
+    ``simulate(netlist, stimuli[i], ...)``.
+
+    ``jobs`` (default ``config.batch_jobs``) > 1 shards the batch
+    across worker processes, ``chunk_size`` (default
+    ``config.batch_chunk_size``, else an even split) vectors per shard;
+    the netlist and its cached lowering are pickled once per shard.
+    """
+    stimuli = list(stimuli)
+    if not stimuli:
+        raise SimulationError("simulate_batch() needs at least one stimulus")
+    if config is None:
+        config = SimulationConfig()
+    config.validate()
+    if engine_kind is None:
+        engine_kind = config.engine_kind
+    if jobs is None:
+        jobs = config.batch_jobs
+    if jobs < 1:
+        raise SimulationError("jobs must be >= 1, got %d" % jobs)
+    if chunk_size is None:
+        chunk_size = config.batch_chunk_size
+    if chunk_size is not None and chunk_size < 1:
+        raise SimulationError("chunk_size must be >= 1, got %d" % chunk_size)
+
+    wall_start = _time.perf_counter()
+
+    # Pay the lowering once, up front — the in-process path hands it to
+    # one shared engine, the sharded path pickles it to every worker.
+    # Whether a backend lowers at all comes from the registry, not from
+    # a hard-coded backend name.
+    lowering_seconds = 0.0
+    _ensure_backends_registered()
+    engine_cls = ENGINE_KINDS.get(engine_kind)
+    # An unknown engine_kind falls through to make_engine, which raises
+    # the canonical "unknown engine kind" error.
+    if engine_cls is not None and engine_cls.lowers_netlist:
+        lowering_start = _time.perf_counter()
+        netlist.compile()
+        lowering_seconds = _time.perf_counter() - lowering_start
+
+    jobs = min(jobs, len(stimuli))
+    if jobs <= 1:
+        simulator = make_engine(
+            netlist, config=config, queue_kind=queue_kind, engine_kind=engine_kind
+        )
+        results = [
+            run_stimulus(simulator, stimulus, settle=settle, seed=seed)
+            for stimulus in stimuli
+        ]
+    else:
+        results = _simulate_sharded(
+            netlist, stimuli, config, settle, queue_kind, seed, engine_kind,
+            jobs, chunk_size,
+        )
+
+    return BatchResult(
+        results=results,
+        engine_kind=engine_kind,
+        jobs=jobs,
+        lowering_seconds=lowering_seconds,
+        wall_seconds=_time.perf_counter() - wall_start,
+    )
+
+
+def _simulate_sharded(
+    netlist: Netlist,
+    stimuli: List,
+    config: SimulationConfig,
+    settle: float,
+    queue_kind: str,
+    seed: Optional[Mapping[str, int]],
+    engine_kind: str,
+    jobs: int,
+    chunk_size: Optional[int],
+) -> List[SimulationResult]:
+    """Fan shards across a process pool; results return in input order."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    if chunk_size is None:
+        chunk_size = -(-len(stimuli) // jobs)  # ceil division: even split
+    bounds = _shard_bounds(len(stimuli), chunk_size)
+    results: List[Optional[SimulationResult]] = [None] * len(stimuli)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(bounds))) as pool:
+        futures = [
+            (
+                start,
+                pool.submit(
+                    _simulate_shard,
+                    (
+                        netlist,
+                        stimuli[start:end],
+                        config,
+                        settle,
+                        queue_kind,
+                        seed,
+                        engine_kind,
+                    ),
+                ),
+            )
+            for start, end in bounds
+        ]
+        for start, future in futures:
+            for offset, result in enumerate(future.result()):
+                results[start + offset] = result
+    return results  # type: ignore[return-value]

@@ -78,6 +78,7 @@ class CompiledNetlist:
         "net_names",
         "net_constant",
         "net_is_pi",
+        "net_is_po",
         "net_driver",
         "net_load",
         "fanout_offsets",
@@ -118,6 +119,7 @@ class CompiledNetlist:
         self.net_names: List[str] = [net.name for net in nets]
         self.net_constant: List[Optional[int]] = [net.constant_value for net in nets]
         self.net_is_pi = array("b", [1 if net.is_primary_input else 0 for net in nets])
+        self.net_is_po = array("b", [1 if net.is_primary_output else 0 for net in nets])
         self.net_driver = array(
             "q", [net.driver.index if net.driver is not None else -1 for net in nets]
         )
@@ -199,6 +201,33 @@ class CompiledNetlist:
         self.input_net = input_net
         self.arc_rise = arc_rise
         self.arc_fall = arc_fall
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the lowered arrays without the netlist back-reference.
+
+        A ``CompiledNetlist`` travels across process boundaries *inside*
+        its owning netlist's flat snapshot
+        (:meth:`repro.circuit.netlist.Netlist._flat_state`); the netlist
+        re-attaches itself on rebuild.  Keeping the back-reference out of
+        the state breaks the reduce-time cycle between the two objects —
+        and means a ``CompiledNetlist`` pickled on its own comes back
+        with ``netlist`` set to None.
+        """
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["netlist"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def primary_output_names(self) -> List[str]:
+        """Names of the primary outputs captured by this lowering."""
+        return [
+            name
+            for name, is_po in zip(self.net_names, self.net_is_po)
+            if is_po
+        ]
 
     def as_numpy(self) -> Dict[str, "object"]:
         """The index/parameter arrays as numpy vectors (optional dep).
@@ -361,6 +390,8 @@ class CompiledSimulator(EngineBase):
         compiled: optional pre-built :class:`CompiledNetlist` (must wrap
             ``netlist``); lets many simulators share one lowering.
     """
+
+    lowers_netlist = True
 
     def __init__(
         self,

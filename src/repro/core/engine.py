@@ -139,6 +139,11 @@ class EngineBase(abc.ABC):
     #: registry key, set by :func:`register_engine`.
     kind: str = "abstract"
 
+    #: True for backends that run over a ``Netlist.compile()`` lowering;
+    #: batch drivers use this to pay the lowering once up front (and to
+    #: ship it to shard workers) without hard-coding backend names.
+    lowers_netlist: bool = False
+
     def __init__(
         self,
         netlist: Netlist,
@@ -577,12 +582,51 @@ class HalotisSimulator(EngineBase):
 
 @dataclasses.dataclass
 class SimulationResult:
-    """Bundle returned by :func:`simulate`."""
+    """Bundle returned by :func:`simulate` (and, per vector, by
+    :func:`repro.core.batch.simulate_batch`).
+
+    ``simulator`` is the engine the run executed on.  Batched runs reuse
+    one engine across vectors, so there it reflects the *last* vector's
+    final state; process-sharded batch results carry ``None`` (the
+    worker's engine cannot cross the process boundary).
+    """
 
     traces: TraceSet
     stats: SimulationStatistics
     final_values: Dict[str, int]
-    simulator: EngineBase
+    simulator: Optional[EngineBase]
+
+
+def run_stimulus(
+    simulator: EngineBase,
+    stimulus,
+    settle: float = 0.0,
+    seed: Optional[Mapping[str, int]] = None,
+) -> SimulationResult:
+    """Run one complete ``stimulus`` through ``simulator``.
+
+    (Re-)initialises the engine from the stimulus' DC assignment, plays
+    every change, settles past the horizon and drains the queue — the
+    loop behind :func:`simulate`, exposed separately so batched runs
+    (:func:`repro.core.batch.simulate_batch`) can push many stimuli
+    through one reused engine.  The engine's statistics object is
+    replaced (not reset) so every returned result owns its counters.
+    """
+    simulator.stats = SimulationStatistics()
+    simulator.initialize(stimulus.initial_values(simulator.netlist), seed=seed)
+    changes: Iterable[Tuple[float, Mapping[str, int], Optional[float]]]
+    changes = stimulus.iter_changes()
+    for at_time, assignments, slew in changes:
+        simulator.run(until=at_time)
+        simulator.apply_word(assignments, at_time, slew)
+    simulator.run(until=stimulus.horizon + settle)
+    simulator.run()  # drain any events scheduled past the horizon
+    return SimulationResult(
+        traces=simulator.traces,
+        stats=simulator.stats,
+        final_values=simulator.values(),
+        simulator=simulator,
+    )
 
 
 def simulate(
@@ -607,17 +651,4 @@ def simulate(
     simulator = make_engine(
         netlist, config=config, queue_kind=queue_kind, engine_kind=engine_kind
     )
-    simulator.initialize(stimulus.initial_values(netlist), seed=seed)
-    changes: Iterable[Tuple[float, Mapping[str, int], Optional[float]]]
-    changes = stimulus.iter_changes()
-    for at_time, assignments, slew in changes:
-        simulator.run(until=at_time)
-        simulator.apply_word(assignments, at_time, slew)
-    simulator.run(until=stimulus.horizon + settle)
-    simulator.run()  # drain any events scheduled past the horizon
-    return SimulationResult(
-        traces=simulator.traces,
-        stats=simulator.stats,
-        final_values=simulator.values(),
-        simulator=simulator,
-    )
+    return run_stimulus(simulator, stimulus, settle=settle, seed=seed)

@@ -15,6 +15,7 @@ from ..analog.simulator import AnalogResult, AnalogSimulator
 from ..circuit import modules
 from ..circuit.netlist import Netlist
 from ..config import DelayMode, SimulationConfig, cdm_config, ddm_config
+from ..core.batch import BatchResult, simulate_batch
 from ..core.engine import SimulationResult, simulate
 from ..stimuli.vectors import (
     PAPER_SEQUENCE_1,
@@ -109,6 +110,42 @@ def run_halotis(
         config=config,
         queue_kind=queue_kind,
         engine_kind=engine_kind,
+    )
+
+
+def paper_stimulus_batch(period: float = PERIOD,
+                         slew: float = INPUT_SLEW) -> List[VectorSequence]:
+    """Both paper sequences as one batch (index 0 = Figure 6, 1 = Figure 7)."""
+    return [paper_stimulus(which, period=period, slew=slew)
+            for which in sorted(SEQUENCE_OPERANDS)]
+
+
+def run_halotis_batch(
+    mode: DelayMode,
+    record_traces: bool = True,
+    queue_kind: str = "heap",
+    engine_kind: str = "reference",
+    jobs: int = 1,
+) -> BatchResult:
+    """Both paper sequences through one lowering via
+    :func:`repro.core.batch.simulate_batch`.
+
+    Result ``which - 1`` is bit-identical to ``run_halotis(which, ...)``
+    with the same knobs; ``jobs > 1`` shards the two sequences across
+    worker processes.
+    """
+    config = ddm_config() if mode is DelayMode.DDM else cdm_config()
+    if not record_traces:
+        config = SimulationConfig(
+            delay_mode=config.delay_mode, record_traces=False
+        )
+    return simulate_batch(
+        multiplier_netlist(),
+        paper_stimulus_batch(),
+        config=config,
+        queue_kind=queue_kind,
+        engine_kind=engine_kind,
+        jobs=jobs,
     )
 
 

@@ -3,6 +3,7 @@
 from .vcd import read_vcd, write_vcd
 from .csv_trace import write_analog_csv, write_trace_csv
 from .json_results import dump_results
+from .batch_results import BATCH_FORMATS, write_batch_results
 from .spice import write_spice
 
 __all__ = [
@@ -11,5 +12,7 @@ __all__ = [
     "write_analog_csv",
     "write_trace_csv",
     "dump_results",
+    "BATCH_FORMATS",
+    "write_batch_results",
     "write_spice",
 ]

@@ -1,0 +1,74 @@
+"""Per-vector export of batched simulation results.
+
+A :class:`~repro.core.batch.BatchResult` holds one
+:class:`~repro.core.engine.SimulationResult` per stimulus;
+:func:`write_batch_results` lays them out as one file per vector plus a
+batch-level summary, in either format:
+
+* ``json`` — ``vector_000.json`` ... with statistics and final values
+  (via :mod:`repro.io_formats.json_results`),
+* ``csv`` — ``vector_000.csv`` ... sampled digital waveforms (via
+  :mod:`repro.io_formats.csv_trace`; requires trace recording).
+
+This is the output side of the CLI's ``simulate --batch`` mode.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from ..errors import AnalysisError
+from .csv_trace import write_trace_csv
+from .json_results import dump_results
+
+#: Formats accepted by :func:`write_batch_results`.
+BATCH_FORMATS = ("json", "csv")
+
+
+def write_batch_results(
+    batch,
+    directory: str,
+    fmt: str = "json",
+    sample_step: float = 0.05,
+) -> List[str]:
+    """Write ``batch`` (a :class:`BatchResult`) into ``directory``.
+
+    Creates the directory if needed, writes ``vector_<i>.<fmt>`` per
+    vector plus ``summary.json`` with the aggregate statistics, and
+    returns the written paths.
+    """
+    if fmt not in BATCH_FORMATS:
+        raise AnalysisError(
+            "unknown batch format %r (choose from %s)" % (fmt, list(BATCH_FORMATS))
+        )
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for position, result in enumerate(batch.results):
+        path = os.path.join(directory, "vector_%03d.%s" % (position, fmt))
+        if fmt == "json":
+            dump_results(
+                {
+                    "index": position,
+                    "stats": result.stats,
+                    "final_values": result.final_values,
+                },
+                path,
+            )
+        else:
+            write_trace_csv(result.traces, path, sample_step=sample_step)
+        written.append(path)
+    summary_path = os.path.join(directory, "summary.json")
+    dump_results(
+        {
+            "vectors": len(batch.results),
+            "engine_kind": batch.engine_kind,
+            "jobs": batch.jobs,
+            "lowering_seconds": batch.lowering_seconds,
+            "wall_seconds": batch.wall_seconds,
+            "aggregate_stats": batch.aggregate_stats(),
+        },
+        summary_path,
+    )
+    written.append(summary_path)
+    return written

@@ -4,17 +4,26 @@ from .vectors import (
     PAPER_SEQUENCE_1,
     PAPER_SEQUENCE_2,
     VectorSequence,
+    load_vector_batches,
     multiplication_sequence,
 )
-from .patterns import glitch_pair, pulse, pulse_train, random_vectors
+from .patterns import (
+    glitch_pair,
+    pulse,
+    pulse_train,
+    random_vector_batch,
+    random_vectors,
+)
 
 __all__ = [
     "VectorSequence",
     "multiplication_sequence",
+    "load_vector_batches",
     "PAPER_SEQUENCE_1",
     "PAPER_SEQUENCE_2",
     "pulse",
     "pulse_train",
     "glitch_pair",
     "random_vectors",
+    "random_vector_batch",
 ]

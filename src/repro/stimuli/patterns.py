@@ -9,7 +9,7 @@ vector streams.
 from __future__ import annotations
 
 import random
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import StimulusError
 from .vectors import VectorSequence
@@ -128,3 +128,34 @@ def random_vectors(
         assignments = {name: generator.randint(0, 1) for name in input_names}
         steps.append((position * period, assignments))
     return VectorSequence(steps, slew=slew, tail=tail)
+
+
+def random_vector_batch(
+    input_names: Sequence[str],
+    batch: int,
+    count: int,
+    period: float,
+    base_seed: int = 0,
+    slew: Optional[float] = None,
+    tail: float = 5.0,
+) -> List[VectorSequence]:
+    """``batch`` independent :func:`random_vectors` sequences.
+
+    Sequence ``k`` uses seed ``base_seed + k``, so the batch is
+    deterministic and each member reproducible standalone — the input
+    generator for :func:`repro.core.batch.simulate_batch` and the CLI's
+    ``simulate --batch`` mode.
+    """
+    if batch < 1:
+        raise StimulusError("batch size must be >= 1")
+    return [
+        random_vectors(
+            input_names,
+            count=count,
+            period=period,
+            seed=base_seed + position,
+            slew=slew,
+            tail=tail,
+        )
+        for position in range(batch)
+    ]

@@ -48,10 +48,17 @@ class VectorSequence:
         slew: input ramp duration in ns applied to every change (None
             defers to the simulator's default).
         defaults: value for primary inputs not mentioned by any step
-            (default 0); pass ``defaults=None`` to *require* full coverage
-            at time 0.
+            (default 0); must be 0, 1 or None.  Pass ``defaults=None``
+            to *require* full coverage at time 0.
         horizon: stimulus end time; default is the last step time plus
-            ``tail``.
+            ``tail``.  When the sequence applies a ramp after time 0,
+            the horizon must lie strictly *after* the last step time — a
+            horizon equal to the last step would declare the stimulus
+            over at the very instant its final input ramp starts.  Note
+            the check is against the ramp's *start*: its duration may
+            come from the simulator (``slew=None``), so leaving the full
+            swing inside the horizon is the caller's job (simulators
+            drain events scheduled past the horizon regardless).
         tail: settle margin used when ``horizon`` is not given.
     """
 
@@ -65,6 +72,10 @@ class VectorSequence:
     ):
         if not steps:
             raise StimulusError("a vector sequence needs at least one step")
+        if defaults is not None and defaults not in (0, 1):
+            raise StimulusError(
+                "defaults must be 0, 1 or None, got %r" % (defaults,)
+            )
         ordered = sorted(steps, key=lambda step: step[0])
         previous_time = None
         for step_time, assignments in ordered:
@@ -86,7 +97,20 @@ class VectorSequence:
         self.defaults = defaults
         last_time = self.steps[-1][0]
         self.horizon = horizon if horizon is not None else last_time + tail
-        if self.horizon < last_time:
+        if last_time > 0.0:
+            # Steps after time 0 are applied as ramps; a horizon at (or
+            # before) the last step would declare the stimulus over
+            # before its final ramp even starts, so equality is rejected
+            # alongside earlier values.  Ramp *durations* cannot be
+            # validated here — slew may be engine-supplied (see the
+            # constructor docstring).
+            if self.horizon <= last_time:
+                raise StimulusError(
+                    "horizon %.4f ns must lie strictly after the last "
+                    "step at %.4f ns (the stimulus would end before its "
+                    "final input ramp begins)" % (self.horizon, last_time)
+                )
+        elif self.horizon < last_time:
             raise StimulusError("horizon lies before the last step")
 
     # -- protocol ------------------------------------------------------
@@ -149,6 +173,57 @@ class VectorSequence:
             steps.append((position * period, assignments))
         return cls(steps, slew=slew, tail=tail)
 
+    # -- serialisation --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form of this sequence (see :meth:`from_dict`)."""
+        payload: Dict[str, object] = {
+            "steps": [
+                [step_time, dict(assignments)]
+                for step_time, assignments in self.steps
+            ],
+            "defaults": self.defaults,
+            "horizon": self.horizon,
+        }
+        if self.slew is not None:
+            payload["slew"] = self.slew
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "VectorSequence":
+        """Build a sequence from the plain-data form of :meth:`to_dict`.
+
+        ``payload`` needs a ``steps`` list of ``[time, {name: value}]``
+        pairs; ``slew``, ``defaults``, ``horizon`` and ``tail`` are
+        optional and follow the constructor semantics (``defaults``
+        omitted means 0, explicit ``null`` means strict coverage).
+        """
+        if not isinstance(payload, Mapping):
+            raise StimulusError(
+                "vector payload must be an object, got %r" % (payload,)
+            )
+        if "steps" not in payload:
+            raise StimulusError("vector payload needs a 'steps' list")
+        try:
+            steps = [
+                (float(step[0]), dict(step[1])) for step in payload["steps"]
+            ]
+        except (TypeError, ValueError, KeyError, IndexError) as error:
+            raise StimulusError(
+                "malformed step in vector payload (expected [time, "
+                "{net: value}] pairs): %s" % error
+            ) from None
+        kwargs: Dict[str, object] = {}
+        if "slew" in payload and payload["slew"] is not None:
+            kwargs["slew"] = float(payload["slew"])
+        if "defaults" in payload:
+            kwargs["defaults"] = payload["defaults"]
+        if "horizon" in payload and payload["horizon"] is not None:
+            kwargs["horizon"] = float(payload["horizon"])
+        if "tail" in payload and payload["tail"] is not None:
+            kwargs["tail"] = float(payload["tail"])
+        return cls(steps, **kwargs)
+
     def __len__(self) -> int:
         return len(self.steps)
 
@@ -157,6 +232,38 @@ class VectorSequence:
             len(self.steps),
             self.horizon,
         )
+
+
+def load_vector_batches(source) -> List["VectorSequence"]:
+    """Read a batch of vector sequences from a JSON file.
+
+    ``source`` is a path or an open text handle.  The document is a JSON
+    list (or a ``{"vectors": [...]}`` object) whose entries follow
+    :meth:`VectorSequence.from_dict`.  This is the on-disk format of the
+    CLI's ``simulate --vector-file`` batch mode.
+    """
+    import json
+
+    try:
+        if hasattr(source, "read"):
+            document = json.load(source)
+        else:
+            with open(source) as handle:
+                document = json.load(handle)
+    except OSError as error:
+        raise StimulusError("cannot read vector file: %s" % error) from None
+    except json.JSONDecodeError as error:
+        raise StimulusError(
+            "vector file is not valid JSON: %s" % error
+        ) from None
+    if isinstance(document, dict):
+        document = document.get("vectors")
+    if not isinstance(document, list) or not document:
+        raise StimulusError(
+            "vector file must contain a non-empty JSON list of sequences "
+            "(or an object with a 'vectors' list)"
+        )
+    return [VectorSequence.from_dict(entry) for entry in document]
 
 
 def multiplication_sequence(

@@ -67,6 +67,82 @@ def test_simulate_writes_vcd(tmp_path, capsys):
     assert "$timescale" in vcd.read_text()
 
 
+def test_simulate_batch_mode(capsys):
+    assert main([
+        "simulate", "--circuit", "c17", "--batch", "3", "--vectors", "2",
+        "--engine", "compiled",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "HALOTIS-DDM (batch)" in out
+    assert "vectors:                3" in out
+    assert "amortised per vector" in out
+
+
+def test_simulate_batch_writes_per_vector_json(tmp_path, capsys):
+    out_dir = tmp_path / "batch"
+    assert main([
+        "simulate", "--circuit", "c17", "--batch", "2", "--vectors", "2",
+        "--batch-out", str(out_dir),
+    ]) == 0
+    assert "result files written" in capsys.readouterr().out
+    names = sorted(p.name for p in out_dir.iterdir())
+    assert names == ["summary.json", "vector_000.json", "vector_001.json"]
+    payload = json.loads((out_dir / "vector_000.json").read_text())
+    assert payload["index"] == 0
+    assert payload["stats"]["events_executed"] > 0
+    summary = json.loads((out_dir / "summary.json").read_text())
+    assert summary["vectors"] == 2
+    assert summary["aggregate_stats"]["events_executed"] > 0
+
+
+def test_simulate_batch_writes_per_vector_csv(tmp_path, capsys):
+    out_dir = tmp_path / "batch_csv"
+    assert main([
+        "simulate", "--circuit", "c17", "--batch", "2", "--vectors", "2",
+        "--batch-out", str(out_dir), "--batch-format", "csv",
+    ]) == 0
+    csv_text = (out_dir / "vector_001.csv").read_text()
+    assert csv_text.startswith("time_ns,")
+
+
+def test_simulate_batch_from_vector_file(tmp_path, capsys):
+    vector_file = tmp_path / "vectors.json"
+    vector_file.write_text(json.dumps([
+        {"steps": [[0.0, {"a": 0}], [2.0, {"a": 1}]]},
+        {"steps": [[0.0, {"a": 1}], [2.0, {"a": 0}]]},
+    ]))
+    bench = tmp_path / "tiny.bench"
+    bench.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+    assert main([
+        "simulate", "--bench", str(bench), "--vector-file", str(vector_file),
+    ]) == 0
+    assert "vectors:                2" in capsys.readouterr().out
+
+
+def test_simulate_batch_jobs(capsys):
+    assert main([
+        "simulate", "--circuit", "c17", "--batch", "4", "--vectors", "1",
+        "--jobs", "2",
+    ]) == 0
+    assert "jobs:                   2" in capsys.readouterr().out
+
+
+def test_simulate_batch_rejects_vcd(capsys):
+    code = main([
+        "simulate", "--circuit", "c17", "--batch", "2", "--vcd", "w.vcd",
+    ])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_simulate_batch_and_vector_file_exclusive(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main([
+            "simulate", "--circuit", "c17", "--batch", "2",
+            "--vector-file", "x.json",
+        ])
+
+
 def test_experiment_fig3(capsys):
     assert main(["experiment", "fig3"]) == 0
     assert "Figure 3" in capsys.readouterr().out

@@ -44,6 +44,10 @@ def test_with_mode_changes_only_mode():
         ("min_delay", -1.0),
         ("time_resolution", -1e-9),
         ("default_input_slew", 0.0),
+        ("batch_jobs", 0),
+        ("batch_jobs", -2),
+        ("batch_chunk_size", 0),
+        ("batch_chunk_size", -1),
     ],
 )
 def test_validate_rejects_bad_values(field, value):
@@ -56,3 +60,10 @@ def test_configs_are_plain_dataclasses():
     config = SimulationConfig()
     clone = dataclasses.replace(config)
     assert clone == config
+
+
+def test_batch_knob_defaults():
+    config = SimulationConfig()
+    assert config.batch_jobs == 1
+    assert config.batch_chunk_size is None
+    ddm_config(batch_jobs=4, batch_chunk_size=8).validate()

@@ -31,6 +31,39 @@ def test_sequence_validation():
         VectorSequence([(0.0, {"a": 0})], horizon=-1.0)
 
 
+def test_defaults_must_be_binary_or_none():
+    with pytest.raises(StimulusError):
+        VectorSequence([(0.0, {"a": 0})], defaults=2)
+    with pytest.raises(StimulusError):
+        VectorSequence([(0.0, {"a": 0})], defaults=-1)
+    # the supported values still work
+    VectorSequence([(0.0, {"a": 0})], defaults=0)
+    VectorSequence([(0.0, {"a": 0})], defaults=1)
+    VectorSequence([(0.0, {"a": 0})], defaults=None)
+
+
+def test_bad_defaults_cannot_leak_into_initial_values():
+    """The regression: defaults=2 used to flow silently into the DC
+    assignment of every uncovered primary input."""
+    with pytest.raises(StimulusError):
+        VectorSequence([(1.0, {"in": 1})], defaults=2)
+
+
+def test_horizon_must_lie_after_the_last_ramped_step():
+    # equality with the last (ramped) step would end the stimulus at the
+    # very instant its final input ramp starts
+    with pytest.raises(StimulusError):
+        VectorSequence([(0.0, {"a": 0}), (5.0, {"a": 1})], horizon=5.0)
+    with pytest.raises(StimulusError):
+        VectorSequence([(0.0, {"a": 0}), (5.0, {"a": 1})], horizon=4.0)
+    # strictly-after is accepted
+    ok = VectorSequence([(0.0, {"a": 0}), (5.0, {"a": 1})], horizon=5.25)
+    assert ok.horizon == 5.25
+    # a DC-only sequence has no ramp in flight: equality stays legal
+    dc = VectorSequence([(0.0, {"a": 0})], horizon=0.0)
+    assert dc.horizon == 0.0
+
+
 def test_initial_values_fill_defaults(chain3):
     sequence = VectorSequence([(1.0, {"in": 1})])
     assert sequence.initial_values(chain3) == {"in": 0}
@@ -131,6 +164,77 @@ def test_glitch_pair_gap():
     assert times == [0.0, 1.0, 1.3, 1.8, 2.0]
     with pytest.raises(StimulusError):
         glitch_pair("x", 1.0, 0.3, 0.0, 0.2)
+
+
+def test_to_dict_from_dict_round_trip():
+    sequence = VectorSequence(
+        [(0.0, {"a": 0, "b": 1}), (2.0, {"a": 1})], slew=0.3, horizon=9.0
+    )
+    clone = VectorSequence.from_dict(sequence.to_dict())
+    assert clone.steps == sequence.steps
+    assert clone.slew == sequence.slew
+    assert clone.defaults == sequence.defaults
+    assert clone.horizon == sequence.horizon
+
+
+def test_from_dict_validates_payload():
+    with pytest.raises(StimulusError):
+        VectorSequence.from_dict({"slew": 0.2})
+    with pytest.raises(StimulusError):
+        VectorSequence.from_dict({"steps": [[0.0, {"a": 2}]]})
+    with pytest.raises(StimulusError):
+        VectorSequence.from_dict({"steps": [[0.0, {"a": 0}]], "defaults": 3})
+    # malformed step shapes surface as StimulusError, not raw TypeError/
+    # KeyError tracebacks (the CLI only catches ReproError)
+    with pytest.raises(StimulusError):
+        VectorSequence.from_dict({"steps": [{"t": 0}]})
+    with pytest.raises(StimulusError):
+        VectorSequence.from_dict({"steps": [["x", {"a": 0}]]})
+    with pytest.raises(StimulusError):
+        VectorSequence.from_dict({"steps": [[0.0]]})
+    with pytest.raises(StimulusError):
+        VectorSequence.from_dict(42)
+
+
+def test_load_vector_batches(tmp_path):
+    import json
+
+    from repro.stimuli.vectors import load_vector_batches
+
+    path = tmp_path / "vectors.json"
+    path.write_text(json.dumps([
+        {"steps": [[0.0, {"a": 0}], [2.0, {"a": 1}]], "slew": 0.25},
+        {"steps": [[0.0, {"a": 1}]], "horizon": 7.5},
+    ]))
+    batch = load_vector_batches(str(path))
+    assert len(batch) == 2
+    assert batch[0].slew == 0.25
+    assert batch[1].horizon == 7.5
+
+    wrapped = tmp_path / "wrapped.json"
+    wrapped.write_text(json.dumps({"vectors": [{"steps": [[0.0, {"a": 0}]]}]}))
+    assert len(load_vector_batches(str(wrapped))) == 1
+
+    empty = tmp_path / "empty.json"
+    empty.write_text("[]")
+    with pytest.raises(StimulusError):
+        load_vector_batches(str(empty))
+
+
+def test_random_vector_batch_deterministic_and_independent():
+    from repro.stimuli.patterns import random_vector_batch
+
+    names = ["a", "b"]
+    batch = random_vector_batch(names, batch=3, count=4, period=2.0,
+                                base_seed=5)
+    assert len(batch) == 3
+    # member k reproduces random_vectors with seed base_seed + k
+    for position, sequence in enumerate(batch):
+        twin = random_vectors(names, count=4, period=2.0, seed=5 + position)
+        assert sequence.steps == twin.steps
+    assert batch[0].steps != batch[1].steps
+    with pytest.raises(StimulusError):
+        random_vector_batch(names, batch=0, count=1, period=1.0)
 
 
 def test_random_vectors_deterministic():
