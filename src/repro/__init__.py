@@ -53,6 +53,7 @@ from .core.engine import (
 )
 from .core.compiled import CompiledNetlist, CompiledSimulator
 from .core.batch import BatchResult, simulate_batch
+from .core.service import BatchJob, SimulationService
 from .core.cdm import ConventionalDelayModel
 from .core.ddm import DegradationDelayModel
 from .stimuli.vectors import (
@@ -86,6 +87,8 @@ __all__ = [
     "CompiledSimulator",
     "SimulationResult",
     "BatchResult",
+    "BatchJob",
+    "SimulationService",
     "make_engine",
     "run_stimulus",
     "simulate",

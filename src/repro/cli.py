@@ -5,10 +5,18 @@ Subcommands:
 * ``experiment {fig1,fig3,fig6,fig7,table1,table2,all}`` — regenerate a
   paper artefact and print the report (``--json`` to archive results).
 * ``simulate`` — run a built-in circuit or a ``.bench`` file through
-  HALOTIS with random or explicit vectors; optional VCD dump.
+  HALOTIS with random or explicit vectors; optional VCD dump.  Batch
+  modes (``--batch`` / ``--vector-file``) run many vector sequences
+  through one lowering, sharded cold with ``--jobs`` or on a
+  persistent warm-engine pool with ``--pool-workers`` (``--shm`` for
+  shared-memory trace transport); ``--stdin-vectors`` turns the
+  command into a long-running streaming service reading one JSON
+  sequence per stdin line.
 * ``characterize`` — extract delay/degradation parameters for a cell
   from the analog substrate and compare with the shipped library.
 * ``info`` — library and circuit inventory.
+
+See docs/performance.md for choosing between these modes.
 """
 
 from __future__ import annotations
@@ -97,9 +105,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="batch mode: read explicit vector sequences from a JSON "
         "file (a list of {steps: [[time, {net: value}], ...]} objects)",
     )
+    batch_source.add_argument(
+        "--stdin-vectors", action="store_true",
+        help="streaming mode: read one vector sequence per line "
+        "(JSON, VectorSequence dict form) from stdin, simulate each "
+        "on a persistent warm-engine pool, and print one JSON result "
+        "line per vector until EOF",
+    )
     simulate_cmd.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for batch mode (default 1: in-process)",
+        help="worker processes for one-shot batch sharding (default 1: "
+        "in-process); each call spawns and tears down its own pool",
+    )
+    simulate_cmd.add_argument(
+        "--pool-workers", type=int, metavar="N",
+        help="run batch/streaming mode on a persistent SimulationService "
+        "with N warm workers (engines built once, reused across vectors) "
+        "instead of cold --jobs sharding",
+    )
+    simulate_cmd.add_argument(
+        "--shm", action="store_true",
+        help="with --pool-workers: return traces through "
+        "multiprocessing.shared_memory record buffers instead of "
+        "pickling (bit-identical results; the default picks shared "
+        "memory automatically when the platform provides it)",
     )
     simulate_cmd.add_argument(
         "--batch-out", metavar="DIR",
@@ -176,12 +205,15 @@ def _cmd_simulate(args) -> int:
     else:
         netlist = _BUILTIN_CIRCUITS[args.circuit]()
     config = ddm_config() if args.mode == "ddm" else cdm_config()
+    if args.stdin_vectors:
+        return _cmd_simulate_stream(args, netlist, config)
     if args.batch is not None or args.vector_file:
         return _cmd_simulate_batch(args, netlist, config)
-    if args.batch_out or args.jobs != 1:
+    if (args.batch_out or args.jobs != 1
+            or args.pool_workers is not None or args.shm):
         raise SimulationError(
-            "--jobs/--batch-out apply to batch mode only; add --batch N "
-            "or --vector-file PATH"
+            "--jobs/--pool-workers/--shm/--batch-out apply to batch mode "
+            "only; add --batch N, --vector-file PATH or --stdin-vectors"
         )
     stimulus = random_vectors(
         [net.name for net in netlist.primary_inputs],
@@ -209,6 +241,16 @@ def _cmd_simulate_batch(args, netlist, config) -> int:
             "--vcd applies to single runs; use --batch-out with "
             "--batch-format csv for per-vector waveforms"
         )
+    if args.pool_workers is not None and args.jobs != 1:
+        raise SimulationError(
+            "--jobs (cold per-call sharding) and --pool-workers (warm "
+            "persistent pool) are alternatives; pick one"
+        )
+    if args.shm and args.pool_workers is None:
+        raise SimulationError(
+            "--shm selects the warm pool's result transport; add "
+            "--pool-workers N (cold --jobs sharding always pickles)"
+        )
     if args.vector_file:
         stimuli = load_vector_batches(args.vector_file)
     else:
@@ -219,16 +261,36 @@ def _cmd_simulate_batch(args, netlist, config) -> int:
             period=args.period,
             base_seed=args.seed,
         )
-    batch = simulate_batch(
-        netlist,
-        stimuli,
-        config=config,
-        engine_kind=args.engine,
-        jobs=args.jobs,
-    )
+    if args.pool_workers is not None:
+        from .core.service import SimulationService
+
+        with SimulationService(
+            netlist,
+            config=config,
+            workers=args.pool_workers,
+            engine_kind=args.engine,
+            shm_transport=True if args.shm else None,
+        ) as service:
+            batch = simulate_batch(
+                netlist, stimuli, config=config, engine_kind=args.engine,
+                service=service,
+            )
+            transport = service.transport
+    else:
+        batch = simulate_batch(
+            netlist,
+            stimuli,
+            config=config,
+            engine_kind=args.engine,
+            jobs=args.jobs,
+        )
+        transport = None
     print(circuit_stats.gather(netlist).format())
     print()
     print("mode: HALOTIS-%s (batch)" % args.mode.upper())
+    if transport is not None:
+        print("service: %d warm workers, %s transport"
+              % (args.pool_workers, transport))
     print(batch.format())
     if args.batch_out:
         written = write_batch_results(
@@ -237,6 +299,78 @@ def _cmd_simulate_batch(args, netlist, config) -> int:
         print(
             "%d result files written to %s" % (len(written), args.batch_out)
         )
+    return 0
+
+
+def _cmd_simulate_stream(args, netlist, config) -> int:
+    """The ``simulate --stdin-vectors`` long-running streaming mode.
+
+    One JSON vector sequence per stdin line, one JSON result line per
+    vector on stdout, in input order; the warm pool (``--pool-workers``,
+    default 1) runs ``N`` lines at a time so workers overlap while the
+    output stays ordered.  EOF shuts the service down.
+    """
+    import json
+
+    from .core.service import SimulationService
+    from .stimuli.vectors import VectorSequence
+
+    if args.vcd or args.batch_out:
+        raise SimulationError(
+            "--vcd/--batch-out do not apply to --stdin-vectors; results "
+            "stream to stdout as JSON lines"
+        )
+    if args.jobs != 1:
+        raise SimulationError(
+            "--jobs does not apply to --stdin-vectors; size the warm "
+            "pool with --pool-workers"
+        )
+    workers = args.pool_workers if args.pool_workers is not None else 1
+    output_names = [net.name for net in netlist.primary_outputs]
+
+    def emit(index: int, result) -> None:
+        print(json.dumps({
+            "vector": index,
+            "events_executed": result.stats.events_executed,
+            "events_filtered": result.stats.events_filtered,
+            "runtime_seconds": round(result.stats.runtime_seconds, 6),
+            "outputs": {
+                name: result.final_values[name] for name in output_names
+            },
+        }), flush=True)
+
+    consumed = 0
+    with SimulationService(
+        netlist,
+        config=config,
+        workers=workers,
+        engine_kind=args.engine,
+        shm_transport=True if args.shm else None,
+    ) as service:
+        window: List = []
+        for line_number, line in enumerate(sys.stdin, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                window.append(VectorSequence.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, TypeError, ValueError) as error:
+                # One bad line must not take the whole stream down with
+                # a traceback; fail like every other CLI error.
+                raise SimulationError(
+                    "stdin line %d is not a valid vector sequence: %s"
+                    % (line_number, error)
+                ) from None
+            if len(window) >= workers:
+                for result in service.submit_batch(window).wait():
+                    emit(consumed, result)
+                    consumed += 1
+                window = []
+        if window:
+            for result in service.submit_batch(window).wait():
+                emit(consumed, result)
+                consumed += 1
+    print("%d vectors simulated" % consumed, file=sys.stderr)
     return 0
 
 

@@ -69,6 +69,15 @@ class SimulationConfig:
             runs every vector in-process through one reused engine.
         batch_chunk_size: vectors per shard in process-pool batch mode;
             None splits the batch evenly across the workers.
+        service_workers: default worker-process count for
+            :class:`repro.core.service.SimulationService` — the
+            persistent pool that keeps one warm engine per worker
+            across batches.
+        shm_transport: how a service moves traces back from its
+            workers — True for ``multiprocessing.shared_memory`` record
+            buffers, False for pickling, None (the default) for shared
+            memory whenever the platform provides it.  Both transports
+            return bit-identical results.
     """
 
     delay_mode: DelayMode = DelayMode.DDM
@@ -82,6 +91,8 @@ class SimulationConfig:
     default_input_slew: float = 0.20
     batch_jobs: int = 1
     batch_chunk_size: Optional[int] = None
+    service_workers: int = 2
+    shm_transport: Optional[bool] = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` for out-of-range settings."""
@@ -99,6 +110,10 @@ class SimulationConfig:
             raise ValueError("batch_jobs must be >= 1")
         if self.batch_chunk_size is not None and self.batch_chunk_size < 1:
             raise ValueError("batch_chunk_size must be >= 1 (or None)")
+        if self.service_workers < 1:
+            raise ValueError("service_workers must be >= 1")
+        if self.shm_transport not in (None, True, False):
+            raise ValueError("shm_transport must be True, False or None")
 
     def with_mode(self, delay_mode: DelayMode) -> "SimulationConfig":
         """Return a copy differing only in ``delay_mode``.

@@ -10,7 +10,10 @@ Public surface:
   (paper Figure 4), plus the :func:`repro.core.engine.simulate`
   one-call convenience wrapper,
 * :class:`repro.core.trace.TraceSet` — recorded waveforms,
-* :class:`repro.core.stats.SimulationStatistics` — Table 1 counters.
+* :class:`repro.core.stats.SimulationStatistics` — Table 1 counters,
+* :func:`repro.core.batch.simulate_batch` — lower once, simulate many,
+* :class:`repro.core.service.SimulationService` — persistent warm
+  worker pool with shared-memory trace transport.
 """
 
 from .transition import Transition
@@ -30,6 +33,7 @@ from .engine import (
 )
 from .compiled import CompiledNetlist, CompiledSimulator
 from .batch import BatchResult, simulate_batch
+from .service import BatchJob, SimulationService
 from .trace import NetTrace, TraceSet
 from .stats import SimulationStatistics
 
@@ -51,6 +55,8 @@ __all__ = [
     "CompiledNetlist",
     "CompiledSimulator",
     "BatchResult",
+    "BatchJob",
+    "SimulationService",
     "make_engine",
     "run_stimulus",
     "simulate",

@@ -20,6 +20,11 @@ once, then stream every vector through reused simulator state:
   and each worker runs its shard as an in-process batch.  Results come
   back in input order with ``result.simulator`` set to None (engines do
   not cross process boundaries).
+* With ``service=...`` the batch runs on a live
+  :class:`repro.core.service.SimulationService` — a persistent pool
+  whose workers built their engines once and stay warm across calls,
+  returning traces through shared memory.  That is the steady-state
+  path for serving many batches of the same circuit.
 
 :class:`BatchResult` wraps the per-vector
 :class:`~repro.core.engine.SimulationResult` list with aggregate
@@ -165,6 +170,7 @@ def simulate_batch(
     engine_kind: Optional[str] = None,
     jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    service=None,
 ) -> BatchResult:
     """Run N stimulus sequences through one circuit, lowering it once.
 
@@ -179,10 +185,24 @@ def simulate_batch(
     across worker processes, ``chunk_size`` (default
     ``config.batch_chunk_size``, else an even split) vectors per shard;
     the netlist and its cached lowering are pickled once per shard.
+
+    ``service`` routes the batch through a live
+    :class:`repro.core.service.SimulationService` instead: the warm
+    pool's engines do the work, nothing is re-lowered or re-spawned,
+    and ``jobs``/``chunk_size`` are ignored (the service's own worker
+    count applies).  The service must have been built for the same
+    netlist, and any ``config``/``queue_kind``/``engine_kind`` given
+    here must match the service's — its workers were constructed with
+    those knobs and cannot change them per call.
     """
     stimuli = list(stimuli)
     if not stimuli:
         raise SimulationError("simulate_batch() needs at least one stimulus")
+    if service is not None:
+        return _simulate_via_service(
+            service, netlist, stimuli, config, settle, queue_kind,
+            seed, engine_kind,
+        )
     if config is None:
         config = SimulationConfig()
     config.validate()
@@ -235,6 +255,43 @@ def simulate_batch(
         lowering_seconds=lowering_seconds,
         wall_seconds=_time.perf_counter() - wall_start,
     )
+
+
+def _simulate_via_service(
+    service,
+    netlist: Netlist,
+    stimuli: List,
+    config: Optional[SimulationConfig],
+    settle: float,
+    queue_kind: str,
+    seed: Optional[Mapping[str, int]],
+    engine_kind: Optional[str],
+) -> BatchResult:
+    """Route a batch through a live warm pool, guarding knob mismatches."""
+    from ..errors import ServiceError
+
+    if service.netlist is not netlist:
+        raise ServiceError(
+            "service was built for a different netlist; construct a "
+            "SimulationService for this circuit (engines are warm per "
+            "netlist)"
+        )
+    if config is not None and config is not service.config:
+        raise ServiceError(
+            "config cannot change per call on a warm service; pass the "
+            "config to SimulationService() instead"
+        )
+    if queue_kind != service.queue_kind:
+        raise ServiceError(
+            "queue_kind %r does not match the service's %r"
+            % (queue_kind, service.queue_kind)
+        )
+    if engine_kind is not None and engine_kind != service.engine_kind:
+        raise ServiceError(
+            "engine_kind %r does not match the service's %r"
+            % (engine_kind, service.engine_kind)
+        )
+    return service.run_batch(stimuli, settle=settle, seed=seed)
 
 
 def _simulate_sharded(

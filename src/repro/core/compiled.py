@@ -65,8 +65,9 @@ class CompiledNetlist:
 
     The lowering is purely static: it captures connectivity, thresholds,
     loads and timing-arc parameters, and can be shared by any number of
-    :class:`CompiledSimulator` instances (and, later, batched
-    multi-vector runs over the same arrays).
+    :class:`CompiledSimulator` instances — one per batch in
+    :func:`repro.core.batch.simulate_batch`, one per warm worker in
+    :class:`repro.core.service.SimulationService`.
     """
 
     __slots__ = (

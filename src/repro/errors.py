@@ -35,6 +35,17 @@ class SimulationError(ReproError):
     """The simulation kernel hit an unrecoverable condition."""
 
 
+class ServiceError(SimulationError):
+    """A persistent simulation service failed or was misused.
+
+    Raised for lifecycle misuse (submitting to a closed
+    :class:`repro.core.service.SimulationService`), for knob mismatches
+    between a live service and a ``simulate_batch(..., service=...)``
+    call, and when a stimulus crashes its worker process more times than
+    the service's retry budget allows.
+    """
+
+
 class SimulationLimitError(SimulationError):
     """The event budget or wall-clock limit was exhausted.
 

@@ -9,7 +9,7 @@ simulated window, exactly the x-axis of Figures 6 and 7.
 from __future__ import annotations
 
 import functools
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..analog.simulator import AnalogResult, AnalogSimulator
 from ..circuit import modules
@@ -17,6 +17,7 @@ from ..circuit.netlist import Netlist
 from ..config import DelayMode, SimulationConfig, cdm_config, ddm_config
 from ..core.batch import BatchResult, simulate_batch
 from ..core.engine import SimulationResult, simulate
+from ..core.service import SimulationService
 from ..stimuli.vectors import (
     PAPER_SEQUENCE_1,
     PAPER_SEQUENCE_2,
@@ -147,6 +148,47 @@ def run_halotis_batch(
         engine_kind=engine_kind,
         jobs=jobs,
     )
+
+
+def run_halotis_service(
+    mode: DelayMode,
+    record_traces: bool = True,
+    queue_kind: str = "heap",
+    engine_kind: str = "compiled",
+    workers: int = 2,
+    shm_transport: Optional[bool] = None,
+) -> BatchResult:
+    """Both paper sequences through a persistent warm-engine pool.
+
+    Spins up a :class:`repro.core.service.SimulationService`, runs the
+    Figure 6/7 batch on it and shuts it down; result ``which - 1`` is
+    bit-identical to ``run_halotis(which, ...)`` with the same knobs.
+    ``shm_transport`` picks the result transport (None = shared memory
+    when available).  For a long-lived service, construct
+    :class:`~repro.core.service.SimulationService` directly and pass it
+    to ``simulate_batch(..., service=...)`` per batch instead.
+    """
+    config = ddm_config() if mode is DelayMode.DDM else cdm_config()
+    if not record_traces:
+        config = SimulationConfig(
+            delay_mode=config.delay_mode, record_traces=False
+        )
+    with SimulationService(
+        multiplier_netlist(),
+        config=config,
+        workers=workers,
+        queue_kind=queue_kind,
+        engine_kind=engine_kind,
+        shm_transport=shm_transport,
+    ) as service:
+        return simulate_batch(
+            multiplier_netlist(),
+            paper_stimulus_batch(),
+            config=config,
+            queue_kind=queue_kind,
+            engine_kind=engine_kind,
+            service=service,
+        )
 
 
 def run_analog(which: int, dt: float = ANALOG_DT,

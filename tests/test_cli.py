@@ -127,6 +127,118 @@ def test_simulate_batch_jobs(capsys):
     assert "jobs:                   2" in capsys.readouterr().out
 
 
+def test_simulate_batch_pool_workers(capsys):
+    assert main([
+        "simulate", "--circuit", "c17", "--batch", "4", "--vectors", "2",
+        "--pool-workers", "2", "--shm", "--engine", "compiled",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "service: 2 warm workers" in out
+    assert "vectors:                4" in out
+
+
+def test_pool_matches_cold_batch(capsys):
+    """Warm-pool batch and plain batch print identical aggregates."""
+    argv = ["simulate", "--circuit", "c17", "--batch", "3", "--vectors", "2",
+            "--engine", "compiled"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert main(argv + ["--pool-workers", "2"]) == 0
+    warm = capsys.readouterr().out
+    pick = lambda text: [line for line in text.splitlines()
+                         if "events" in line or "toggles" in line]
+    assert pick(cold) == pick(warm)
+
+
+def test_stdin_vectors_streaming(capsys, monkeypatch):
+    import io
+
+    lines = "\n".join([
+        json.dumps({"steps": [[0.0, {"1": 0, "2": 0, "3": 0, "6": 0, "7": 0}],
+                              [3.0, {"1": 1, "3": 1}]], "horizon": 8.0}),
+        json.dumps({"steps": [[0.0, {"1": 1, "2": 1, "3": 1, "6": 1, "7": 1}],
+                              [3.0, {"2": 0}]], "horizon": 8.0}),
+        "",  # blank lines are skipped
+        json.dumps({"steps": [[0.0, {"1": 0, "2": 1, "3": 0, "6": 1, "7": 0}],
+                              [3.0, {"7": 1}]], "horizon": 8.0}),
+    ])
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    assert main([
+        "simulate", "--circuit", "c17", "--stdin-vectors",
+        "--pool-workers", "2", "--engine", "compiled",
+    ]) == 0
+    captured = capsys.readouterr()
+    results = [json.loads(line) for line in captured.out.splitlines()]
+    assert [r["vector"] for r in results] == [0, 1, 2]
+    assert all(set(r["outputs"]) == {"22", "23"} for r in results)
+    assert all(r["events_executed"] >= 0 for r in results)
+    assert "3 vectors simulated" in captured.err
+
+
+def test_stdin_vectors_reports_malformed_line(capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("this is not json\n"))
+    code = main([
+        "simulate", "--circuit", "c17", "--stdin-vectors",
+        "--pool-workers", "1",
+    ])
+    assert code == 1
+    assert "stdin line 1" in capsys.readouterr().err
+
+
+def test_shm_requires_pool_workers(capsys):
+    code = main([
+        "simulate", "--circuit", "c17", "--batch", "2", "--shm",
+    ])
+    assert code == 1
+    assert "--pool-workers" in capsys.readouterr().err
+
+
+def test_pool_workers_zero_is_rejected_everywhere(capsys):
+    # batch mode: reaches the service and fails its validation
+    assert main([
+        "simulate", "--circuit", "c17", "--batch", "2",
+        "--pool-workers", "0",
+    ]) == 1
+    assert "workers must be >= 1" in capsys.readouterr().err
+    # single-run mode: even a falsy 0 triggers the batch-only guard
+    assert main([
+        "simulate", "--circuit", "c17", "--pool-workers", "0",
+    ]) == 1
+    assert "batch mode" in capsys.readouterr().err
+
+
+def test_jobs_and_pool_workers_are_exclusive(capsys):
+    code = main([
+        "simulate", "--circuit", "c17", "--batch", "2",
+        "--jobs", "2", "--pool-workers", "2",
+    ])
+    assert code == 1
+    assert "alternatives" in capsys.readouterr().err
+
+
+def test_pool_flags_require_batch_mode(capsys):
+    code = main([
+        "simulate", "--circuit", "c17", "--vectors", "2",
+        "--pool-workers", "2",
+    ])
+    assert code == 1
+    assert "batch mode" in capsys.readouterr().err
+
+
+def test_stdin_vectors_rejects_batch_out(capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO(""))
+    code = main([
+        "simulate", "--circuit", "c17", "--stdin-vectors",
+        "--batch-out", "somewhere",
+    ])
+    assert code == 1
+    assert "stream to stdout" in capsys.readouterr().err
+
+
 def test_simulate_batch_rejects_vcd(capsys):
     code = main([
         "simulate", "--circuit", "c17", "--batch", "2", "--vcd", "w.vcd",

@@ -48,6 +48,9 @@ def test_with_mode_changes_only_mode():
         ("batch_jobs", -2),
         ("batch_chunk_size", 0),
         ("batch_chunk_size", -1),
+        ("service_workers", 0),
+        ("service_workers", -3),
+        ("shm_transport", "yes"),
     ],
 )
 def test_validate_rejects_bad_values(field, value):
@@ -67,3 +70,11 @@ def test_batch_knob_defaults():
     assert config.batch_jobs == 1
     assert config.batch_chunk_size is None
     ddm_config(batch_jobs=4, batch_chunk_size=8).validate()
+
+
+def test_service_knob_defaults():
+    config = SimulationConfig()
+    assert config.service_workers == 2
+    assert config.shm_transport is None
+    ddm_config(service_workers=4, shm_transport=True).validate()
+    ddm_config(shm_transport=False).validate()

@@ -1,0 +1,172 @@
+"""Markdown link checker for the repo's documentation.
+
+Scans markdown files for inline links/images (``[text](target)``) and
+reference definitions (``[label]: target``) and verifies that every
+*local* target resolves: the file exists relative to the document, and
+a ``#fragment`` (on a local file or within-document) matches a heading
+in the target file under GitHub's anchor slugification.  External
+``http(s)``/``mailto`` links are reported but not fetched — CI must
+stay deterministic and offline.
+
+Usage::
+
+    python tools/check_links.py                 # README, ROADMAP, docs/*.md
+    python tools/check_links.py FILE.md ...     # explicit file set
+
+Exit status is non-zero when any local link is broken; CI runs this in
+the docs job and ``tests/test_docs.py`` runs it in tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, NamedTuple, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default document set: the top-level entry points plus the docs tree.
+DEFAULT_FILES = ("README.md", "ROADMAP.md", "CHANGES.md", "docs")
+
+#: ``[text](target)`` and ``![alt](target)``; target stops at the first
+#: unescaped closing paren (no nested parens in this repo's links).
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: ``[label]: target`` reference-style definitions at line start.
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+class Link(NamedTuple):
+    source: Path
+    line: int
+    target: str
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's markdown heading → anchor id transformation."""
+    # Strip inline code/links down to their text before slugifying.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set:
+    """Every anchor a markdown file exposes (with GitHub dedup suffixes)."""
+    content = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    anchors: set = set()
+    seen: dict = {}
+    for match in _HEADING.finditer(content):
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else "%s-%d" % (slug, count))
+    return anchors
+
+
+def extract_links(path: Path) -> List[Link]:
+    content = path.read_text(encoding="utf-8")
+    # Ignore links inside fenced code blocks (CLI examples etc.) while
+    # keeping line numbers stable: blank the fence contents.
+    def blank(match: re.Match) -> str:
+        return "\n" * match.group(0).count("\n")
+
+    scannable = _CODE_FENCE.sub(blank, content)
+    links: List[Link] = []
+    for pattern in (_INLINE_LINK, _REFERENCE_DEF):
+        for match in pattern.finditer(scannable):
+            line = scannable.count("\n", 0, match.start()) + 1
+            links.append(Link(path, line, match.group(1)))
+    return links
+
+
+def check_link(link: Link) -> Tuple[bool, str]:
+    """Return ``(ok, detail)`` for one link."""
+    target = link.target
+    if target.startswith(("http://", "https://", "mailto:")):
+        return True, "external (not fetched)"
+    base, _, fragment = target.partition("#")
+    if base:
+        resolved = (link.source.parent / base).resolve()
+        if not resolved.exists():
+            return False, "missing file: %s" % base
+    else:
+        resolved = link.source  # within-document anchor
+    if fragment:
+        if resolved.suffix.lower() not in (".md", ".markdown"):
+            return True, "fragment on non-markdown target (not checked)"
+        # Compare the fragment verbatim: GitHub anchors are the
+        # lowercased slug, so `#My-Heading` is broken on the rendered
+        # page even though it slugifies to a real heading.
+        if fragment not in heading_anchors(resolved):
+            return False, "missing anchor #%s in %s" % (
+                fragment, resolved.name,
+            )
+    return True, "ok"
+
+
+def collect_files(arguments: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if not path.is_absolute():
+            path = REPO_ROOT / path
+        if path.is_dir():
+            files.extend(sorted(path.glob("**/*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise FileNotFoundError(argument)
+    return files
+
+
+def _display(path: Path) -> Path:
+    try:
+        return path.relative_to(REPO_ROOT)
+    except ValueError:
+        return path
+
+
+def run(arguments: Iterable[str], verbose: bool = False) -> int:
+    broken = 0
+    total = 0
+    for path in collect_files(arguments):
+        for link in extract_links(path):
+            total += 1
+            ok, detail = check_link(link)
+            if not ok:
+                broken += 1
+                print(
+                    "BROKEN %s:%d -> %s (%s)"
+                    % (_display(path), link.line, link.target, detail),
+                    file=sys.stderr,
+                )
+            elif verbose:
+                print(
+                    "ok %s:%d -> %s (%s)"
+                    % (_display(path), link.line, link.target, detail)
+                )
+    print("%d links checked, %d broken" % (total, broken))
+    return 1 if broken else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="check markdown links resolve (local files + anchors)"
+    )
+    parser.add_argument(
+        "files", nargs="*", default=list(DEFAULT_FILES),
+        help="markdown files or directories (default: %s)"
+        % " ".join(DEFAULT_FILES),
+    )
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print every passing link")
+    args = parser.parse_args(argv)
+    return run(args.files, verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
