@@ -1,0 +1,168 @@
+"""Warm network server vs. cold per-vector invocations.
+
+The serving claim of this PR: once a circuit is registered and its pool
+is warm, pushing N vectors through the server — JSON codec, TCP hop and
+all — beats running the same N vectors as independent cold
+``simulate()`` invocations, because each cold call re-pays netlist
+construction, lowering and engine build while the server pays them once
+per *lifetime*.  The gate keeps that honest on every run; a parity
+guard pins that both timed paths are the same computation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.circuit import modules
+from repro.config import ddm_config
+from repro.core.engine import simulate
+from repro.experiments import common
+from repro.server.app import SimulationServer
+from repro.server.client import SimulationClient
+from repro.stimuli.patterns import random_vector_batch
+
+_VECTORS = 16
+_STEPS = 2
+_SEED = 53
+_WORKERS = 2
+
+
+def _stimuli():
+    netlist = common.multiplier_netlist()
+    return random_vector_batch(
+        [net.name for net in netlist.primary_inputs],
+        batch=_VECTORS,
+        count=_STEPS,
+        period=2.0,
+        base_seed=_SEED,
+        tail=2.0,
+    )
+
+
+def _start_server():
+    return SimulationServer(port=0, pool_workers=_WORKERS).start_background()
+
+
+def _stop_server(server):
+    assert server.stop_and_join(30.0)
+
+
+def test_warm_server_beats_cold_per_vector_invocations(benchmark):
+    """The acceptance bar: N vectors through a warm server < N cold
+    ``simulate()`` invocations (each as a fresh caller pays it: netlist
+    build + lowering + engine build + run)."""
+    stimuli = _stimuli()
+    config = ddm_config(record_traces=False, engine_kind="compiled")
+
+    def cold_s(repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for stimulus in stimuli:
+                # A fresh netlist per invocation: the cold path *is* a
+                # new process/caller that owns no cached lowering.
+                netlist = modules.array_multiplier(4)
+                simulate(netlist, stimulus, config=config)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    server = _start_server()
+    try:
+        with SimulationClient(server.host, server.port) as client:
+            client.register(
+                "mult4", {"kind": "builtin", "name": "mult4"},
+                mode="ddm", engine_kind="compiled", workers=_WORKERS,
+                record_traces=False,
+            )
+            client.simulate_batch("mult4", stimuli)  # warm the pool
+
+            def warm_s(repeats: int = 3) -> float:
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    client.simulate_batch("mult4", stimuli)
+                    best = min(best, time.perf_counter() - start)
+                return best
+
+            def measure():
+                # Best-of-3 attempts: one scheduler blip on a shared CI
+                # runner must not fail a gate whose steady-state margin
+                # is an order of magnitude.
+                best_speedup, best_pair = 0.0, (0.0, float("inf"))
+                for _attempt in range(3):
+                    cold = cold_s()
+                    warm = warm_s()
+                    speedup = cold / warm
+                    if speedup > best_speedup:
+                        best_speedup, best_pair = speedup, (cold, warm)
+                    if best_speedup >= 2.0:
+                        break
+                return best_pair
+
+            cold, warm = benchmark.pedantic(measure, rounds=1, iterations=1)
+    finally:
+        _stop_server(server)
+
+    speedup = cold / warm
+    benchmark.extra_info["cold_per_vector_s"] = round(cold / _VECTORS, 8)
+    benchmark.extra_info["warm_per_vector_s"] = round(warm / _VECTORS, 8)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["vectors"] = _VECTORS
+    benchmark.extra_info["workers"] = _WORKERS
+    assert speedup > 1.0, (
+        "warm server no better than cold per-vector invocations "
+        "(cold %.4fs, warm %.4fs, %.2fx)" % (cold, warm, speedup)
+    )
+
+
+def test_server_steady_state_throughput(benchmark):
+    """Steady-state wall-clock of one warm remote batch (trajectory)."""
+    stimuli = _stimuli()
+    server = _start_server()
+    try:
+        with SimulationClient(server.host, server.port) as client:
+            client.register(
+                "mult4", {"kind": "builtin", "name": "mult4"},
+                mode="ddm", engine_kind="compiled", workers=_WORKERS,
+                record_traces=False,
+            )
+            client.simulate_batch("mult4", stimuli)  # prime the pumps
+            results = benchmark(client.simulate_batch, "mult4", stimuli)
+    finally:
+        _stop_server(server)
+    assert len(results) == _VECTORS
+    benchmark.extra_info["vectors"] = _VECTORS
+    benchmark.extra_info["workers"] = _WORKERS
+
+
+def test_server_matches_local_on_benchmark_workload(benchmark):
+    """Guard: the two timed paths really are the same computation."""
+    stimuli = _stimuli()[:4]
+    config = ddm_config(engine_kind="compiled")
+    netlist = common.multiplier_netlist()
+    server = _start_server()
+    try:
+        with SimulationClient(server.host, server.port) as client:
+            client.register(
+                "mult4", {"kind": "builtin", "name": "mult4"},
+                mode="ddm", engine_kind="compiled", workers=_WORKERS,
+            )
+
+            def run_remote():
+                return client.simulate_batch("mult4", stimuli)
+
+            remote = benchmark(run_remote)
+    finally:
+        _stop_server(server)
+    for position, stimulus in enumerate(stimuli):
+        local = simulate(netlist, stimulus, config=config)
+        assert (
+            remote[position].stats.events_executed
+            == local.stats.events_executed
+        ), position
+        assert remote[position].final_values == local.final_values, position
+        for name in netlist.nets:
+            assert (
+                remote[position].traces[name].edges()
+                == local.traces[name].edges()
+            ), (position, name)

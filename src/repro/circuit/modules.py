@@ -499,3 +499,16 @@ def decoder(address_bits: int, library: Optional[CellLibrary] = None) -> Netlist
             word = builder.and_(*terms, name="y%d_and" % code)
         builder.output(word, "y%d" % code)
     return builder.build()
+
+
+#: Circuits addressable by a plain name — the CLI's ``simulate
+#: --circuit`` choices and the simulation server's ``builtin``
+#: registration sources resolve through this one table.
+BUILTIN_CIRCUITS = {
+    "mult4": lambda: array_multiplier(4),
+    "mult6": lambda: array_multiplier(6),
+    "c17": c17,
+    "chain8": lambda: inverter_chain(8),
+    "rca8": lambda: ripple_adder(8),
+    "parity8": lambda: parity_tree(8),
+}

@@ -12,6 +12,11 @@ Subcommands:
   shared-memory trace transport); ``--stdin-vectors`` turns the
   command into a long-running streaming service reading one JSON
   sequence per stdin line.
+* ``serve`` — run the network simulation server: named netlists, each
+  on its own warm worker pool, over a newline-delimited JSON protocol
+  (see ``repro.server``).  ``simulate --connect HOST:PORT`` runs the
+  same simulations against such a server instead of in-process, with
+  bit-identical results.
 * ``characterize`` — extract delay/degradation parameters for a cell
   from the analog substrate and compare with the shipped library.
 * ``info`` — library and circuit inventory.
@@ -27,9 +32,9 @@ from typing import List, Optional
 
 from . import __version__
 from .analysis.report import Table
-from .circuit import bench_io, modules, stats as circuit_stats
+from .circuit import bench_io, stats as circuit_stats
 from .circuit.library import default_library
-from .config import DelayMode, cdm_config, ddm_config
+from .config import DelayMode, SimulationConfig, cdm_config, ddm_config
 # importing .core.engine initialises the repro.core package, which
 # registers every backend in ENGINE_KINDS
 from .core.batch import simulate_batch
@@ -38,8 +43,11 @@ from .errors import ReproError, SimulationError
 from .io_formats.batch_results import BATCH_FORMATS, write_batch_results
 from .io_formats.json_results import dump_results
 from .io_formats.vcd import write_vcd
+from .circuit.modules import BUILTIN_CIRCUITS
 from .stimuli.patterns import random_vector_batch, random_vectors
 from .stimuli.vectors import load_vector_batches
+
+_CONFIG_DEFAULTS = SimulationConfig()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,7 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
     source = simulate_cmd.add_mutually_exclusive_group(required=True)
     source.add_argument(
         "--circuit",
-        choices=["mult4", "mult6", "c17", "chain8", "rca8", "parity8"],
+        choices=sorted(BUILTIN_CIRCUITS),
         help="built-in circuit",
     )
     source.add_argument("--bench", metavar="PATH", help="ISCAS-85 .bench file")
@@ -138,6 +146,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch-format", choices=sorted(BATCH_FORMATS), default="json",
         help="per-vector result format for --batch-out (default json)",
     )
+    simulate_cmd.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="run on a network simulation server (see 'repro serve') "
+        "instead of in-process: registers the circuit there, simulates "
+        "remotely, and returns bit-identical results",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the network simulation server (named netlists on "
+        "warm worker pools, JSONL protocol over TCP)",
+    )
+    serve.add_argument(
+        "--host", default=_CONFIG_DEFAULTS.server_host,
+        help="bind address (default %(default)s)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=_CONFIG_DEFAULTS.server_port,
+        help="TCP port; 0 picks an ephemeral port (default %(default)s)",
+    )
+    serve.add_argument(
+        "--max-netlists", type=int,
+        default=_CONFIG_DEFAULTS.server_max_netlists,
+        help="how many circuits may be registered at once "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--pool-workers", type=int,
+        default=_CONFIG_DEFAULTS.service_workers,
+        help="warm workers per registered netlist unless the "
+        "registration overrides it (default %(default)s)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int,
+        default=_CONFIG_DEFAULTS.server_queue_depth,
+        help="per-netlist bound on queued+running vectors; overflow is "
+        "refused with a 'busy' frame (default %(default)s)",
+    )
 
     characterize = commands.add_parser(
         "characterize",
@@ -189,22 +235,14 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-_BUILTIN_CIRCUITS = {
-    "mult4": lambda: modules.array_multiplier(4),
-    "mult6": lambda: modules.array_multiplier(6),
-    "c17": modules.c17,
-    "chain8": lambda: modules.inverter_chain(8),
-    "rca8": lambda: modules.ripple_adder(8),
-    "parity8": lambda: modules.parity_tree(8),
-}
-
-
 def _cmd_simulate(args) -> int:
     if args.bench:
         netlist = bench_io.read_bench(args.bench)
     else:
-        netlist = _BUILTIN_CIRCUITS[args.circuit]()
+        netlist = BUILTIN_CIRCUITS[args.circuit]()
     config = ddm_config() if args.mode == "ddm" else cdm_config()
+    if args.connect:
+        return _cmd_simulate_remote(args, netlist, config)
     if args.stdin_vectors:
         return _cmd_simulate_stream(args, netlist, config)
     if args.batch is not None or args.vector_file:
@@ -310,10 +348,8 @@ def _cmd_simulate_stream(args, netlist, config) -> int:
     default 1) runs ``N`` lines at a time so workers overlap while the
     output stays ordered.  EOF shuts the service down.
     """
-    import json
-
     from .core.service import SimulationService
-    from .stimuli.vectors import VectorSequence
+    from .io_formats import jsonl_protocol
 
     if args.vcd or args.batch_out:
         raise SimulationError(
@@ -329,15 +365,10 @@ def _cmd_simulate_stream(args, netlist, config) -> int:
     output_names = [net.name for net in netlist.primary_outputs]
 
     def emit(index: int, result) -> None:
-        print(json.dumps({
-            "vector": index,
-            "events_executed": result.stats.events_executed,
-            "events_filtered": result.stats.events_filtered,
-            "runtime_seconds": round(result.stats.runtime_seconds, 6),
-            "outputs": {
-                name: result.final_values[name] for name in output_names
-            },
-        }), flush=True)
+        print(
+            jsonl_protocol.result_summary_line(result, index, output_names),
+            flush=True,
+        )
 
     consumed = 0
     with SimulationService(
@@ -353,8 +384,8 @@ def _cmd_simulate_stream(args, netlist, config) -> int:
             if not line:
                 continue
             try:
-                window.append(VectorSequence.from_dict(json.loads(line)))
-            except (json.JSONDecodeError, TypeError, ValueError) as error:
+                window.append(jsonl_protocol.decode_vector_line(line))
+            except ReproError as error:
                 # One bad line must not take the whole stream down with
                 # a traceback; fail like every other CLI error.
                 raise SimulationError(
@@ -371,6 +402,139 @@ def _cmd_simulate_stream(args, netlist, config) -> int:
                 emit(consumed, result)
                 consumed += 1
     print("%d vectors simulated" % consumed, file=sys.stderr)
+    return 0
+
+
+def _cmd_simulate_remote(args, netlist, config) -> int:
+    """The ``simulate --connect HOST:PORT`` path: same workloads, remote
+    execution on a ``repro serve`` instance, bit-identical results."""
+    import time
+
+    from .core.batch import BatchResult
+    from .server.client import SimulationClient, parse_address
+
+    if args.stdin_vectors:
+        raise SimulationError(
+            "--stdin-vectors and --connect are alternatives: pipe JSONL "
+            "at the server's TCP port instead (see docs/architecture.md)"
+        )
+    if args.jobs != 1 or args.pool_workers is not None or args.shm:
+        raise SimulationError(
+            "--jobs/--pool-workers/--shm tune *local* execution; with "
+            "--connect the pool lives server-side (size it with "
+            "'repro serve --pool-workers')"
+        )
+    # Validate *before* registering anything server-side: a doomed
+    # invocation must not consume a --max-netlists slot.
+    batch_mode = args.batch is not None or args.vector_file
+    if batch_mode and args.vcd:
+        raise SimulationError(
+            "--vcd applies to single runs; use --batch-out with "
+            "--batch-format csv for per-vector waveforms"
+        )
+    if not batch_mode and args.batch_out:
+        raise SimulationError(
+            "--batch-out applies to batch mode only; add --batch N or "
+            "--vector-file PATH"
+        )
+    host, port = parse_address(args.connect)
+    if args.circuit:
+        source = {"kind": "builtin", "name": args.circuit}
+    else:
+        with open(args.bench) as handle:
+            source = {
+                "kind": "bench", "text": handle.read(), "name": netlist.name,
+            }
+    # One server-side entry per (circuit, mode, engine) triple: distinct
+    # knobs must not collide on the shared registry name.
+    registered = "%s.%s.%s" % (
+        args.circuit or netlist.name, args.mode, args.engine
+    )
+    with SimulationClient(host, port) as client:
+        registration = client.register(
+            registered, source, mode=args.mode, engine_kind=args.engine
+        )
+        if batch_mode:
+            if args.vector_file:
+                stimuli = load_vector_batches(args.vector_file)
+            else:
+                stimuli = random_vector_batch(
+                    [net.name for net in netlist.primary_inputs],
+                    batch=args.batch,
+                    count=args.vectors,
+                    period=args.period,
+                    base_seed=args.seed,
+                )
+            start = time.perf_counter()
+            results = client.simulate_batch(registered, stimuli)
+            batch = BatchResult(
+                results=results,
+                engine_kind=args.engine,
+                jobs=registration["workers"],
+                lowering_seconds=0.0,
+                wall_seconds=time.perf_counter() - start,
+            )
+            print(circuit_stats.gather(netlist).format())
+            print()
+            print("mode: HALOTIS-%s (batch)" % args.mode.upper())
+            print("server: %s:%d (netlist %r, %d warm workers)"
+                  % (host, port, registered, registration["workers"]))
+            print(batch.format())
+            if args.batch_out:
+                written = write_batch_results(
+                    batch, args.batch_out, fmt=args.batch_format
+                )
+                print("%d result files written to %s"
+                      % (len(written), args.batch_out))
+            return 0
+        stimulus = random_vectors(
+            [net.name for net in netlist.primary_inputs],
+            count=args.vectors,
+            period=args.period,
+            seed=args.seed,
+        )
+        result = client.simulate(registered, stimulus)
+    print(circuit_stats.gather(netlist).format())
+    print()
+    print("mode: HALOTIS-%s" % args.mode.upper())
+    print("engine: %s" % args.engine)
+    print("server: %s:%d (netlist %r)" % (host, port, registered))
+    print(result.stats.format())
+    if args.vcd:
+        write_vcd(result.traces, args.vcd, module_name=netlist.name)
+        print("VCD written to %s" % args.vcd)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """The ``serve`` subcommand: run the network simulation server."""
+    from .server.app import SimulationServer
+
+    server = SimulationServer(
+        host=args.host,
+        port=args.port,
+        max_netlists=args.max_netlists,
+        pool_workers=args.pool_workers,
+        queue_depth=args.queue_depth,
+    )
+    # Background thread so the bound (possibly ephemeral) port can be
+    # announced once it is known and Ctrl-C turns into a graceful stop;
+    # start_background raises (a ReproError) when the bind fails.
+    server.start_background(30.0)
+    print(
+        "halotis simulation server listening on %s:%d "
+        "(max-netlists=%d, pool-workers=%d, queue-depth=%d)"
+        % (server.host, server.port, args.max_netlists, args.pool_workers,
+           args.queue_depth),
+        flush=True,
+    )
+    try:
+        while not server.wait_stopped(0.5):
+            pass
+        print("server stopped (shutdown frame received)", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("interrupt: shutting the server down", file=sys.stderr)
+        server.stop_and_join(30.0)
     return 0
 
 
@@ -441,7 +605,7 @@ def _cmd_info(_args) -> int:
         )
     print(table.render())
     print()
-    print("built-in circuits: %s" % ", ".join(sorted(_BUILTIN_CIRCUITS)))
+    print("built-in circuits: %s" % ", ".join(sorted(BUILTIN_CIRCUITS)))
     return 0
 
 
@@ -452,6 +616,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_experiment(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "characterize":
             return _cmd_characterize(args)
         if args.command == "info":

@@ -78,6 +78,17 @@ class SimulationConfig:
             buffers, False for pickling, None (the default) for shared
             memory whenever the platform provides it.  Both transports
             return bit-identical results.
+        server_host: default bind/connect host for the network
+            simulation server (:mod:`repro.server`).
+        server_port: default TCP port for ``repro serve`` (0 asks the
+            OS for an ephemeral port).
+        server_max_netlists: how many circuits one server will hold
+            warm pools for at once; registrations past the cap fail
+            with a ``capacity`` error frame.
+        server_queue_depth: per-netlist bound on queued-plus-running
+            requests; requests past the bound are refused immediately
+            with a ``busy`` error frame (backpressure) instead of
+            growing an unbounded queue.
     """
 
     delay_mode: DelayMode = DelayMode.DDM
@@ -93,6 +104,10 @@ class SimulationConfig:
     batch_chunk_size: Optional[int] = None
     service_workers: int = 2
     shm_transport: Optional[bool] = None
+    server_host: str = "127.0.0.1"
+    server_port: int = 8047
+    server_max_netlists: int = 8
+    server_queue_depth: int = 64
 
     def validate(self) -> None:
         """Raise ``ValueError`` for out-of-range settings."""
@@ -114,6 +129,14 @@ class SimulationConfig:
             raise ValueError("service_workers must be >= 1")
         if self.shm_transport not in (None, True, False):
             raise ValueError("shm_transport must be True, False or None")
+        if not isinstance(self.server_host, str) or not self.server_host:
+            raise ValueError("server_host must be a non-empty string")
+        if not 0 <= self.server_port <= 65535:
+            raise ValueError("server_port must be in 0..65535")
+        if self.server_max_netlists < 1:
+            raise ValueError("server_max_netlists must be >= 1")
+        if self.server_queue_depth < 1:
+            raise ValueError("server_queue_depth must be >= 1")
 
     def with_mode(self, delay_mode: DelayMode) -> "SimulationConfig":
         """Return a copy differing only in ``delay_mode``.

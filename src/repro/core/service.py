@@ -312,6 +312,15 @@ class SimulationService:
     ):
         import multiprocessing
 
+        # Set the teardown surface first: close() (and therefore
+        # __del__/__exit__) must be safe even when construction aborts
+        # before the pool exists — a never-started service closes as a
+        # no-op instead of raising AttributeError.
+        self._closed = False
+        self._workers: List[_Worker] = []
+        self._result_queue = None
+        self._attachments: Dict[str, object] = {}
+
         self.netlist = netlist
         self.config = config if config is not None else SimulationConfig()
         self.config.validate()
@@ -365,14 +374,17 @@ class SimulationService:
                 pass
         self._shm_base = "hal%dx%d" % (os.getpid(), next(_SERVICE_SEQ))
         self._result_queue = self._ctx.Queue()
-        self._attachments: Dict[str, object] = {}
         self._pending: "collections.deque[_Task]" = collections.deque()
         self._jobs: Dict[int, BatchJob] = {}
         self._job_seq = itertools.count()
-        self._closed = False
-        self._workers: List[_Worker] = [
-            self._spawn_worker(worker_id) for worker_id in range(workers)
-        ]
+        # Append as we spawn: if worker k fails to start, workers 0..k-1
+        # are live children that close() must be able to reap.
+        try:
+            for worker_id in range(workers):
+                self._workers.append(self._spawn_worker(worker_id))
+        except BaseException:
+            self.close(timeout=1.0)
+            raise
 
     # -- lifecycle -----------------------------------------------------
 
@@ -393,11 +405,15 @@ class SimulationService:
         return self._closed
 
     def close(self, timeout: float = 5.0) -> None:
-        """Shut the pool down; idempotent.
+        """Shut the pool down; idempotent and bounded in time.
 
         Live workers get a poison pill (and unlink their shm buffers on
-        the way out); stragglers are terminated and their last-known
-        segments unlinked from the parent.
+        the way out).  Stragglers escalate on a hard schedule — join
+        until ``timeout`` expires, then ``terminate()`` (SIGTERM), then
+        ``kill()`` (SIGKILL) — so ``close()`` returns within a small
+        multiple of ``timeout`` even when a worker is wedged in native
+        code, already dead, or was never fully started (a construction
+        failure leaves an empty pool, which closes as a no-op).
         """
         if self._closed:
             return
@@ -407,20 +423,30 @@ class SimulationService:
                 worker.task_queue.put(None)
             except (OSError, ValueError):  # pragma: no cover - queue gone
                 pass
-        deadline = _time.monotonic() + timeout
+        deadline = _time.monotonic() + max(0.0, timeout)
+        #: Per-escalation grace; a terminated/killed process reaps in
+        #: well under this unless the host is in serious trouble.
+        grace = min(1.0, max(0.1, timeout / 4.0)) if timeout > 0 else 0.1
         for worker_id, worker in enumerate(self._workers):
             worker.process.join(max(0.0, deadline - _time.monotonic()))
             if worker.process.is_alive():
                 worker.process.terminate()
-                worker.process.join(timeout)
+                worker.process.join(grace)
+            if worker.process.is_alive():  # pragma: no cover - SIGTERM masked
+                worker.process.kill()
+                worker.process.join(grace)
+            if worker.process.exitcode != 0:
+                # A worker that did not exit its loop cleanly never ran
+                # its shm destructor; unlink from the parent side.
                 self._unlink_worker_segments(worker_id, worker)
             worker.task_queue.cancel_join_thread()
             worker.task_queue.close()
         for attachment in self._attachments.values():
             attachment.close()
         self._attachments.clear()
-        self._result_queue.cancel_join_thread()
-        self._result_queue.close()
+        if self._result_queue is not None:
+            self._result_queue.cancel_join_thread()
+            self._result_queue.close()
 
     def _require_open(self) -> None:
         if self._closed:

@@ -46,6 +46,22 @@ class ServiceError(SimulationError):
     """
 
 
+class ServerError(ReproError):
+    """A network simulation server reported (or caused) a failure.
+
+    Raised client-side for error frames received from a
+    :class:`repro.server.app.SimulationServer` (``kind`` carries the
+    wire error kind — ``"busy"``, ``"unknown-netlist"``,
+    ``"bad-frame"``, ... — so callers can branch on backpressure vs.
+    hard failures) and for transport-level problems such as a dropped
+    connection mid-request (``kind="connection"``).
+    """
+
+    def __init__(self, message: str, kind: str = "error"):
+        super().__init__(message)
+        self.kind = kind
+
+
 class SimulationLimitError(SimulationError):
     """The event budget or wall-clock limit was exhausted.
 

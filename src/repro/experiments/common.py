@@ -191,6 +191,64 @@ def run_halotis_service(
         )
 
 
+def run_halotis_remote(
+    mode: DelayMode,
+    record_traces: bool = True,
+    engine_kind: str = "compiled",
+    workers: int = 2,
+    address: Optional[str] = None,
+) -> BatchResult:
+    """Both paper sequences through a *network* simulation server.
+
+    ``address`` (``"host:port"``) targets an already-running
+    ``repro serve`` instance — the deployment shape where one warm
+    server answers many experiment drivers; ``None`` spins up a private
+    in-process server on an ephemeral port just for this call.  Either
+    way the multiplier is registered as a builtin (the server rebuilds
+    the identical Figure 5 netlist) and result ``which - 1`` is
+    bit-identical to ``run_halotis(which, ...)`` with the same knobs —
+    the wire changes where simulation happens, never what it computes.
+    """
+    import time
+
+    from ..server.app import SimulationServer
+    from ..server.client import SimulationClient, parse_address
+
+    stimuli = paper_stimulus_batch()
+    name = "mult4.%s.%s" % (mode.value, engine_kind)
+
+    def run_on(client: SimulationClient) -> BatchResult:
+        client.register(
+            name,
+            {"kind": "builtin", "name": "mult4"},
+            mode=mode.value,
+            engine_kind=engine_kind,
+            workers=workers,
+            record_traces=record_traces,
+        )
+        start = time.perf_counter()
+        results = client.simulate_batch(name, stimuli)
+        return BatchResult(
+            results=results,
+            engine_kind=engine_kind,
+            jobs=workers,
+            lowering_seconds=0.0,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    if address is not None:
+        host, port = parse_address(address)
+        with SimulationClient(host, port) as client:
+            return run_on(client)
+    server = SimulationServer(port=0, pool_workers=workers)
+    server.start_background(30.0)
+    try:
+        with SimulationClient(server.host, server.port) as client:
+            return run_on(client)
+    finally:
+        server.stop_and_join(30.0)
+
+
 def run_analog(which: int, dt: float = ANALOG_DT,
                record_stride: int = 5) -> AnalogResult:
     """Simulate a paper sequence with the electrical substitute."""

@@ -1,10 +1,19 @@
-"""Trace export: VCD, CSV and JSON."""
+"""Trace export (VCD, CSV, JSON) and the JSONL simulation wire codec."""
 
 from .vcd import read_vcd, write_vcd
 from .csv_trace import write_analog_csv, write_trace_csv
 from .json_results import dump_results
 from .batch_results import BATCH_FORMATS, write_batch_results
 from .spice import write_spice
+from .jsonl_protocol import (
+    decode_vector,
+    decode_vector_line,
+    encode_vector,
+    encode_vector_line,
+    result_from_dict,
+    result_summary,
+    result_to_dict,
+)
 
 __all__ = [
     "read_vcd",
@@ -15,4 +24,11 @@ __all__ = [
     "BATCH_FORMATS",
     "write_batch_results",
     "write_spice",
+    "decode_vector",
+    "decode_vector_line",
+    "encode_vector",
+    "encode_vector_line",
+    "result_from_dict",
+    "result_summary",
+    "result_to_dict",
 ]

@@ -1,0 +1,33 @@
+"""Network simulation serving.
+
+The server stack puts PR 3's warm :class:`~repro.core.service.SimulationService`
+pools on TCP so many clients — possibly on other hosts — can share one
+long-lived simulator process:
+
+* :mod:`repro.server.registry` — named netlists, each lazily backed by
+  its own warm worker pool;
+* :mod:`repro.server.app` — the asyncio line-protocol server
+  (``repro serve`` on the CLI);
+* :mod:`repro.server.client` — the blocking client library
+  (``repro simulate --connect`` on the CLI).
+
+The wire format is newline-delimited JSON built on the same codec as the
+CLI's ``--stdin-vectors`` streaming mode
+(:mod:`repro.io_formats.jsonl_protocol`), and a vector simulated over
+the wire returns a bit-identical result to a local ``simulate()`` —
+pinned by ``tests/server/test_server.py``.
+"""
+
+from .registry import BUILTIN_CIRCUITS, NetlistRegistry, resolve_source
+from .app import SimulationServer
+from .client import SimulationClient, parse_address, wait_for_server
+
+__all__ = [
+    "BUILTIN_CIRCUITS",
+    "NetlistRegistry",
+    "resolve_source",
+    "SimulationServer",
+    "SimulationClient",
+    "parse_address",
+    "wait_for_server",
+]

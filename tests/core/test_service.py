@@ -387,6 +387,82 @@ def test_simulation_error_propagates_without_killing_workers(mult4):
 # lifecycle
 # ----------------------------------------------------------------------
 
+class _WedgedStimulus(_CrashOnceStimulus):
+    """Blocks its worker in a long sleep — simulates wedged native code
+    (or a runaway vector) that ignores the poison pill at close time."""
+
+    def _maybe_crash(self):
+        import time
+
+        time.sleep(60.0)
+
+
+def test_close_on_wedged_worker_is_bounded(mult4):
+    """close() must escalate (join timeout -> terminate -> kill) and
+    return promptly instead of waiting a wedged worker out."""
+    import time
+
+    input_names = [net.name for net in mult4.primary_inputs]
+    plain = random_vector_batch(
+        input_names, batch=1, count=1, period=3.0, base_seed=51
+    )
+    service = SimulationService(
+        mult4, config=ddm_config(record_traces=False), workers=1,
+        engine_kind="compiled",
+    )
+    service.submit_batch([_WedgedStimulus(plain[0], "unused")])
+    # Let the worker actually pick the task up before closing.
+    time.sleep(0.3)
+    processes = [worker.process for worker in service._workers]
+    start = time.monotonic()
+    service.close(timeout=0.5)
+    elapsed = time.monotonic() - start
+    assert elapsed < 10.0, "close() hung %.1fs on a wedged worker" % elapsed
+    assert service.closed
+    assert all(not process.is_alive() for process in processes)
+    service.close()  # still idempotent afterwards
+
+
+def test_close_on_already_crashed_pool_is_quick(mult4):
+    """Every worker SIGKILLed behind the service's back: close() must
+    neither hang nor raise."""
+    import time
+
+    service = SimulationService(
+        mult4, config=ddm_config(), workers=2, engine_kind="compiled"
+    )
+    for worker in service._workers:
+        os.kill(worker.process.pid, signal.SIGKILL)
+        worker.process.join(5.0)
+    start = time.monotonic()
+    service.close(timeout=2.0)
+    assert time.monotonic() - start < 10.0
+    assert service.closed
+    service.close()
+
+
+def test_failed_construction_leaves_closeable_wreckage(mult4):
+    """A constructor failure before worker spawn must leave close()
+    (and therefore __del__) a safe no-op — the never-started pool."""
+    from repro.errors import SimulationError as _SimulationError
+
+    try:
+        SimulationService(mult4, engine_kind="no-such-backend")
+    except _SimulationError as error:
+        assert "no-such-backend" in str(error)
+    else:  # pragma: no cover
+        pytest.fail("bad engine kind must raise")
+    # The same early-attribute guarantee, exercised directly: close()
+    # before any worker exists.
+    service = SimulationService.__new__(SimulationService)
+    service._closed = False
+    service._workers = []
+    service._result_queue = None
+    service._attachments = {}
+    service.close()
+    assert service.closed
+
+
 def test_close_is_idempotent_and_terminal(mult4):
     service = SimulationService(
         mult4, config=ddm_config(), workers=2, engine_kind="compiled"

@@ -51,6 +51,11 @@ def test_with_mode_changes_only_mode():
         ("service_workers", 0),
         ("service_workers", -3),
         ("shm_transport", "yes"),
+        ("server_host", ""),
+        ("server_port", -1),
+        ("server_port", 70000),
+        ("server_max_netlists", 0),
+        ("server_queue_depth", 0),
     ],
 )
 def test_validate_rejects_bad_values(field, value):
@@ -78,3 +83,13 @@ def test_service_knob_defaults():
     assert config.shm_transport is None
     ddm_config(service_workers=4, shm_transport=True).validate()
     ddm_config(shm_transport=False).validate()
+
+
+def test_server_knob_defaults():
+    config = SimulationConfig()
+    assert config.server_host == "127.0.0.1"
+    assert 0 <= config.server_port <= 65535
+    assert config.server_max_netlists >= 1
+    assert config.server_queue_depth >= 1
+    ddm_config(server_port=0, server_max_netlists=2,
+               server_queue_depth=4).validate()

@@ -1,6 +1,7 @@
 """Vector sequences and pulse patterns."""
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.circuit import modules
 from repro.errors import StimulusError
@@ -247,3 +248,86 @@ def test_random_vectors_deterministic():
     assert len(first) == 5
     with pytest.raises(StimulusError):
         random_vectors(names, count=0, period=1.0)
+
+
+# ----------------------------------------------------------------------
+# serialisation round-trip: the wire format's correctness foundation
+# ----------------------------------------------------------------------
+
+def _sequences_equal(first, second):
+    assert second.steps == first.steps
+    assert second.slew == first.slew
+    assert second.defaults == first.defaults
+    assert second.horizon == first.horizon
+
+
+@st.composite
+def vector_sequences(draw):
+    """Randomized valid VectorSequences (the from_dict preconditions)."""
+    names = draw(st.lists(
+        st.sampled_from(["a", "b", "c", "in7", "n_1"]),
+        min_size=1, max_size=4, unique=True,
+    ))
+    times = sorted(draw(st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1, max_size=6, unique=True,
+    )))
+    steps = []
+    for step_time in times:
+        assignments = {
+            name: draw(st.integers(0, 1))
+            for name in draw(st.lists(st.sampled_from(names), min_size=1,
+                                      unique=True))
+        }
+        steps.append((step_time, assignments))
+    slew = draw(st.one_of(
+        st.none(),
+        st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+    ))
+    defaults = draw(st.sampled_from([0, 1, None]))
+    last = times[-1]
+    horizon = draw(st.one_of(
+        st.none(),
+        st.floats(min_value=0.5, max_value=100.0,
+                  allow_nan=False).map(lambda delta: last + delta),
+    ))
+    tail = draw(st.floats(min_value=0.5, max_value=50.0, allow_nan=False))
+    return VectorSequence(
+        steps, slew=slew, defaults=defaults, horizon=horizon, tail=tail
+    )
+
+
+@given(vector_sequences())
+def test_to_dict_from_dict_roundtrip(sequence):
+    """from_dict(to_dict(s)) reproduces s field for field."""
+    _sequences_equal(sequence, VectorSequence.from_dict(sequence.to_dict()))
+
+
+@given(vector_sequences())
+def test_roundtrip_survives_json_text(sequence):
+    """The real wire: through json.dumps/loads, floats bit-exact.
+
+    This is the property the JSONL protocol (CLI streaming mode and the
+    network server) stands on — CPython's float repr round-trip means no
+    step time, slew or horizon is perturbed by serialisation.
+    """
+    import json as _json
+
+    payload = _json.loads(_json.dumps(sequence.to_dict()))
+    rebuilt = VectorSequence.from_dict(payload)
+    _sequences_equal(sequence, rebuilt)
+    # and the codec module agrees with the method-level round-trip
+    from repro.io_formats import jsonl_protocol
+
+    again = jsonl_protocol.decode_vector_line(
+        jsonl_protocol.encode_vector_line(sequence)
+    )
+    _sequences_equal(sequence, again)
+
+
+@given(vector_sequences())
+def test_roundtrip_is_stable(sequence):
+    """to_dict of a round-tripped sequence is identical (fixed point)."""
+    rebuilt = VectorSequence.from_dict(sequence.to_dict())
+    assert rebuilt.to_dict() == sequence.to_dict()
