@@ -52,6 +52,7 @@ from .core.engine import (
     simulate,
 )
 from .core.compiled import CompiledNetlist, CompiledSimulator
+from .core.vector import VectorSimulator
 from .core.batch import BatchResult, simulate_batch
 from .core.service import BatchJob, SimulationService
 from .core.cdm import ConventionalDelayModel
@@ -85,6 +86,7 @@ __all__ = [
     "HalotisSimulator",
     "CompiledNetlist",
     "CompiledSimulator",
+    "VectorSimulator",
     "SimulationResult",
     "BatchResult",
     "BatchJob",

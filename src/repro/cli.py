@@ -89,8 +89,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate_cmd.add_argument(
         "--engine", choices=sorted(ENGINE_KINDS), default="reference",
-        help="simulation backend (default reference); both backends "
-        "produce identical results, 'compiled' is faster",
+        help="simulation backend (default reference); every backend "
+        "produces identical results — 'compiled' is the fastest single "
+        "run, 'vector' (needs numpy) steps whole batches in lockstep",
     )
     simulate_cmd.add_argument(
         "--vectors", type=int, default=10,
@@ -242,7 +243,14 @@ def _cmd_simulate(args) -> int:
         netlist = BUILTIN_CIRCUITS[args.circuit]()
     config = ddm_config() if args.mode == "ddm" else cdm_config()
     if args.connect:
+        # The chosen engine runs server-side; the server's registry
+        # vets availability when the circuit is registered.
         return _cmd_simulate_remote(args, netlist, config)
+    # Record the chosen backend on the config and validate up front, so
+    # an unusable selection (--engine vector without numpy) fails here
+    # with one clear error instead of mid-simulation.
+    config.engine_kind = args.engine
+    config.validate()
     if args.stdin_vectors:
         return _cmd_simulate_stream(args, netlist, config)
     if args.batch is not None or args.vector_file:

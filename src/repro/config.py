@@ -9,9 +9,32 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import importlib.util
 from typing import Optional
 
 from . import units
+from .errors import SimulationError
+
+#: Cached probe result; ``numpy_available()`` is the single source of
+#: truth every layer consults (and what tests monkeypatch to simulate a
+#: numpy-less install).
+_NUMPY_SPEC_FOUND: Optional[bool] = None
+
+#: The one actionable message for every vector-needs-numpy failure
+#: path (config validation, engine construction, service, server
+#: registration, CLI).
+NUMPY_REQUIRED_MESSAGE = (
+    "engine_kind 'vector' needs numpy, which is not installed; install "
+    "numpy (pip install numpy) or pick engine_kind='compiled'"
+)
+
+
+def numpy_available() -> bool:
+    """True when numpy can be imported (the ``"vector"`` engine needs it)."""
+    global _NUMPY_SPEC_FOUND
+    if _NUMPY_SPEC_FOUND is None:
+        _NUMPY_SPEC_FOUND = importlib.util.find_spec("numpy") is not None
+    return _NUMPY_SPEC_FOUND
 
 
 class DelayMode(enum.Enum):
@@ -48,9 +71,12 @@ class SimulationConfig:
         inertial_policy: per-input pulse-filtering rule (see
             :class:`InertialPolicy`).
         engine_kind: simulation backend — ``"reference"`` (object-graph
-            kernel) or ``"compiled"`` (array-lowered kernel); the full
-            set is ``repro.core.engine.ENGINE_KINDS``.  Both produce
-            bit-identical results; ``"compiled"`` is faster.
+            kernel), ``"compiled"`` (array-lowered kernel) or
+            ``"vector"`` (numpy N-lane lockstep kernel; requires
+            numpy); the full set is
+            ``repro.core.engine.ENGINE_KINDS``.  All backends produce
+            bit-identical results; ``"compiled"`` is the fastest single
+            run, ``"vector"`` the fastest large batch.
         max_events: hard budget of executed events; exceeding it raises
             :class:`repro.errors.SimulationLimitError`.  Guards against
             zero-delay oscillation in looped circuits.
@@ -110,9 +136,18 @@ class SimulationConfig:
     server_queue_depth: int = 64
 
     def validate(self) -> None:
-        """Raise ``ValueError`` for out-of-range settings."""
+        """Raise ``ValueError`` for out-of-range settings.
+
+        The one engine-availability rule is checked here too, so a
+        doomed configuration fails at validation time with a clear
+        :class:`~repro.errors.SimulationError` instead of surfacing an
+        import failure mid-simulation: ``engine_kind="vector"`` needs
+        numpy.
+        """
         if not isinstance(self.engine_kind, str) or not self.engine_kind:
             raise ValueError("engine_kind must be a non-empty string")
+        if self.engine_kind == "vector" and not numpy_available():
+            raise SimulationError(NUMPY_REQUIRED_MESSAGE)
         if self.max_events <= 0:
             raise ValueError("max_events must be positive")
         if self.min_delay <= 0.0:

@@ -32,6 +32,7 @@ from .engine import (
     simulate,
 )
 from .compiled import CompiledNetlist, CompiledSimulator
+from .vector import VectorSimulator
 from .batch import BatchResult, simulate_batch
 from .service import BatchJob, SimulationService
 from .trace import NetTrace, TraceSet
@@ -54,6 +55,7 @@ __all__ = [
     "SimulationResult",
     "CompiledNetlist",
     "CompiledSimulator",
+    "VectorSimulator",
     "BatchResult",
     "BatchJob",
     "SimulationService",

@@ -186,6 +186,13 @@ def simulate_batch(
     ``config.batch_chunk_size``, else an even split) vectors per shard;
     the netlist and its cached lowering are pickled once per shard.
 
+    ``engine_kind="vector"`` takes the lockstep fast path: the whole
+    batch advances through one numpy N-lane kernel
+    (:meth:`repro.core.vector.VectorSimulator.run_lockstep_batch`),
+    returning the same bit-identical per-vector results with the
+    per-event Python cost amortised across lanes.  With ``jobs > 1``
+    each shard runs its own lockstep kernel.
+
     ``service`` routes the batch through a live
     :class:`repro.core.service.SimulationService` instead: the warm
     pool's engines do the work, nothing is re-lowered or re-spawned,
@@ -235,13 +242,24 @@ def simulate_batch(
 
     jobs = min(jobs, len(stimuli))
     if jobs <= 1:
-        simulator = make_engine(
-            netlist, config=config, queue_kind=queue_kind, engine_kind=engine_kind
-        )
-        results = [
-            run_stimulus(simulator, stimulus, settle=settle, seed=seed)
-            for stimulus in stimuli
-        ]
+        if engine_cls is not None and engine_cls.lockstep_batches:
+            # Lockstep fast path (the "vector" backend): all N vectors
+            # advance through one kernel, one wave at a time, instead
+            # of replaying the event loop per vector.  Sharded calls
+            # compose — each shard worker lands here with jobs=1.
+            results = engine_cls.run_lockstep_batch(
+                netlist, stimuli, config=config, settle=settle,
+                queue_kind=queue_kind, seed=seed,
+            )
+        else:
+            simulator = make_engine(
+                netlist, config=config, queue_kind=queue_kind,
+                engine_kind=engine_kind,
+            )
+            results = [
+                run_stimulus(simulator, stimulus, settle=settle, seed=seed)
+                for stimulus in stimuli
+            ]
     else:
         results = _simulate_sharded(
             netlist, stimuli, config, settle, queue_kind, seed, engine_kind,

@@ -95,6 +95,7 @@ class CompiledNetlist:
         "input_net",
         "arc_rise",
         "arc_fall",
+        "_numpy_cache",
     )
 
     def __init__(self, netlist: Netlist):
@@ -202,6 +203,9 @@ class CompiledNetlist:
         self.input_net = input_net
         self.arc_rise = arc_rise
         self.arc_fall = arc_fall
+        #: lazily built numpy view of the lowering (see :meth:`as_numpy`);
+        #: never pickled — every process rebuilds its own cheap views.
+        self._numpy_cache: Optional[Dict[str, object]] = None
 
     def __getstate__(self) -> Dict[str, object]:
         """Pickle the lowered arrays without the netlist back-reference.
@@ -216,6 +220,7 @@ class CompiledNetlist:
         """
         state = {slot: getattr(self, slot) for slot in self.__slots__}
         state["netlist"] = None
+        state["_numpy_cache"] = None
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
@@ -231,11 +236,36 @@ class CompiledNetlist:
         ]
 
     def as_numpy(self) -> Dict[str, "object"]:
-        """The index/parameter arrays as numpy vectors (optional dep).
+        """The complete lowering as **read-only** numpy arrays (optional dep).
 
         Raises :class:`SimulationError` when numpy is unavailable.  This
-        is the substrate for future batched multi-vector simulation; the
-        scalar hot path deliberately sticks to stdlib containers.
+        is the substrate of the ``"vector"`` N-lane engine
+        (:mod:`repro.core.vector`); the scalar hot path deliberately
+        sticks to stdlib containers.
+
+        Every array is returned with ``writeable=False``: the views
+        alias (or derive from) the netlist's *cached* lowering, and a
+        caller mutation would otherwise silently corrupt every
+        subsequent ``simulate()`` on this netlist.  The export is built
+        once and cached (the cache never crosses a pickle boundary);
+        each call returns a fresh dict over the same frozen arrays.
+
+        Keys, indexed by the dense ids of the lowering:
+
+        * per net: ``net_load``, ``net_is_pi``, ``net_is_po``,
+          ``net_driver`` (-1 = none), ``net_constant`` (-1 = not
+          constant), and the CSR fanout pair
+          ``fanout_offsets``/``fanout_targets``;
+        * per gate: ``gate_output_net``, ``gate_input_offsets``,
+          ``gate_arity``, and the dense truth tables flattened as
+          ``gate_tables``/``gate_table_offsets`` (an empty offset range
+          marks a gate wider than the tabling cap, which callers must
+          evaluate through ``gate_functions`` dispatch);
+        * per gate input (uid): ``vt_fraction``, ``input_gate``,
+          ``input_pin``, ``input_net``, and the load-folded delay-arc
+          tables ``arc_rise``/``arc_fall`` as ``(num_inputs, 6)``
+          matrices of ``(tp0_base, d_slew, tau_base, s_slew, tau_deg,
+          t0_coef)`` rows.
         """
         try:
             import numpy
@@ -243,18 +273,54 @@ class CompiledNetlist:
             raise SimulationError(
                 "numpy is not installed; as_numpy() needs it"
             ) from None
-        return {
-            "vt_fraction": numpy.frombuffer(self.vt_fraction, dtype=numpy.float64),
-            "net_load": numpy.frombuffer(self.net_load, dtype=numpy.float64),
-            "fanout_offsets": numpy.frombuffer(self.fanout_offsets, dtype=numpy.int64),
-            "fanout_targets": numpy.frombuffer(self.fanout_targets, dtype=numpy.int64),
-            "gate_input_offsets": numpy.frombuffer(
-                self.gate_input_offsets, dtype=numpy.int64
+        if self._numpy_cache is not None:
+            return dict(self._numpy_cache)
+
+        def view(storage, dtype):
+            array_view = numpy.frombuffer(storage, dtype=dtype)
+            array_view.flags.writeable = False
+            return array_view
+
+        def frozen(array_like, dtype):
+            built = numpy.asarray(array_like, dtype=dtype)
+            built.flags.writeable = False
+            return built
+
+        table_offsets = [0]
+        flat_tables: List[int] = []
+        for table in self.gate_tables:
+            if table is not None:
+                flat_tables.extend(table)
+            table_offsets.append(len(flat_tables))
+        gate_offsets = list(self.gate_input_offsets)
+        arity = [
+            gate_offsets[gate + 1] - gate_offsets[gate]
+            for gate in range(self.num_gates)
+        ]
+        self._numpy_cache = {
+            "vt_fraction": view(self.vt_fraction, numpy.float64),
+            "net_load": view(self.net_load, numpy.float64),
+            "net_is_pi": view(self.net_is_pi, numpy.int8),
+            "net_is_po": view(self.net_is_po, numpy.int8),
+            "net_driver": view(self.net_driver, numpy.int64),
+            "net_constant": frozen(
+                [-1 if value is None else value for value in self.net_constant],
+                numpy.int64,
             ),
-            "gate_output_net": numpy.frombuffer(self.gate_output_net, dtype=numpy.int64),
-            "input_gate": numpy.frombuffer(self.input_gate, dtype=numpy.int64),
-            "input_net": numpy.frombuffer(self.input_net, dtype=numpy.int64),
+            "fanout_offsets": view(self.fanout_offsets, numpy.int64),
+            "fanout_targets": view(self.fanout_targets, numpy.int64),
+            "gate_input_offsets": view(self.gate_input_offsets, numpy.int64),
+            "gate_output_net": view(self.gate_output_net, numpy.int64),
+            "gate_arity": frozen(arity, numpy.int64),
+            "gate_tables": frozen(flat_tables, numpy.int8),
+            "gate_table_offsets": frozen(table_offsets, numpy.int64),
+            "input_gate": view(self.input_gate, numpy.int64),
+            "input_pin": view(self.input_pin, numpy.int64),
+            "input_net": view(self.input_net, numpy.int64),
+            "arc_rise": frozen(self.arc_rise, numpy.float64),
+            "arc_fall": frozen(self.arc_fall, numpy.float64),
         }
+        return dict(self._numpy_cache)
 
     def __repr__(self) -> str:
         return "CompiledNetlist(%s: %d gates, %d nets, %d inputs)" % (

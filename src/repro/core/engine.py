@@ -24,11 +24,14 @@ Two interchangeable *backends* implement this algorithm (see
 * ``"reference"`` — :class:`HalotisSimulator`, the readable object-graph
   kernel below, walking ``Netlist``/``Gate``/``GateInput`` objects;
 * ``"compiled"`` — :class:`repro.core.compiled.CompiledSimulator`, an
-  array-lowered kernel whose hot path touches only integers and floats.
+  array-lowered kernel whose hot path touches only integers and floats;
+* ``"vector"`` — :class:`repro.core.vector.VectorSimulator`, a numpy
+  N-lane kernel that advances whole batches in lockstep (requires
+  numpy; see ``lockstep_batches``).
 
-Both share :class:`EngineBase` (lifecycle, stimulus, inspection and the
-:func:`simulate` facade) and are property-tested to produce bit-identical
-traces and statistics.
+All backends share :class:`EngineBase` (lifecycle, stimulus, inspection
+and the :func:`simulate` facade) and are property-tested to produce
+bit-identical traces and statistics.
 """
 
 from __future__ import annotations
@@ -89,10 +92,32 @@ def register_engine(kind: str) -> Callable[[type], type]:
 
 
 def _ensure_backends_registered() -> None:
-    # The compiled backend lives in its own module (it imports EngineBase
-    # from here); importing it lazily avoids a circular import while
-    # guaranteeing the registry is complete whenever it is consulted.
+    # The compiled/vector backends live in their own modules (they
+    # import EngineBase from here); importing them lazily avoids a
+    # circular import while guaranteeing the registry is complete
+    # whenever it is consulted.  The vector backend registers even when
+    # numpy is absent, so "unknown engine kind" errors list it and the
+    # availability failure stays a clear, actionable one.
     from . import compiled  # noqa: F401
+    from . import vector  # noqa: F401
+
+
+def resolve_engine_class(engine_kind: str) -> Type["EngineBase"]:
+    """Look a backend up in the registry, with the canonical error.
+
+    The single home of the unknown-kind message — :func:`make_engine`,
+    the simulation service and the server registry all resolve through
+    here, so the message (and the registered-kind list in it) cannot
+    drift between layers.
+    """
+    _ensure_backends_registered()
+    try:
+        return ENGINE_KINDS[engine_kind]
+    except KeyError:
+        raise SimulationError(
+            "unknown engine kind %r (choose from %s)"
+            % (engine_kind, sorted(ENGINE_KINDS))
+        ) from None
 
 
 def make_engine(
@@ -106,16 +131,10 @@ def make_engine(
     ``engine_kind=None`` defers to ``config.engine_kind`` (and to
     ``"reference"`` when no config is given).
     """
-    _ensure_backends_registered()
     if engine_kind is None:
         engine_kind = config.engine_kind if config is not None else "reference"
-    try:
-        factory = ENGINE_KINDS[engine_kind]
-    except KeyError:
-        raise SimulationError(
-            "unknown engine kind %r (choose from %s)"
-            % (engine_kind, sorted(ENGINE_KINDS))
-        ) from None
+    factory = resolve_engine_class(engine_kind)
+    factory.ensure_available()
     return factory(netlist, config=config, queue_kind=queue_kind)
 
 
@@ -143,6 +162,22 @@ class EngineBase(abc.ABC):
     #: batch drivers use this to pay the lowering once up front (and to
     #: ship it to shard workers) without hard-coding backend names.
     lowers_netlist: bool = False
+
+    #: True for backends that can advance a whole batch in lockstep
+    #: through one kernel; :func:`repro.core.batch.simulate_batch`
+    #: routes to their ``run_lockstep_batch`` class method instead of
+    #: replaying vectors one by one.
+    lockstep_batches: bool = False
+
+    @classmethod
+    def ensure_available(cls) -> None:
+        """Raise :class:`SimulationError` when the backend's optional
+        dependencies are missing (default: always available).
+
+        Called by :func:`make_engine`, the simulation service and the
+        server registry so a doomed selection fails at configuration
+        time with an actionable message, never mid-simulation.
+        """
 
     def __init__(
         self,
@@ -588,7 +623,9 @@ class SimulationResult:
     ``simulator`` is the engine the run executed on.  Batched runs reuse
     one engine across vectors, so there it reflects the *last* vector's
     final state; process-sharded batch results carry ``None`` (the
-    worker's engine cannot cross the process boundary).
+    worker's engine cannot cross the process boundary), and so do
+    lockstep batches (``engine_kind="vector"``) — the N-lane kernel has
+    no per-vector engine to expose.
     """
 
     traces: TraceSet

@@ -59,6 +59,7 @@ from .engine import (
     SimulationResult,
     _ensure_backends_registered,
     make_engine,
+    resolve_engine_class,
     run_stimulus,
 )
 from . import shm_transport
@@ -347,15 +348,12 @@ class SimulationService:
         #: in-flight vectors requeued because their worker died.
         self.tasks_requeued = 0
 
-        _ensure_backends_registered()
-        try:
-            engine_cls = ENGINE_KINDS[self.engine_kind]
-        except KeyError:
-            # Fail before spawning anything, with the canonical message.
-            raise SimulationError(
-                "unknown engine kind %r (choose from %s)"
-                % (self.engine_kind, sorted(ENGINE_KINDS))
-            ) from None
+        # Fail before spawning anything — an unknown kind, or a backend
+        # whose optional dependency is missing (the vector engine
+        # without numpy), must raise here with the canonical message,
+        # not as an opaque crash loop inside freshly spawned workers.
+        engine_cls = resolve_engine_class(self.engine_kind)
+        engine_cls.ensure_available()
         self.lowering_seconds = 0.0
         if engine_cls.lowers_netlist:
             start = _time.perf_counter()

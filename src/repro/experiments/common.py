@@ -150,6 +150,34 @@ def run_halotis_batch(
     )
 
 
+def run_halotis_vector(
+    mode: DelayMode,
+    record_traces: bool = True,
+    queue_kind: str = "heap",
+) -> BatchResult:
+    """Both paper sequences as one N=2 lockstep wave batch.
+
+    Runs the Figure 6 and Figure 7 stimuli through the numpy
+    ``"vector"`` backend's N-lane kernel — both sequences advance
+    together, one wave at a time; result ``which - 1`` is bit-identical
+    to ``run_halotis(which, ...)`` with the same knobs.  For real
+    throughput use many more lanes: the per-wave numpy dispatch cost is
+    shared by every active lane (see docs/performance.md).
+    """
+    config = ddm_config() if mode is DelayMode.DDM else cdm_config()
+    if not record_traces:
+        config = SimulationConfig(
+            delay_mode=config.delay_mode, record_traces=False
+        )
+    return simulate_batch(
+        multiplier_netlist(),
+        paper_stimulus_batch(),
+        config=config,
+        queue_kind=queue_kind,
+        engine_kind="vector",
+    )
+
+
 def run_halotis_service(
     mode: DelayMode,
     record_traces: bool = True,

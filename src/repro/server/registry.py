@@ -26,9 +26,9 @@ from ..circuit import bench_io
 from ..circuit.modules import BUILTIN_CIRCUITS
 from ..circuit.netlist import Netlist
 from ..config import DelayMode, SimulationConfig, cdm_config, ddm_config
-from ..core.engine import SimulationResult
+from ..core.engine import SimulationResult, resolve_engine_class
 from ..core.service import SimulationService
-from ..errors import ReproError, ServerError
+from ..errors import ReproError, ServerError, SimulationError
 from ..stimuli.vectors import VectorSequence
 
 
@@ -257,6 +257,13 @@ class NetlistRegistry:
                 "mode must be 'ddm' or 'cdm', got %r" % (mode,),
                 kind="bad-frame",
             )
+        # Vet the backend at registration time: an unknown kind — or
+        # the vector engine on a numpy-less server — must answer this
+        # frame, not crash the first simulate on the entry's pool.
+        try:
+            resolve_engine_class(engine_kind).ensure_available()
+        except SimulationError as error:
+            raise ServerError(str(error), kind="bad-frame") from None
         if workers is None:
             workers = self.default_workers
         if workers < 1:

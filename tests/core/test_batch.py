@@ -77,7 +77,7 @@ def assert_batch_matches_standalone(netlist, stimuli, config, engine_kind,
 # parity
 # ----------------------------------------------------------------------
 
-@pytest.mark.parametrize("engine_kind", ["reference", "compiled"])
+@pytest.mark.parametrize("engine_kind", ["reference", "compiled", "vector"])
 @pytest.mark.parametrize("mode", ["ddm", "cdm"])
 def test_paper_multiplier_batch_parity(mult4, mode, engine_kind):
     config = ddm_config() if mode == "ddm" else cdm_config()

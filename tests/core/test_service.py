@@ -60,7 +60,7 @@ def assert_results_identical(result, standalone, netlist, context=""):
 # ----------------------------------------------------------------------
 
 @pytest.mark.parametrize("shm", [True, False], ids=["shm", "pickle"])
-@pytest.mark.parametrize("engine_kind", ["reference", "compiled"])
+@pytest.mark.parametrize("engine_kind", ["reference", "compiled", "vector"])
 @pytest.mark.parametrize("mode", ["ddm", "cdm"])
 def test_service_parity_with_standalone(mult4, mode, engine_kind, shm):
     config = ddm_config() if mode == "ddm" else cdm_config()

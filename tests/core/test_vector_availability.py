@@ -1,0 +1,114 @@
+"""The vector engine's numpy gate: clear failures at validation time.
+
+``--engine vector`` on a numpy-less install must fail with one
+actionable :class:`SimulationError` (or the server's ``bad-frame``
+twin) at *configuration* time — config validation, ``make_engine``,
+service construction, server registration, the CLI — never as a bare
+``ImportError`` mid-simulation.  numpy is installed in CI, so absence
+is simulated by monkeypatching :func:`repro.config.numpy_available`,
+which every layer consults through the module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.config as config_module
+from repro.config import SimulationConfig, ddm_config
+from repro.core.engine import ENGINE_KINDS, make_engine
+from repro.core.service import SimulationService
+from repro.core.vector import VectorSimulator
+from repro.errors import ServerError, SimulationError
+from repro.server.registry import NetlistRegistry
+
+
+@pytest.fixture()
+def no_numpy(monkeypatch):
+    monkeypatch.setattr(config_module, "numpy_available", lambda: False)
+
+
+def test_vector_is_registered_even_without_numpy(no_numpy):
+    # The registry always lists "vector", so unknown-kind errors name it
+    # and the availability failure stays the clear, actionable one.
+    assert "vector" in ENGINE_KINDS
+    assert ENGINE_KINDS["vector"] is VectorSimulator
+
+
+def test_unknown_engine_error_lists_vector(chain3):
+    with pytest.raises(SimulationError) as excinfo:
+        make_engine(chain3, engine_kind="warp")
+    assert "vector" in str(excinfo.value)
+    assert "compiled" in str(excinfo.value)
+    assert "reference" in str(excinfo.value)
+
+
+def test_config_validation_requires_numpy(no_numpy):
+    config = SimulationConfig(engine_kind="vector")
+    with pytest.raises(SimulationError) as excinfo:
+        config.validate()
+    message = str(excinfo.value)
+    assert "numpy" in message
+    assert "compiled" in message  # actionable: names the fallback
+
+
+def test_config_validation_passes_with_numpy():
+    SimulationConfig(engine_kind="vector").validate()
+
+
+def test_make_engine_requires_numpy(chain3, no_numpy):
+    with pytest.raises(SimulationError) as excinfo:
+        make_engine(chain3, engine_kind="vector")
+    assert "numpy" in str(excinfo.value)
+
+
+def test_service_construction_requires_numpy(mult4, no_numpy):
+    # Must fail before any worker is spawned, not as a crash loop.
+    with pytest.raises(SimulationError) as excinfo:
+        SimulationService(mult4, config=ddm_config(), workers=1,
+                          engine_kind="vector")
+    assert "numpy" in str(excinfo.value)
+
+
+def test_server_registration_requires_numpy(no_numpy):
+    registry = NetlistRegistry(max_netlists=4)
+    with pytest.raises(ServerError) as excinfo:
+        registry.register(
+            "c17.vector", {"kind": "builtin", "name": "c17"},
+            engine_kind="vector",
+        )
+    assert excinfo.value.kind == "bad-frame"
+    assert "numpy" in str(excinfo.value)
+    assert len(registry) == 0  # the doomed entry consumed no slot
+
+
+def test_server_registration_rejects_unknown_engine():
+    registry = NetlistRegistry(max_netlists=4)
+    with pytest.raises(ServerError) as excinfo:
+        registry.register(
+            "c17.bogus", {"kind": "builtin", "name": "c17"},
+            engine_kind="bogus",
+        )
+    assert excinfo.value.kind == "bad-frame"
+    assert "vector" in str(excinfo.value)
+
+
+def test_cli_engine_vector_requires_numpy(no_numpy, capsys):
+    from repro.cli import main
+
+    assert main([
+        "simulate", "--circuit", "c17", "--vectors", "2",
+        "--engine", "vector",
+    ]) == 1
+    err = capsys.readouterr().err
+    assert "numpy" in err
+    assert "Traceback" not in err
+
+
+def test_cli_engine_vector_batch_requires_numpy(no_numpy, capsys):
+    from repro.cli import main
+
+    assert main([
+        "simulate", "--circuit", "c17", "--batch", "3", "--vectors", "2",
+        "--engine", "vector",
+    ]) == 1
+    assert "numpy" in capsys.readouterr().err

@@ -98,7 +98,7 @@ def client(server):
 # wire parity: remote trace == local simulate(), engines x modes
 # ----------------------------------------------------------------------
 
-@pytest.mark.parametrize("engine_kind", ["reference", "compiled"])
+@pytest.mark.parametrize("engine_kind", ["reference", "compiled", "vector"])
 @pytest.mark.parametrize("mode", ["ddm", "cdm"])
 def test_remote_parity_with_local(client, mult4, mode, engine_kind):
     name = "mult4.%s.%s" % (mode, engine_kind)

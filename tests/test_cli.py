@@ -67,6 +67,33 @@ def test_simulate_writes_vcd(tmp_path, capsys):
     assert "$timescale" in vcd.read_text()
 
 
+def test_simulate_vector_engine_matches_reference(capsys):
+    assert main([
+        "simulate", "--circuit", "c17", "--vectors", "5", "--engine", "vector",
+    ]) == 0
+    vector_out = capsys.readouterr().out
+    assert "engine: vector" in vector_out
+    assert main([
+        "simulate", "--circuit", "c17", "--vectors", "5",
+        "--engine", "reference",
+    ]) == 0
+    reference_out = capsys.readouterr().out
+    assert [line for line in vector_out.splitlines() if "events" in line] == [
+        line for line in reference_out.splitlines() if "events" in line
+    ]
+
+
+def test_simulate_vector_batch_mode(capsys):
+    """--batch with --engine vector takes the lockstep fast path."""
+    assert main([
+        "simulate", "--circuit", "c17", "--batch", "4", "--vectors", "2",
+        "--engine", "vector",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "engine:                 vector" in out
+    assert "vectors:                4" in out
+
+
 def test_simulate_batch_mode(capsys):
     assert main([
         "simulate", "--circuit", "c17", "--batch", "3", "--vectors", "2",
