@@ -9,10 +9,86 @@ because dynamic power is proportional to activity.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from ..core.stats import SimulationStatistics, overestimation_percent
 from ..core.trace import NetTrace, TraceSet
+
+try:  # pragma: no cover - numpy present in CI
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ActivitySummary:
+    """Switching activity of one run or batch: the power-analysis view.
+
+    ``total_transitions`` counts every net toggle (sources included);
+    ``per_net`` maps net name to its toggle count, omitting quiet nets.
+    Built by :func:`activity_summary` from statistics objects, by
+    :meth:`repro.core.batch.BatchResult.activity_summary` for a whole
+    batch, or by :func:`packed_activity_summary` straight from the
+    bit-parallel engine's packed toggle words.
+    """
+
+    total_transitions: int
+    per_net: Dict[str, int]
+
+    def top_nets(self, count: int = 10) -> list:
+        """The ``count`` most active nets as (name, toggles) pairs."""
+        return sorted(
+            self.per_net.items(), key=lambda item: (-item[1], item[0])
+        )[:count]
+
+
+def activity_summary(
+    stats: Iterable[SimulationStatistics],
+) -> ActivitySummary:
+    """Aggregate per-net toggle counts across any number of runs."""
+    per_net: Dict[str, int] = {}
+    for one in stats:
+        for name, count in one.net_toggles.items():
+            per_net[name] = per_net.get(name, 0) + count
+    return ActivitySummary(
+        total_transitions=sum(per_net.values()), per_net=per_net
+    )
+
+
+def packed_activity_summary(
+    packed: Mapping[str, Sequence],
+) -> ActivitySummary:
+    """Activity summary straight from lane-packed toggle counters.
+
+    ``packed`` is the bit-parallel engine's
+    :meth:`~repro.core.bitparallel._WordKernel.packed_toggle_words`
+    export: per net, a list of little-endian ``uint64`` word arrays,
+    one per counter bit-plane.  A net's toggle total across all lanes
+    is ``sum_p 2**p * popcount(plane_p)`` — a handful of word popcounts
+    instead of an unpack of every lane — so wide activity batches never
+    materialise per-lane counters at all.
+    """
+    if _np is None:  # pragma: no cover - numpy present in CI
+        raise RuntimeError("packed_activity_summary requires numpy")
+    per_net: Dict[str, int] = {}
+    for name, planes in packed.items():
+        total = 0
+        for position, words in enumerate(planes):
+            total += int(_popcount_words(words)) << position
+        if total:
+            per_net[name] = total
+    return ActivitySummary(
+        total_transitions=sum(per_net.values()), per_net=per_net
+    )
+
+
+def _popcount_words(words) -> int:
+    """Total set bits of a ``uint64`` word array."""
+    if hasattr(_np, "bitwise_count"):
+        return int(_np.bitwise_count(words).sum())
+    return int(
+        _np.unpackbits(words.view(_np.uint8)).sum()  # pragma: no cover
+    )
 
 
 @dataclasses.dataclass(frozen=True)

@@ -38,7 +38,7 @@ from .config import DelayMode, SimulationConfig, cdm_config, ddm_config
 # importing .core.engine initialises the repro.core package, which
 # registers every backend in ENGINE_KINDS
 from .core.batch import simulate_batch
-from .core.engine import ENGINE_KINDS, simulate
+from .core.engine import ENGINE_KINDS, _ensure_backends_registered, simulate
 from .errors import ReproError, SimulationError
 from .io_formats.batch_results import BATCH_FORMATS, write_batch_results
 from .io_formats.json_results import dump_results
@@ -50,7 +50,23 @@ from .stimuli.vectors import load_vector_batches
 _CONFIG_DEFAULTS = SimulationConfig()
 
 
+def _engine_help() -> str:
+    """``--engine`` help text composed from the live registry.
+
+    Choices and text both come from ``ENGINE_KINDS`` (each backend
+    carries its own ``cli_blurb``), so registering a new engine updates
+    the CLI with no edit here — pinned by
+    ``tests/core/test_engine_registry.py``.
+    """
+    parts = [
+        "'%s' — %s" % (kind, ENGINE_KINDS[kind].cli_blurb or "no description")
+        for kind in sorted(ENGINE_KINDS)
+    ]
+    return "simulation backend (default reference): " + "; ".join(parts)
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    _ensure_backends_registered()
     parser = argparse.ArgumentParser(
         prog="halotis",
         description="HALOTIS reproduction: logic timing simulation with the "
@@ -89,9 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate_cmd.add_argument(
         "--engine", choices=sorted(ENGINE_KINDS), default="reference",
-        help="simulation backend (default reference); every backend "
-        "produces identical results — 'compiled' is the fastest single "
-        "run, 'vector' (needs numpy) steps whole batches in lockstep",
+        help=_engine_help(),
     )
     simulate_cmd.add_argument(
         "--vectors", type=int, default=10,

@@ -20,13 +20,19 @@ from .errors import SimulationError
 #: numpy-less install).
 _NUMPY_SPEC_FOUND: Optional[bool] = None
 
-#: The one actionable message for every vector-needs-numpy failure
-#: path (config validation, engine construction, service, server
-#: registration, CLI).
-NUMPY_REQUIRED_MESSAGE = (
-    "engine_kind 'vector' needs numpy, which is not installed; install "
-    "numpy (pip install numpy) or pick engine_kind='compiled'"
-)
+def numpy_required_message(engine_kind: str) -> str:
+    """The one actionable message for every needs-numpy failure path
+    (config validation, engine construction, service, server
+    registration, CLI), parameterised by the backend that needs it."""
+    return (
+        "engine_kind %r needs numpy, which is not installed; install "
+        "numpy (pip install numpy) or pick engine_kind='compiled'"
+        % engine_kind
+    )
+
+
+#: Backwards-compatible constant: the ``"vector"`` engine's message.
+NUMPY_REQUIRED_MESSAGE = numpy_required_message("vector")
 
 
 def numpy_available() -> bool:
@@ -71,12 +77,16 @@ class SimulationConfig:
         inertial_policy: per-input pulse-filtering rule (see
             :class:`InertialPolicy`).
         engine_kind: simulation backend — ``"reference"`` (object-graph
-            kernel), ``"compiled"`` (array-lowered kernel) or
+            kernel), ``"compiled"`` (array-lowered kernel),
             ``"vector"`` (numpy N-lane lockstep kernel; requires
-            numpy); the full set is
-            ``repro.core.engine.ENGINE_KINDS``.  All backends produce
-            bit-identical results; ``"compiled"`` is the fastest single
-            run, ``"vector"`` the fastest large batch.
+            numpy) or ``"bitparallel"`` (word-level lane-packed kernel;
+            requires numpy); the full set is
+            ``repro.core.engine.ENGINE_KINDS``.  The first three
+            produce bit-identical waveforms; ``"bitparallel"`` is
+            logic-exact with CDM-grade timing (see
+            ``docs/architecture.md``).  ``"compiled"`` is the fastest
+            single run, ``"vector"`` the fastest exact batch,
+            ``"bitparallel"`` the fastest activity/coverage batch.
         max_events: hard budget of executed events; exceeding it raises
             :class:`repro.errors.SimulationLimitError`.  Guards against
             zero-delay oscillation in looped circuits.
@@ -138,16 +148,26 @@ class SimulationConfig:
     def validate(self) -> None:
         """Raise ``ValueError`` for out-of-range settings.
 
-        The one engine-availability rule is checked here too, so a
-        doomed configuration fails at validation time with a clear
+        Engine availability is checked here too, so a doomed
+        configuration fails at validation time with a clear
         :class:`~repro.errors.SimulationError` instead of surfacing an
-        import failure mid-simulation: ``engine_kind="vector"`` needs
-        numpy.
+        import failure mid-simulation.  The rule is delegated to the
+        registered backend's ``ensure_available()`` hook — adding a new
+        engine with optional dependencies needs no edit here.  Unknown
+        kinds pass: ``make_engine`` raises the canonical
+        "unknown engine kind" error for those.
         """
         if not isinstance(self.engine_kind, str) or not self.engine_kind:
             raise ValueError("engine_kind must be a non-empty string")
-        if self.engine_kind == "vector" and not numpy_available():
-            raise SimulationError(NUMPY_REQUIRED_MESSAGE)
+        # Imported lazily: repro.core.engine imports this module at
+        # import time, so the registry can only be consulted at call
+        # time (no cycle; the module is cached after the first call).
+        from .core.engine import ENGINE_KINDS, _ensure_backends_registered
+
+        _ensure_backends_registered()
+        engine_cls = ENGINE_KINDS.get(self.engine_kind)
+        if engine_cls is not None:
+            engine_cls.ensure_available()
         if self.max_events <= 0:
             raise ValueError("max_events must be positive")
         if self.min_delay <= 0.0:

@@ -33,6 +33,7 @@ from .engine import (
 )
 from .compiled import CompiledNetlist, CompiledSimulator
 from .vector import VectorSimulator
+from .bitparallel import BitParallelSimulator
 from .batch import BatchResult, simulate_batch
 from .service import BatchJob, SimulationService
 from .trace import NetTrace, TraceSet
@@ -56,6 +57,7 @@ __all__ = [
     "CompiledNetlist",
     "CompiledSimulator",
     "VectorSimulator",
+    "BitParallelSimulator",
     "BatchResult",
     "BatchJob",
     "SimulationService",

@@ -109,6 +109,18 @@ class BatchResult:
         """In-kernel wall-clock of each vector's run."""
         return [result.stats.runtime_seconds for result in self.results]
 
+    def activity_summary(self):
+        """Whole-batch switching activity (total + per-net toggles).
+
+        Returns an :class:`repro.analysis.activity.ActivitySummary`
+        built from the per-vector toggle counters — the one accessor
+        shared by the Table 1 activity benchmarks and the bit-parallel
+        popcount path, so no caller re-walks traces to count edges.
+        """
+        from ..analysis.activity import activity_summary
+
+        return activity_summary(result.stats for result in self.results)
+
     def format(self) -> str:
         """Multi-line human-readable batch summary."""
         count = len(self.results)
@@ -186,12 +198,18 @@ def simulate_batch(
     ``config.batch_chunk_size``, else an even split) vectors per shard;
     the netlist and its cached lowering are pickled once per shard.
 
-    ``engine_kind="vector"`` takes the lockstep fast path: the whole
-    batch advances through one numpy N-lane kernel
+    Backends with ``lockstep_batches`` take the lockstep fast path:
+    ``engine_kind="vector"`` advances the whole batch through one numpy
+    N-lane kernel
     (:meth:`repro.core.vector.VectorSimulator.run_lockstep_batch`),
     returning the same bit-identical per-vector results with the
-    per-event Python cost amortised across lanes.  With ``jobs > 1``
-    each shard runs its own lockstep kernel.
+    per-event Python cost amortised across lanes, and
+    ``engine_kind="bitparallel"`` packs one vector per *bit* of a lane
+    word (:meth:`repro.core.bitparallel.BitParallelSimulator.run_lockstep_batch`)
+    — per-lane logic values stay bit-identical while event timing
+    follows that backend's CDM-grade word contract
+    (docs/architecture.md).  With ``jobs > 1`` each shard runs its own
+    lockstep kernel.
 
     ``service`` routes the batch through a live
     :class:`repro.core.service.SimulationService` instead: the warm
@@ -243,10 +261,10 @@ def simulate_batch(
     jobs = min(jobs, len(stimuli))
     if jobs <= 1:
         if engine_cls is not None and engine_cls.lockstep_batches:
-            # Lockstep fast path (the "vector" backend): all N vectors
-            # advance through one kernel, one wave at a time, instead
-            # of replaying the event loop per vector.  Sharded calls
-            # compose — each shard worker lands here with jobs=1.
+            # Lockstep fast path (the "vector" and "bitparallel"
+            # backends): all N vectors advance through one kernel
+            # instead of replaying the event loop per vector.  Sharded
+            # calls compose — each shard worker lands here with jobs=1.
             results = engine_cls.run_lockstep_batch(
                 netlist, stimuli, config=config, settle=settle,
                 queue_kind=queue_kind, seed=seed,

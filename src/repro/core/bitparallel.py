@@ -1,0 +1,1583 @@
+"""Bit-parallel word-level simulation backend ("bitparallel" engine).
+
+The vector engine (:mod:`repro.core.vector`) amortises the Python
+interpreter over N lanes but still performs N lanes' worth of float
+arithmetic per wave.  GSIM-style RTL simulators show the remaining
+orders of magnitude come from collapsing per-signal work into whole
+machine-word bitwise operations.  This module applies that idea to the
+HALOTIS event kernel: **one stimulus vector per bit** of a lane word,
+every gate evaluated for all lanes at once with a handful of AND / OR /
+XOR / MUX word operations.
+
+Representation
+--------------
+
+A *lane word* is an arbitrary-width bit mask — lane ``k`` of a value
+lives in bit ``k``.  Inside the kernel the masks are Python ints (whose
+limbs are machine words, so every ``&``/``|``/``^`` is a word-at-a-time
+C loop over ``ceil(N/64)`` words); at the API boundary
+(:meth:`_WordKernel.packed_toggle_words`, the
+:mod:`repro.analysis.activity` popcount fast path) the same masks are
+exchanged as little-endian numpy ``uint64`` word arrays.  numpy is a
+hard requirement of this backend: the lowering below is derived from
+the frozen :meth:`CompiledNetlist.as_numpy` export, and the activity
+path popcounts packed words.
+
+Lowering
+--------
+
+Each gate's dense truth table (the ``gate_tables`` /
+``gate_table_offsets`` arrays of the export) is lowered **once** into a
+word-level op sequence by Shannon decomposition on the highest pin:
+``f = (x & f_hi) | (~x & f_lo)``, with the XOR (``f_hi == ~f_lo``),
+AND, OR and constant special cases collapsing the mux.  Complemented
+tables are tried too (``expr ^ F`` with ``F`` the full lane mask) and
+the cheaper form wins.  The resulting expressions are memoised per
+truth table and compiled to Python lambdas; their op counts are
+reported by :meth:`_WordKernel.word_op_counts` (and land in the
+benchmark JSON of ``benchmarks/test_bitparallel_speedup.py``).
+
+Event scheduling
+----------------
+
+Events are scheduled per **word**: one queue entry carries the lane
+mask of pending changes (plus the mask of rising lanes), so a batch
+whose lanes toggle together costs one event where the other engines pay
+N.  Execution XOR-toggles the word into the gate-input state — exact,
+because per (input, lane) scheduled transitions strictly alternate and
+the inertial rule only ever removes opposite-direction *pairs* — and
+re-evaluates the gate's word program.
+
+Declared accuracy tier
+----------------------
+
+The timing contract is **CDM-grade**: no per-lane degradation
+arithmetic (paper eq. 1 is skipped entirely, as in HALOTIS-CDM), and a
+word transition whose lanes mix directions uses the word's *earliest*
+delay arc, *latest* output slew and *latest* threshold crossing, and
+pending word events of one gate input coalesce within a small *batch
+hold* window (the netlist's mean base arc delay; zero at N = 1) that
+re-aligns staggered wavefronts so a wide batch stays word-parallel.  A
+single-direction word event (always the case at N = 1) performs exactly
+the compiled CDM engine's float operations in the same order, so the
+registered single-stimulus backend is bit-identical to
+``engine_kind="compiled"`` under ``cdm_config()`` — pinned by
+``tests/core/test_bitparallel_parity.py``.  Per-lane **logic values**
+are exact for every lane count: parity-tested bit for bit against the
+reference engine.  Waveform timing of multi-lane batches is
+approximate; use ``"vector"`` when per-lane analog timing matters and
+``"bitparallel"`` for two-valued activity / coverage workloads.
+
+Per-lane statistics (events, filtered counts, per-net toggles) cost the
+hot path one list append of the event's lane mask; all per-lane
+arithmetic happens once at the end, where the recorded masks unpack
+into a numpy bits matrix and sum per lane (and per net, for toggles).
+The per-net counts leave the kernel as packed *bit-plane* ``uint64``
+words — count bit ``p`` of all lanes in one word row — which the
+:mod:`repro.analysis.activity` fast path popcounts directly.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from bisect import insort as _insort
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import config as _config_module
+from ..circuit.evaluate import evaluate_netlist
+from ..circuit.logic import evaluate as evaluate_function
+from ..circuit.netlist import Net, Netlist
+from ..config import InertialPolicy, SimulationConfig
+from ..errors import SimulationError, SimulationLimitError, StimulusError
+from .compiled import CompiledNetlist
+from .engine import (
+    EngineBase,
+    FilteredEventRecord,
+    SimulationResult,
+    register_engine,
+)
+from .stats import SimulationStatistics
+from .trace import TraceSet
+from .transition import Transition
+
+try:  # pragma: no cover - numpy present in CI
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def _require_numpy() -> None:
+    # Looked up through the module so a monkeypatched probe (tests
+    # simulating a numpy-less install) gates this layer too.
+    if _np is None or not _config_module.numpy_available():
+        raise SimulationError(
+            _config_module.numpy_required_message("bitparallel")
+        )
+
+
+# Entry layout of a word event (a plain list, ordered by the first two
+# slots; ``seq`` is globally unique so comparisons never reach the
+# payload).  ``mask`` is the lane word of pending changes, ``rising``
+# the sub-mask of lanes whose new value is 1.  ``W_TIME`` is the
+# *queue* time (threshold crossing plus the batch hold); ``W_CROSS``
+# keeps the true crossing, which all downstream timing derives from so
+# the hold never accumulates across levels.  At N = 1 the hold is zero
+# and the two coincide.
+(W_TIME, W_SEQ, W_UID, W_MASK, W_RISING, W_T50, W_DUR, W_STATE,
+ W_CROSS) = range(9)
+_PENDING, _CANCELLED, _EXECUTED = 0, 1, 2
+
+
+# ----------------------------------------------------------------------
+# word-event queues (same disciplines and lifecycle as the compiled
+# backend's, over word entries)
+# ----------------------------------------------------------------------
+
+class _WordHeapQueue:
+    """Binary heap with lazy cancellation, over word entries."""
+
+    def __init__(self):
+        self._heap: List[list] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, entry: list) -> None:
+        _heappush(self._heap, entry)
+        self._live += 1
+
+    def cancel(self, entry: list) -> None:
+        if entry[W_STATE] == _PENDING:
+            entry[W_STATE] = _CANCELLED
+            self._live -= 1
+
+    def pop(self) -> Optional[list]:
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            if entry[W_STATE] == _CANCELLED:
+                continue
+            self._live -= 1
+            return entry
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        heap = self._heap
+        while heap and heap[0][W_STATE] == _CANCELLED:
+            _heappop(heap)
+        return heap[0][W_TIME] if heap else None
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+
+def _descending_key(entry: list) -> Tuple[float, int]:
+    return (-entry[W_TIME], -entry[W_SEQ])
+
+
+class _WordSortedQueue:
+    """Descending sorted list (earliest entry last, O(1) pops)."""
+
+    def __init__(self):
+        self._entries: List[list] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def push(self, entry: list) -> None:
+        _insort(self._entries, entry, key=_descending_key)
+
+    def cancel(self, entry: list) -> None:
+        if entry[W_STATE] != _PENDING:
+            return
+        entry[W_STATE] = _CANCELLED
+        # Eager removal keeps peek_time O(1); the entry is findable by
+        # its (unique) sort key.
+        entries = self._entries
+        position = len(entries) - 1
+        while position >= 0 and entries[position] is not entry:
+            position -= 1
+        if position >= 0:
+            entries.pop(position)
+
+    def pop(self) -> Optional[list]:
+        entries = self._entries
+        return entries.pop() if entries else None
+
+    def peek_time(self) -> Optional[float]:
+        entries = self._entries
+        return entries[-1][W_TIME] if entries else None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+_WORD_QUEUES = {
+    "heap": _WordHeapQueue,
+    "sorted-list": _WordSortedQueue,
+}
+
+
+def _make_word_queue(queue_kind: str):
+    try:
+        factory = _WORD_QUEUES[queue_kind]
+    except KeyError:
+        raise SimulationError(
+            "unknown queue kind %r (choose from %s)"
+            % (queue_kind, sorted(_WORD_QUEUES))
+        ) from None
+    return factory()
+
+
+# ----------------------------------------------------------------------
+# truth table -> word-op program lowering
+# ----------------------------------------------------------------------
+
+#: Memoised Shannon expressions: truth-table tuple -> (expr, op count).
+#: The tuple's length encodes the arity, so sub-tables share entries
+#: across gates and cells.
+_EXPR_CACHE: Dict[Tuple[int, ...], Tuple[str, int]] = {}
+
+#: Memoised compiled programs: truth-table tuple -> (fn, ops, expr).
+_PROGRAM_CACHE: Dict[Tuple[int, ...], Tuple[Callable, int, str]] = {}
+
+
+def _table_expr(table: Tuple[int, ...]) -> Tuple[str, int]:
+    """Word-level expression for a dense truth table.
+
+    Shannon decomposition on the highest pin; ``i[k]`` is pin ``k``'s
+    input word, ``F`` the full lane mask (so ``x ^ F`` is NOT).  The
+    returned op count tallies the binary word operations.
+    """
+    cached = _EXPR_CACHE.get(table)
+    if cached is not None:
+        return cached
+    size = len(table)
+    if size == 1:
+        result = ("F" if table[0] else "0", 0)
+    else:
+        half = size // 2
+        low, high = table[:half], table[half:]
+        if low == high:
+            result = _table_expr(low)
+        else:
+            pin = size.bit_length() - 2
+            x = "i[%d]" % pin
+            expr_low, ops_low = _table_expr(low)
+            expr_high, ops_high = _table_expr(high)
+            if all(a != b for a, b in zip(low, high)):
+                # high == NOT low: f = x XOR f_low
+                if expr_low == "0":
+                    result = (x, 0)
+                elif expr_low == "F":
+                    result = ("(%s ^ F)" % x, 1)
+                else:
+                    result = ("(%s ^ %s)" % (x, expr_low), ops_low + 1)
+            elif expr_low == "0":
+                if expr_high == "F":
+                    result = (x, 0)
+                else:
+                    result = ("(%s & %s)" % (x, expr_high), ops_high + 1)
+            elif expr_high == "0":
+                if expr_low == "F":
+                    result = ("(%s ^ F)" % x, 1)
+                else:
+                    result = ("((%s ^ F) & %s)" % (x, expr_low), ops_low + 2)
+            elif expr_high == "F":
+                result = ("(%s | %s)" % (x, expr_low), ops_low + 1)
+            elif expr_low == "F":
+                result = ("((%s ^ F) | %s)" % (x, expr_high), ops_high + 2)
+            else:
+                # The general 2:1 word mux.
+                result = (
+                    "((%s & %s) | ((%s ^ F) & %s))"
+                    % (x, expr_high, x, expr_low),
+                    ops_low + ops_high + 4,
+                )
+    _EXPR_CACHE[table] = result
+    return result
+
+
+def _compile_program(table: Tuple[int, ...]) -> Tuple[Callable, int, str]:
+    """Compile a truth table into ``fn(input_words, F) -> output_word``.
+
+    Tries the direct expression and the complemented table followed by
+    a final NOT, keeping whichever needs fewer word ops.  The ``eval``
+    input is generated entirely by :func:`_table_expr` from integer
+    truth tables — no external text ever reaches it.
+    """
+    cached = _PROGRAM_CACHE.get(table)
+    if cached is not None:
+        return cached
+    direct_expr, direct_ops = _table_expr(table)
+    comp_expr, comp_ops = _table_expr(tuple(1 - value for value in table))
+    if comp_ops + 1 < direct_ops:
+        expr, ops = "(%s ^ F)" % comp_expr, comp_ops + 1
+    else:
+        expr, ops = direct_expr, direct_ops
+    function = eval("lambda i, F: %s" % expr)  # noqa: S307 (generated)
+    compiled = (function, ops, expr)
+    _PROGRAM_CACHE[table] = compiled
+    return compiled
+
+
+# ----------------------------------------------------------------------
+# per-lane counters (append-only mask lists, aggregated by numpy)
+# ----------------------------------------------------------------------
+#
+# The hot path records each counted word as one list append — the
+# cheapest operation Python has — and all per-lane arithmetic happens
+# once at the end: the masks unpack into a bits matrix and sum down a
+# column per lane.  This beats maintaining per-event ripple-carry
+# bit-plane counters by a wide margin at 256 lanes.
+
+def _unpack_masks(masks: Sequence[int], lanes: int):
+    """Lane words -> a ``(len(masks), lanes)`` uint8 bits matrix."""
+    nbytes = (lanes + 7) // 8
+    raw = b"".join(mask.to_bytes(nbytes, "little") for mask in masks)
+    return _np.unpackbits(
+        _np.frombuffer(raw, _np.uint8).reshape(len(masks), nbytes),
+        axis=1,
+        bitorder="little",
+    )[:, :lanes]
+
+
+def _mask_lane_counts(masks: Sequence[int], lanes: int):
+    """Recorded masks -> per-lane counts, as an int64 numpy array."""
+    if not masks:
+        return _np.zeros(lanes, _np.int64)
+    return _unpack_masks(masks, lanes).sum(axis=0, dtype=_np.int64)
+
+
+def _lane_total(masks: Sequence[int], lane: int) -> int:
+    """One lane's count out of a recorded mask list (no numpy)."""
+    bit = 1 << lane
+    return sum(1 for mask in masks if mask & bit)
+
+
+def _multi_mask_lane_counts(mask_lists: Sequence[Sequence[int]],
+                            lanes: int):
+    """Per-lane counts of several recorded mask lists in one unpack.
+
+    The fixed cost of :func:`_unpack_masks` (join, frombuffer,
+    unpackbits) is paid once for all categories instead of once each.
+    Returns one python ``List[int]`` of length ``lanes`` per input list.
+    """
+    merged: List[int] = []
+    for masks in mask_lists:
+        merged.extend(masks)
+    if not merged:
+        return [[0] * lanes for _ in mask_lists]
+    bits = _unpack_masks(merged, lanes)
+    out = []
+    start = 0
+    for masks in mask_lists:
+        end = start + len(masks)
+        out.append(bits[start:end].sum(axis=0, dtype=_np.int64).tolist())
+        start = end
+    return out
+
+
+def _toggle_count_matrix(events: Sequence[Tuple[int, int]],
+                         num_nets: int, lanes: int):
+    """Flat ``(net, change_mask)`` log -> ``(num_nets, lanes)`` int64.
+
+    Unpacks every change mask, then groups the event rows by net and
+    sums each group in one ``reduceat`` sweep (much faster than an
+    unbuffered ``add.at``).
+    """
+    counts = _np.zeros((num_nets, lanes), _np.int64)
+    if events:
+        nets = _np.array([net for net, _mask in events], _np.int64)
+        bits = _unpack_masks(
+            [mask for _net, mask in events], lanes
+        ).astype(_np.int64)
+        order = _np.argsort(nets, kind="stable")
+        nets = nets[order]
+        bits = bits[order]
+        starts = _np.concatenate(
+            [[0], _np.flatnonzero(_np.diff(nets)) + 1]
+        )
+        counts[nets[starts]] = _np.add.reduceat(bits, starts, axis=0)
+    return counts
+
+
+def _per_lane_toggle_dicts(matrix, names: Sequence[str],
+                           lanes: int) -> List[Dict[str, int]]:
+    """Toggle matrix -> one ``net name -> count`` dict per lane.
+
+    All heavy steps run in C: a lane-major ``nonzero``, one fancy-index
+    pull of the net names, and a ``dict(zip(...))`` per lane over the
+    ``searchsorted`` lane boundaries.
+    """
+    per_lane: List[Dict[str, int]] = [{} for _ in range(lanes)]
+    transposed = matrix.T
+    lane_idx, net_idx = _np.nonzero(transposed)
+    if not len(lane_idx):
+        return per_lane
+    values = transposed[lane_idx, net_idx].tolist()
+    names_arr = _np.array(names, dtype=object)
+    picked = names_arr[net_idx].tolist()
+    bounds = _np.searchsorted(lane_idx, _np.arange(lanes + 1)).tolist()
+    for lane in range(lanes):
+        start, end = bounds[lane], bounds[lane + 1]
+        if start != end:
+            per_lane[lane] = dict(zip(picked[start:end],
+                                      values[start:end]))
+    return per_lane
+
+
+def _counts_to_planes(row):
+    """Per-lane counts -> packed bit-plane ``uint64`` word arrays.
+
+    Plane ``p`` holds bit ``p`` of every lane's count, 64 lanes per
+    word — the packed transport consumed by
+    :func:`repro.analysis.activity.packed_activity_summary`.
+    """
+    planes = []
+    highest = int(row.max()) if row.size else 0
+    position = 0
+    while highest >> position:
+        bits = ((row >> position) & 1).astype(_np.uint8)
+        packed = _np.packbits(bits, bitorder="little")
+        pad = (-len(packed)) % 8
+        if pad:
+            packed = _np.concatenate(
+                [packed, _np.zeros(pad, _np.uint8)]
+            )
+        planes.append(packed.view(_np.uint64))
+        position += 1
+    return planes
+
+
+def _iter_lanes(mask: int):
+    """Yield the set lane indices of a lane word, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+# ----------------------------------------------------------------------
+# lazy per-lane result views
+# ----------------------------------------------------------------------
+#
+# Expanding the toggle log and the final net words into N python dicts
+# costs more than the whole event loop at 256 lanes, and many batch
+# consumers (speed gates, packed-activity popcounts) never read them
+# per lane.  The driver therefore hands every lane a shared snapshot
+# view: the dicts materialise on first attribute access, and the
+# underlying unpack runs once for the whole batch.
+
+class _LaneCountsView:
+    """Frozen per-category mask lists, counted per lane on demand."""
+
+    #: statistics fields covered, in recorded order.
+    FIELDS = (
+        "events_executed", "events_scheduled", "events_filtered",
+        "late_events", "transitions_emitted", "source_transitions",
+    )
+
+    def __init__(self, kernel: "_WordKernel"):
+        self._mask_lists = [
+            list(kernel.executed_masks), list(kernel.scheduled_masks),
+            list(kernel.filtered_masks), list(kernel.late_masks),
+            list(kernel.emitted_masks), list(kernel.source_masks),
+        ]
+        self._lanes = kernel.lanes
+        self._counts: Optional[List[List[int]]] = None
+
+    def lane(self, lane: int) -> Dict[str, int]:
+        if self._counts is None:
+            self._counts = _multi_mask_lane_counts(
+                self._mask_lists, self._lanes
+            )
+            self._mask_lists = []
+        return {
+            field: column[lane]
+            for field, column in zip(self.FIELDS, self._counts)
+        }
+
+
+class _LaneToggleView:
+    """Frozen toggle log, expanded to per-lane dicts on demand."""
+
+    def __init__(self, kernel: "_WordKernel"):
+        # Snapshot the log: the kernel may be reset and rerun later.
+        self._events = list(kernel.toggle_events)
+        self._names = kernel.compiled.net_names
+        self._num_nets = kernel.num_nets
+        self._lanes = kernel.lanes
+        self._per_lane: Optional[List[Dict[str, int]]] = None
+
+    def lane(self, lane: int) -> Dict[str, int]:
+        if self._per_lane is None:
+            matrix = _toggle_count_matrix(
+                self._events, self._num_nets, self._lanes
+            )
+            self._per_lane = _per_lane_toggle_dicts(
+                matrix, self._names, self._lanes
+            )
+            self._events = []
+        return self._per_lane[lane]
+
+
+class _LaneFinalsView:
+    """Frozen final net words, expanded to per-lane dicts on demand."""
+
+    def __init__(self, kernel: "_WordKernel"):
+        self._net_val = list(kernel.net_val)
+        self._names = kernel.compiled.net_names
+        self._lanes = kernel.lanes
+        self._per_lane: Optional[List[Dict[str, int]]] = None
+
+    def lane(self, lane: int) -> Dict[str, int]:
+        if self._per_lane is None:
+            names = self._names
+            columns = _unpack_masks(
+                self._net_val, self._lanes
+            ).T.tolist()
+            self._per_lane = [
+                dict(zip(names, column)) for column in columns
+            ]
+            self._net_val = []
+        return self._per_lane[lane]
+
+
+class _LaneStatistics(SimulationStatistics):
+    """Statistics whose counters load lazily from shared lane views.
+
+    ``net_toggles`` materialises from a :class:`_LaneToggleView`; the
+    six event/transition counters from a :class:`_LaneCountsView`.
+    Behaves exactly like the base dataclass otherwise: an explicit
+    assignment (or :meth:`reset`) sticks, ``count_toggle`` mutates a
+    private per-lane copy, and pickling carries the snapshot views.
+    """
+
+    def __init__(self, counts_view: _LaneCountsView,
+                 toggle_view: _LaneToggleView, lane: int):
+        super().__init__()
+        self._counts_view: Optional[_LaneCountsView] = counts_view
+        self._toggle_view: Optional[_LaneToggleView] = toggle_view
+        self._lane = lane
+
+    def _load_counts(self) -> None:
+        view = self._counts_view
+        self._counts_view = None
+        for field, value in view.lane(self._lane).items():
+            setattr(self, "_" + field, value)
+
+    @property
+    def net_toggles(self) -> Dict[str, int]:
+        view = self._toggle_view
+        if view is not None:
+            self._net_toggles = dict(view.lane(self._lane))
+            self._toggle_view = None
+        return self._net_toggles
+
+    @net_toggles.setter
+    def net_toggles(self, value: Dict[str, int]) -> None:
+        self._net_toggles = value
+        self._toggle_view = None
+
+
+def _lazy_counter(field: str) -> property:
+    """A dataclass-field shadow that pulls from the counts view on
+    first read and lets explicit writes (init defaults aside) stick."""
+    attr = "_" + field
+
+    def get(self: _LaneStatistics) -> int:
+        if self._counts_view is not None:
+            self._load_counts()
+        return getattr(self, attr)
+
+    def set(self: _LaneStatistics, value: int) -> None:
+        # Consume the view first so a partial write (e.g. reset())
+        # cannot be overwritten by a later lazy load.
+        if getattr(self, "_counts_view", None) is not None:
+            self._load_counts()
+        setattr(self, attr, value)
+
+    return property(get, set)
+
+
+for _field in _LaneCountsView.FIELDS:
+    setattr(_LaneStatistics, _field, _lazy_counter(_field))
+del _field
+
+
+class _LaneResult(SimulationResult):
+    """Result whose ``final_values`` loads lazily from a shared
+    :class:`_LaneFinalsView` (each lane's dict is a distinct object)."""
+
+    def __init__(self, traces: TraceSet, stats: SimulationStatistics,
+                 finals_view: _LaneFinalsView, lane: int):
+        super().__init__(traces=traces, stats=stats, final_values=None,
+                         simulator=None)
+        self._finals_view: Optional[_LaneFinalsView] = finals_view
+        self._finals_lane = lane
+
+    @property
+    def final_values(self) -> Dict[str, int]:
+        view = self._finals_view
+        if view is not None:
+            self._final_values = view.lane(self._finals_lane)
+            self._finals_view = None
+        return self._final_values
+
+    @final_values.setter
+    def final_values(self, value) -> None:
+        self._final_values = value
+        self._finals_view = None
+
+
+# ----------------------------------------------------------------------
+# the word kernel
+# ----------------------------------------------------------------------
+
+class _WordKernel:
+    """One HALOTIS-CDM event kernel over N lane-packed stimuli.
+
+    All dynamic logic state is lane words; the static tables come from
+    one frozen :meth:`CompiledNetlist.as_numpy` export.  The kernel is
+    driven from the outside through ``queue``/:meth:`execute` so the
+    registered single-stimulus engine (via :meth:`EngineBase.run`) and
+    the lockstep batch driver share one hot path.
+    """
+
+    def __init__(self, compiled: CompiledNetlist, config: SimulationConfig,
+                 lanes: int, queue):
+        _require_numpy()
+        export = compiled.as_numpy()
+        self.compiled = compiled
+        self.config = config
+        self.lanes = lanes
+        self.full_mask = (1 << lanes) - 1
+        self.queue = queue
+
+        policy = config.inertial_policy
+        if policy not in (InertialPolicy.EVENT_ORDER,
+                          InertialPolicy.PEAK_VOLTAGE):
+            raise ValueError("unknown inertial policy %r" % (policy,))
+        self._event_order = policy is InertialPolicy.EVENT_ORDER
+        self._min_delay = config.min_delay
+        self._resolution = config.time_resolution
+        self._max_events = config.max_events
+        self._record_traces = config.record_traces
+        self._record_filtered = config.record_filtered
+
+        # Static tables.  Plain-list mirrors of the export: the event
+        # loop indexes with Python ints, where numpy scalar boxing
+        # costs more than the lookup.  tolist() round-trips exactly.
+        self.num_nets = compiled.num_nets
+        self.num_gates = compiled.num_gates
+        self.num_inputs = compiled.num_inputs
+        self._fanout_offsets = export["fanout_offsets"].tolist()
+        self._fanout_targets = export["fanout_targets"].tolist()
+        self._vt_fraction = export["vt_fraction"].tolist()
+        self._input_gate = export["input_gate"].tolist()
+        self._input_net = export["input_net"].tolist()
+        self._gate_offsets = export["gate_input_offsets"].tolist()
+        self._gate_out_net = export["gate_output_net"].tolist()
+        self._net_is_pi = export["net_is_pi"].tolist()
+        self._net_constant = export["net_constant"].tolist()
+        # Delay arcs: the lowering's original per-uid Python tuples
+        # (tp0_base, d_slew, tau_base, s_slew, ...) — byte-identical to
+        # the export's arc_rise/arc_fall rows; only the CDM slots are
+        # read (degradation is out of this backend's tier).
+        self._arc_rise = compiled.arc_rise
+        self._arc_fall = compiled.arc_fall
+
+        # Multi-lane wavefront re-alignment ("batch hold").  Lanes that
+        # reach one gate input over different paths arrive at slightly
+        # different crossings; scheduling each word event one typical
+        # base delay late lets those arrivals merge into the pending
+        # word instead of opening fresh events, which is where the
+        # whole-batch event collapse comes from.  Zero at N = 1, so the
+        # single-stimulus backend stays bit-identical to compiled CDM;
+        # for batches it is part of the CDM-grade timing contract
+        # (logic values are unaffected: scheduled transitions per
+        # (input, lane) alternate and the inertial rule removes pairs).
+        if lanes > 1 and compiled.num_inputs:
+            self._hold = sum(
+                arc[0]
+                for arcs in (compiled.arc_rise, compiled.arc_fall)
+                for arc in arcs
+            ) / (2.0 * compiled.num_inputs)
+        else:
+            self._hold = 0.0
+
+        # Truth tables -> word-op programs (memoised across kernels).
+        table_offsets = export["gate_table_offsets"].tolist()
+        flat_tables = export["gate_tables"].tolist()
+        self._programs: List[Optional[Callable]] = []
+        self._program_ops: List[int] = []
+        for gate in range(self.num_gates):
+            start, end = table_offsets[gate], table_offsets[gate + 1]
+            if end > start:
+                function, ops, _ = _compile_program(
+                    tuple(flat_tables[start:end])
+                )
+                self._programs.append(function)
+                self._program_ops.append(ops)
+            else:  # pragma: no cover - only hand-built cells exceed cap
+                self._programs.append(None)
+                self._program_ops.append(-1)
+
+        # Dynamic state (filled by reset()).
+        self.net_val: List[int] = []
+        self.input_val: List[int] = []
+        self.gate_out: List[int] = []
+        self.stacks: List[List[list]] = []
+        self.now = 0.0
+        self.seq = 0
+        self.word_events_executed = 0
+        self.executed_masks: List[int] = []
+        self.scheduled_masks: List[int] = []
+        self.filtered_masks: List[int] = []
+        self.late_masks: List[int] = []
+        self.emitted_masks: List[int] = []
+        self.source_masks: List[int] = []
+        self.toggle_events: List[Tuple[int, int]] = []
+        self.toggles_dirty = False
+        self._toggle_counts = None
+        #: per lane: list of NetTrace indexed by net id (None = off).
+        self.trace_lists: List[Optional[list]] = [None] * lanes
+        #: per lane: destination for FilteredEventRecords (None = off).
+        self.filtered_logs: List[Optional[list]] = [None] * lanes
+
+    # -- lifecycle -----------------------------------------------------
+
+    def dc_masks(self, lane_inputs: Sequence[Mapping[str, int]],
+                 seed: Optional[Mapping[str, int]] = None) -> List[int]:
+        """DC lane word of every net (validation identical per lane to
+        :func:`repro.circuit.evaluate.evaluate_netlist`)."""
+        compiled = self.compiled
+        netlist = compiled.netlist
+        names = compiled.net_names
+        pi_names = [
+            names[net] for net in range(self.num_nets)
+            if self._net_is_pi[net]
+        ]
+        pi_set = frozenset(pi_names)
+        for input_values in lane_inputs:
+            for name in pi_names:
+                if name not in input_values:
+                    raise StimulusError(
+                        "missing value for primary input %r" % name
+                    )
+                value = input_values[name]
+                if value not in (0, 1):
+                    raise StimulusError(
+                        "input %r: value must be 0 or 1, got %r"
+                        % (name, value)
+                    )
+            for name in input_values:
+                if name not in pi_set:
+                    raise StimulusError("%r is not a primary input" % name)
+        try:
+            order = netlist.topological_gates()
+        except Exception:
+            # Cyclic circuit: the scalar relaxation per lane, packed.
+            masks = [0] * self.num_nets
+            for lane, input_values in enumerate(lane_inputs):
+                row = evaluate_netlist(
+                    netlist, dict(input_values),
+                    seed=dict(seed) if seed else None,
+                )
+                bit = 1 << lane
+                for index, name in enumerate(names):
+                    if row.get(name, 0):
+                        masks[index] |= bit
+            return masks
+
+        masks = [0] * self.num_nets
+        full = self.full_mask
+        for index in range(self.num_nets):
+            if self._net_constant[index] == 1:
+                masks[index] = full
+        name_to_index = {name: index for index, name in enumerate(names)}
+        for lane, input_values in enumerate(lane_inputs):
+            bit = 1 << lane
+            for name in pi_names:
+                if input_values[name]:
+                    masks[name_to_index[name]] |= bit
+        offsets = self._gate_offsets
+        input_net = self._input_net
+        for gate_obj in order:
+            gate = gate_obj.index
+            start = offsets[gate]
+            end = offsets[gate + 1]
+            function = self._programs[gate]
+            if function is not None:
+                out = function(
+                    [masks[input_net[uid]] for uid in range(start, end)],
+                    full,
+                )
+            else:  # pragma: no cover - only hand-built cells exceed cap
+                out = 0
+                logic = compiled.gate_functions[gate]
+                for lane in range(self.lanes):
+                    bits = [
+                        (masks[input_net[uid]] >> lane) & 1
+                        for uid in range(start, end)
+                    ]
+                    if evaluate_function(logic, bits):
+                        out |= 1 << lane
+            masks[self._gate_out_net[gate]] = out
+        return masks
+
+    def reset(self, net_masks: Sequence[int], start_time: float = 0.0) -> None:
+        """(Re-)initialise every lane from per-net DC lane words."""
+        self.net_val = list(net_masks)
+        input_net = self._input_net
+        self.input_val = [
+            self.net_val[input_net[uid]] for uid in range(self.num_inputs)
+        ]
+        self.gate_out = [
+            self.net_val[self._gate_out_net[gate]]
+            for gate in range(self.num_gates)
+        ]
+        self.stacks = [[] for _ in range(self.num_inputs)]
+        self.queue.clear()
+        self.now = start_time
+        self.seq = 0
+        self.word_events_executed = 0
+        self.executed_masks = []
+        self.scheduled_masks = []
+        self.filtered_masks = []
+        self.late_masks = []
+        self.emitted_masks = []
+        self.source_masks = []
+        #: flat (net_index, change_mask) toggle log, grouped at the end.
+        self.toggle_events: List[Tuple[int, int]] = []
+        self.toggles_dirty = False
+        self._toggle_counts = None
+
+    # -- the hot path --------------------------------------------------
+
+    def execute(self, entry: list) -> None:
+        """Process one popped word event."""
+        if self.word_events_executed >= self._max_events:
+            raise SimulationLimitError(
+                "event budget (%d) exhausted at t=%.4f ns — zero-delay "
+                "oscillation?" % (self._max_events, self.now)
+            )
+        entry[W_STATE] = _EXECUTED
+        self.now = entry[W_TIME]
+        # All timing derives from the true crossing, not the held queue
+        # time, so the batch hold delays execution order only.
+        time_now = entry[W_CROSS]
+        self.word_events_executed += 1
+        mask = entry[W_MASK]
+        self.executed_masks.append(mask)
+
+        uid = entry[W_UID]
+        input_val = self.input_val
+        # Toggle semantics: per (input, lane) transitions alternate, so
+        # XOR-ing the change word in equals committing the new values.
+        input_val[uid] ^= mask
+
+        gate = self._input_gate[uid]
+        offsets = self._gate_offsets
+        start = offsets[gate]
+        end = offsets[gate + 1]
+        full = self.full_mask
+        function = self._programs[gate]
+        if function is not None:
+            new_out = function(input_val[start:end], full)
+        else:  # pragma: no cover - only hand-built cells exceed cap
+            new_out = 0
+            logic = self.compiled.gate_functions[gate]
+            for lane in range(self.lanes):
+                bits = [
+                    (input_val[pin] >> lane) & 1
+                    for pin in range(start, end)
+                ]
+                if evaluate_function(logic, bits):
+                    new_out |= 1 << lane
+        gate_out = self.gate_out
+        change = new_out ^ gate_out[gate]
+        if not change:
+            return
+        gate_out[gate] = new_out
+        rising_mask = new_out & change
+        out_net = self._gate_out_net[gate]
+        self.net_val[out_net] ^= change
+
+        # CDM-grade word timing.  Single-direction words (always the
+        # case at N = 1) use exactly the compiled CDM float sequence;
+        # mixed words take the earliest delay arc and the latest slew —
+        # the documented accuracy contract.
+        tau_in = entry[W_DUR]
+        min_delay = self._min_delay
+        if rising_mask == change:
+            arc = self._arc_rise[uid]
+            tp = arc[0] + arc[1] * tau_in
+            if tp <= min_delay:
+                tp = min_delay
+            tau_out = arc[2] + arc[3] * tau_in
+        elif rising_mask == 0:
+            arc = self._arc_fall[uid]
+            tp = arc[0] + arc[1] * tau_in
+            if tp <= min_delay:
+                tp = min_delay
+            tau_out = arc[2] + arc[3] * tau_in
+        else:
+            rise = self._arc_rise[uid]
+            fall = self._arc_fall[uid]
+            tp_rise = rise[0] + rise[1] * tau_in
+            tp_fall = fall[0] + fall[1] * tau_in
+            tp = tp_rise if tp_rise < tp_fall else tp_fall
+            if tp <= min_delay:
+                tp = min_delay
+            tau_rise = rise[2] + rise[3] * tau_in
+            tau_fall = fall[2] + fall[3] * tau_in
+            tau_out = tau_rise if tau_rise > tau_fall else tau_fall
+        t50 = time_now + tp
+
+        self.emitted_masks.append(change)
+        self.toggle_events.append((out_net, change))
+        self.toggles_dirty = True
+        if self._record_traces:
+            trace_lists = self.trace_lists
+            net_name = self.compiled.net_names[out_net]
+            for lane in _iter_lanes(change):
+                traces = trace_lists[lane]
+                if traces is not None:
+                    traces[out_net].append(Transition(
+                        t50=t50,
+                        duration=tau_out,
+                        rising=bool((rising_mask >> lane) & 1),
+                        net_name=net_name,
+                        degradation_factor=1.0,
+                        cause_time=time_now,
+                    ))
+        self.broadcast(out_net, change, rising_mask, t50, tau_out)
+
+    def broadcast(self, net_index: int, mask: int, rising_mask: int,
+                  t50: float, duration: float) -> None:
+        """Fan a word transition out: one word event per receiving input.
+
+        The inertial decision is taken per word against the input's
+        top-of-stack entry: lanes present in both annihilate pairwise
+        (exactly the scalar rule at N = 1); surviving lanes schedule at
+        the word's threshold crossing.
+        """
+        offsets = self._fanout_offsets
+        targets = self._fanout_targets
+        vt_fraction = self._vt_fraction
+        stacks = self.stacks
+        queue = self.queue
+        resolution = self._resolution
+        now = self.now
+        seq = self.seq
+        hold = self._hold
+        single = rising_mask == 0 or rising_mask == mask
+        rising = rising_mask != 0
+        for position in range(offsets[net_index], offsets[net_index + 1]):
+            uid = targets[position]
+            fraction = vt_fraction[uid]
+            if single:
+                if rising:
+                    crossing = t50 + duration * (fraction - 0.5)
+                else:
+                    crossing = t50 + duration * (0.5 - fraction)
+            else:
+                # Latest crossing of the word's mixed edges.
+                offset = duration * (fraction - 0.5)
+                crossing = t50 + (offset if offset >= 0.0 else -offset)
+            stack = stacks[uid]
+            previous = stack[-1] if stack else None
+            new_mask = mask
+            new_rising = rising_mask
+
+            if previous is not None and previous[W_STATE] == _PENDING:
+                if self._event_order:
+                    annihilate = crossing <= previous[W_TIME] + resolution
+                    event_time = crossing
+                else:
+                    previous_rising = previous[W_RISING]
+                    previous_single = (
+                        previous_rising == 0
+                        or previous_rising == previous[W_MASK]
+                    )
+                    if single and previous_single:
+                        decided = self._peak_voltage_time(
+                            crossing, previous, t50, duration, rising,
+                            fraction,
+                        )
+                        annihilate = decided is None
+                        event_time = crossing if decided is None else decided
+                    else:
+                        # Mixed-direction words carry no single ramp to
+                        # reconstruct; fall back to the event-order rule.
+                        annihilate = crossing <= previous[W_TIME] + resolution
+                        event_time = crossing
+                if annihilate:
+                    overlap = new_mask & previous[W_MASK]
+                    if overlap:
+                        previous[W_MASK] &= ~overlap
+                        previous[W_RISING] &= ~overlap
+                        if previous[W_MASK] == 0:
+                            queue.cancel(previous)
+                            stack.pop()
+                        self.filtered_masks.append(overlap)
+                        if self._record_filtered:
+                            self._log_filtered(
+                                overlap, uid, net_index, now,
+                                previous[W_TIME], crossing,
+                            )
+                        new_mask &= ~overlap
+                        new_rising &= ~overlap
+                        if new_mask == 0:
+                            continue
+                    event_time = crossing
+                if (
+                    previous[W_MASK] != 0
+                    and previous[W_MASK] & new_mask == 0
+                ):
+                    # Lanes disjoint from the still-pending word ride
+                    # along with it instead of opening a fresh event:
+                    # this is the word-level collapse that keeps the
+                    # wavefront aligned across lanes (and the whole
+                    # batch at ~one event per input per wavefront).
+                    # Timing inherits the pending word's crossing and
+                    # ramp — CDM-grade, per the accuracy contract.
+                    # Unreachable at N = 1 (a same-lane pair always
+                    # overlaps), so single-lane runs stay bit-identical
+                    # to the compiled CDM kernel.
+                    previous[W_MASK] |= new_mask
+                    previous[W_RISING] |= new_rising
+                    self.scheduled_masks.append(new_mask)
+                    continue
+            else:
+                event_time = crossing
+                if previous is not None and crossing <= previous[W_TIME]:
+                    # The predecessor already executed; the restoring
+                    # word runs immediately instead of unwinding it.
+                    self.late_masks.append(new_mask)
+                    if event_time < now:
+                        event_time = now
+                elif crossing + hold < now:
+                    self.late_masks.append(new_mask)
+                    event_time = now - hold
+
+            seq += 1
+            entry = [event_time + hold, seq, uid, new_mask, new_rising,
+                     t50, duration, _PENDING, event_time]
+            queue.push(entry)
+            stack.append(entry)
+            self.scheduled_masks.append(new_mask)
+        self.seq = seq
+
+    def _peak_voltage_time(
+        self,
+        crossing: float,
+        previous: list,
+        t50: float,
+        duration: float,
+        rising: bool,
+        fraction: float,
+    ) -> Optional[float]:
+        """Scalar PEAK_VOLTAGE rule (compiled backend's, verbatim);
+        None means annihilate.  Only reached when both word events are
+        single-direction."""
+        leading_rising = previous[W_RISING] != 0
+        if leading_rising == rising:
+            if crossing <= previous[W_TIME] + self._resolution:
+                return None
+            return crossing
+        leading_duration = previous[W_DUR]
+        if leading_duration <= 0.0:  # pragma: no cover - durations > 0
+            peak = 1.0
+        else:
+            progress = (
+                (t50 - 0.5 * duration)
+                - (previous[W_T50] - 0.5 * leading_duration)
+            ) / leading_duration
+            peak = min(1.0, max(0.0, progress))
+        threshold_progress = fraction if leading_rising else 1.0 - fraction
+        if peak <= threshold_progress:
+            return None
+        corrected = crossing - (1.0 - peak) * duration
+        return max(corrected, previous[W_TIME] + self._resolution)
+
+    def _log_filtered(self, overlap: int, uid: int, net_index: int,
+                      now: float, previous_time: float,
+                      new_time: float) -> None:
+        compiled = self.compiled
+        gate_name = compiled.gate_names[compiled.input_gate[uid]]
+        pin_index = compiled.input_pin[uid]
+        net_name = compiled.net_names[net_index]
+        for lane in _iter_lanes(overlap):
+            log = self.filtered_logs[lane]
+            if log is not None:
+                log.append(FilteredEventRecord(
+                    time_now=now,
+                    gate_name=gate_name,
+                    pin_index=pin_index,
+                    net_name=net_name,
+                    previous_event_time=previous_time,
+                    new_event_time=new_time,
+                ))
+
+    def run_until(self, until: Optional[float]) -> None:
+        """Pop and execute word events up to and including ``until``."""
+        queue = self.queue
+        peek_time = queue.peek_time
+        pop = queue.pop
+        execute = self.execute
+        while True:
+            next_time = peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            execute(pop())
+        if until is not None and until > self.now:
+            self.now = until
+
+    # -- per-lane extraction -------------------------------------------
+
+    def toggle_matrix(self):
+        """Per-net per-lane toggle counts, ``(num_nets, lanes)`` int64.
+
+        Aggregates the flat ``toggle_events`` log in a few numpy ops
+        (unpack every change mask, scatter-add onto the net axis);
+        cached until the next recorded toggle.
+        """
+        if self._toggle_counts is not None and not self.toggles_dirty:
+            return self._toggle_counts
+        counts = _toggle_count_matrix(
+            self.toggle_events, self.num_nets, self.lanes
+        )
+        self._toggle_counts = counts
+        self.toggles_dirty = False
+        return counts
+
+    def lane_stats(self, lane: int) -> SimulationStatistics:
+        """One lane's counters totalled from the recorded mask lists."""
+        stats = SimulationStatistics()
+        stats.events_executed = _lane_total(self.executed_masks, lane)
+        stats.events_scheduled = _lane_total(self.scheduled_masks, lane)
+        stats.events_filtered = _lane_total(self.filtered_masks, lane)
+        stats.late_events = _lane_total(self.late_masks, lane)
+        stats.transitions_emitted = _lane_total(self.emitted_masks, lane)
+        stats.source_transitions = _lane_total(self.source_masks, lane)
+        bit = 1 << lane
+        names = self.compiled.net_names
+        toggles: Dict[str, int] = {}
+        for index, mask in self.toggle_events:
+            if mask & bit:
+                name = names[index]
+                toggles[name] = toggles.get(name, 0) + 1
+        stats.net_toggles = toggles
+        return stats
+
+    def all_lane_toggles(self) -> List[Dict[str, int]]:
+        """Per-lane ``net_toggles`` dicts for every lane at once.
+
+        The vectorised twin of N :meth:`lane_stats` calls, built from
+        one :meth:`toggle_matrix` pass.
+        """
+        return _per_lane_toggle_dicts(
+            self.toggle_matrix(), self.compiled.net_names, self.lanes
+        )
+
+    def lane_counts(self, masks: Sequence[int]):
+        """All lanes' counts of one recorded mask list (int64 array)."""
+        return _mask_lane_counts(masks, self.lanes)
+
+    def lane_value(self, lane: int, net_index: int) -> int:
+        return (self.net_val[net_index] >> lane) & 1
+
+    def lane_final_values(self, lane: int) -> Dict[str, int]:
+        names = self.compiled.net_names
+        return {
+            name: (self.net_val[index] >> lane) & 1
+            for index, name in enumerate(names)
+        }
+
+    def all_lane_final_values(self) -> List[Dict[str, int]]:
+        """Every lane's final net values in one unpack pass."""
+        names = self.compiled.net_names
+        columns = _unpack_masks(self.net_val, self.lanes).T.tolist()
+        return [dict(zip(names, column)) for column in columns]
+
+    # -- packed exports ------------------------------------------------
+
+    def word_op_counts(self) -> Dict[str, int]:
+        """Word operations per gate evaluation, by gate name (-1 marks
+        a gate beyond the truth-table cap, evaluated per lane)."""
+        return dict(zip(self.compiled.gate_names, self._program_ops))
+
+    def packed_toggle_words(self) -> Dict[str, List["object"]]:
+        """Per-net toggle counters as packed numpy ``uint64`` words.
+
+        Plane ``p`` of net ``n`` holds bit ``p`` of every lane's toggle
+        count for ``n``, packed 64 lanes per word — the direct input of
+        :func:`repro.analysis.activity.packed_activity_summary`, which
+        popcounts the words instead of walking unpacked traces.
+        """
+        names = self.compiled.net_names
+        matrix = self.toggle_matrix()
+        packed: Dict[str, List["object"]] = {}
+        for index in _np.flatnonzero(matrix.any(axis=1)).tolist():
+            packed[names[index]] = _counts_to_planes(matrix[index])
+        return packed
+
+
+# ----------------------------------------------------------------------
+# the lockstep batch driver
+# ----------------------------------------------------------------------
+
+class _WordLockstepDriver:
+    """Plays N stimuli through one word kernel on a single clock.
+
+    Unlike the vector engine's per-lane clocks, the word kernel shares
+    one time axis: stimulus changes from every lane are merged into one
+    sorted schedule and same-time changes of one net collapse into one
+    word source event — that collapse is where the whole-batch speedup
+    comes from.  Per-lane logic values stay exact; per-lane event times
+    follow the word contract (module docstring).
+    """
+
+    def __init__(self, netlist: Netlist, kernel: _WordKernel,
+                 stimuli: Sequence, settle: float,
+                 seed: Optional[Mapping[str, int]]):
+        self.netlist = netlist
+        self.kernel = kernel
+        self.config = kernel.config
+        lanes = len(stimuli)
+        #: merged change schedule, stable-sorted by time (per-lane
+        #: relative order is preserved).
+        self.schedule: List[Tuple[float, int, Mapping[str, int],
+                                  Optional[float]]] = []
+        for lane, stimulus in enumerate(stimuli):
+            for at_time, assignments, slew in stimulus.iter_changes():
+                self.schedule.append((at_time, lane, assignments, slew))
+        self.schedule.sort(key=lambda item: item[0])
+        self.limit = max(
+            stimulus.horizon + settle for stimulus in stimuli
+        )
+
+        masks = kernel.dc_masks(
+            [stimulus.initial_values(netlist) for stimulus in stimuli],
+            seed=seed,
+        )
+        kernel.reset(masks)
+        vdd = netlist.vdd
+        names = kernel.compiled.net_names
+        self.trace_sets = [TraceSet(vdd) for _ in range(lanes)]
+        if self.config.record_traces:
+            for lane in range(lanes):
+                trace_set = self.trace_sets[lane]
+                kernel.trace_lists[lane] = [
+                    trace_set.create(name, (masks[index] >> lane) & 1)
+                    for index, name in enumerate(names)
+                ]
+
+    def run(self) -> List[SimulationResult]:
+        kernel = self.kernel
+        wall_start = _time.perf_counter()
+        schedule = self.schedule
+        total = len(schedule)
+        position = 0
+        while position < total:
+            at_time = schedule[position][0]
+            kernel.run_until(at_time)
+            group_end = position
+            while group_end < total and schedule[group_end][0] == at_time:
+                group_end += 1
+            self._apply_changes(schedule[position:group_end], at_time)
+            position = group_end
+        kernel.run_until(self.limit)
+        kernel.run_until(None)
+        wall = _time.perf_counter() - wall_start
+
+        lanes = kernel.lanes
+        counts_view = _LaneCountsView(kernel)
+        toggle_view = _LaneToggleView(kernel)
+        finals_view = _LaneFinalsView(kernel)
+        # In-kernel time is shared by every lane; an even split keeps
+        # aggregate_stats() comparable across engines.
+        per_lane_wall = wall / lanes
+        results = []
+        for lane in range(lanes):
+            trace_set = self.trace_sets[lane]
+            # One shared clock: every lane's horizon is the word
+            # kernel's final time (part of the accuracy contract).
+            trace_set.horizon = kernel.now
+            stats = _LaneStatistics(counts_view, toggle_view, lane)
+            stats.runtime_seconds = per_lane_wall
+            results.append(
+                _LaneResult(trace_set, stats, finals_view, lane)
+            )
+        return results
+
+    def _apply_changes(self, entries: Sequence, at_time: float) -> None:
+        """Commit one time step's input changes across all lanes.
+
+        Per-lane validation mirrors :meth:`EngineBase.set_input`
+        exactly; actual toggles group into one word source event per
+        (net, slew) and broadcast together.
+        """
+        kernel = self.kernel
+        netlist = self.netlist
+        default_slew = self.config.default_input_slew
+        groups: Dict[Tuple[int, float], List[int]] = {}
+        for _at_time, lane, assignments, slew in entries:
+            bit = 1 << lane
+            for name in sorted(assignments):
+                value = assignments[name]
+                net = netlist.net(name)
+                if not net.is_primary_input:
+                    raise StimulusError("%r is not a primary input" % name)
+                if value not in (0, 1):
+                    raise StimulusError(
+                        "input value must be 0 or 1, got %r" % (value,)
+                    )
+                index = net.index
+                if (kernel.net_val[index] >> lane) & 1 == value:
+                    continue
+                ramp = slew if slew is not None else default_slew
+                if ramp <= 0.0:
+                    raise StimulusError("input slew must be positive")
+                kernel.net_val[index] ^= bit
+                kernel.source_masks.append(bit)
+                kernel.toggle_events.append((index, bit))
+                kernel.toggles_dirty = True
+                traces = kernel.trace_lists[lane]
+                if traces is not None:
+                    traces[index].append(Transition(
+                        t50=at_time + 0.5 * ramp,
+                        duration=ramp,
+                        rising=(value == 1),
+                        net_name=name,
+                        cause_time=at_time,
+                    ))
+                group = groups.get((index, ramp))
+                if group is None:
+                    group = groups[(index, ramp)] = [0, 0]
+                group[0] |= bit
+                if value:
+                    group[1] |= bit
+        for (index, ramp), (mask, rising_mask) in sorted(groups.items()):
+            kernel.broadcast(
+                index, mask, rising_mask, at_time + 0.5 * ramp, ramp
+            )
+
+
+# ----------------------------------------------------------------------
+# the registered backend
+# ----------------------------------------------------------------------
+
+@register_engine("bitparallel")
+class BitParallelSimulator(EngineBase):
+    """The word-level lane-packed kernel behind the engine protocol.
+
+    As a registered backend this class simulates one stimulus at a time
+    (a one-lane kernel, where the word timing contract degenerates to
+    exact compiled-CDM behaviour), so it slots into everything that
+    consumes ``ENGINE_KINDS`` — ``simulate()``, service workers, the
+    network server, the CLI.  Its reason to exist is the **lockstep
+    batch** class method used by :func:`repro.core.batch.simulate_batch`,
+    which packs all N vectors of a batch into lane words and advances
+    them through one word-event kernel; per-lane logic values are
+    bit-identical to the reference backend (timing is CDM-grade — see
+    the module docstring for the declared accuracy tier).
+
+    Args:
+        netlist: the circuit; lowered on construction unless a
+            pre-lowered ``compiled`` is supplied.
+        config: engine knobs (the default is HALOTIS-DDM; note the
+            degradation model is out of this backend's tier — delays
+            follow the CDM arcs either way).
+        queue_kind: word-event queue implementation (same names as the
+            other backends: ``"heap"`` or ``"sorted-list"``).
+        compiled: optional pre-built :class:`CompiledNetlist` (must wrap
+            ``netlist``); lets many simulators share one lowering.
+    """
+
+    lowers_netlist = True
+    lockstep_batches = True
+    cli_blurb = (
+        "packs whole batches into lane words, logic-exact with "
+        "CDM-grade timing; needs numpy"
+    )
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        config: Optional[SimulationConfig] = None,
+        queue_kind: str = "heap",
+        compiled: Optional[CompiledNetlist] = None,
+    ):
+        self.ensure_available()
+        if compiled is not None and compiled.netlist is not netlist:
+            raise SimulationError(
+                "compiled netlist does not wrap the given netlist"
+            )
+        self._cn = compiled if compiled is not None else netlist.compile()
+        self._kernel: Optional[_WordKernel] = None
+        super().__init__(netlist, config=config, queue_kind=queue_kind)
+        policy = self.config.inertial_policy
+        if policy not in (InertialPolicy.EVENT_ORDER,
+                          InertialPolicy.PEAK_VOLTAGE):
+            raise ValueError("unknown inertial policy %r" % (policy,))
+
+    @classmethod
+    def ensure_available(cls) -> None:
+        """Raise a clear :class:`SimulationError` when numpy is absent."""
+        _require_numpy()
+
+    @classmethod
+    def run_lockstep_batch(
+        cls,
+        netlist: Netlist,
+        stimuli: Sequence,
+        config: Optional[SimulationConfig] = None,
+        settle: float = 0.0,
+        queue_kind: str = "heap",
+        seed: Optional[Mapping[str, int]] = None,
+    ) -> List[SimulationResult]:
+        """All N stimuli through one word kernel on a single clock.
+
+        The fast path behind ``simulate_batch(...,
+        engine_kind="bitparallel")``; result ``i`` carries lane ``i``'s
+        logic values (bit-identical to ``simulate(netlist, stimuli[i],
+        ...)`` on any backend) under the word timing contract.  Every
+        result carries ``simulator=None`` (like sharded batches).
+        """
+        cls.ensure_available()
+        if config is None:
+            config = SimulationConfig()
+        config.validate()
+        kernel = _WordKernel(
+            netlist.compile(), config, len(stimuli),
+            queue=_make_word_queue(queue_kind),
+        )
+        driver = _WordLockstepDriver(netlist, kernel, stimuli, settle, seed)
+        return driver.run()
+
+    @property
+    def compiled_netlist(self) -> CompiledNetlist:
+        return self._cn
+
+    @property
+    def kernel(self) -> Optional[_WordKernel]:
+        """The underlying word kernel (None before ``initialize()``)."""
+        return self._kernel
+
+    def _make_queue(self, queue_kind: str):
+        # Validated here so a bad kind fails at make_engine() time like
+        # the other backends; the kernel drives this same queue object.
+        return _make_word_queue(queue_kind)
+
+    # -- lifecycle hooks -----------------------------------------------
+
+    def _build_state(
+        self,
+        input_values: Dict[str, int],
+        seed: Optional[Dict[str, int]],
+    ) -> Dict[str, int]:
+        values = evaluate_netlist(self.netlist, input_values, seed=seed)
+        if self._kernel is None:
+            self._kernel = _WordKernel(
+                self._cn, self.config, 1, queue=self.queue
+            )
+        # .get: an undriven, fanout-free net has no DC value; the
+        # placeholder entry is never read (not a PI, no fanouts).
+        self._kernel.reset([
+            1 if values.get(name, 0) else 0
+            for name in self._cn.net_names
+        ])
+        return values
+
+    def _after_initialize(self) -> None:
+        kernel = self._kernel
+        kernel.now = self.now
+        kernel.filtered_logs[0] = self.filtered_log
+        if self.config.record_traces:
+            kernel.trace_lists[0] = [
+                self.traces[name] for name in self._cn.net_names
+            ]
+        else:
+            kernel.trace_lists[0] = None
+
+    # -- stimulus hooks ------------------------------------------------
+
+    def _pi_value(self, net: Net) -> int:
+        return self._kernel.net_val[net.index] & 1
+
+    def _commit_pi_value(self, net: Net, value: int) -> None:
+        kernel = self._kernel
+        kernel.net_val[net.index] = (
+            (kernel.net_val[net.index] & ~1) | value
+        )
+
+    def _count_toggle(self, net: Net) -> None:
+        kernel = self._kernel
+        kernel.toggle_events.append((net.index, 1))
+        kernel.toggles_dirty = True
+
+    def _broadcast_transition(self, transition: Transition, net: Net) -> None:
+        kernel = self._kernel
+        kernel.now = self.now
+        kernel.broadcast(
+            net.index, 1, 1 if transition.rising else 0,
+            transition.t50, transition.duration,
+        )
+
+    # -- the event loop ------------------------------------------------
+
+    def _execute(self, entry: list) -> None:
+        kernel = self._kernel
+        kernel.execute(entry)
+        self.now = kernel.now
+
+    def _after_run(self) -> None:
+        # Mirror lane 0 of the kernel's counters into the result-facing
+        # SimulationStatistics (source_transitions is maintained by
+        # EngineBase.set_input and stays untouched; the degradation
+        # counters stay 0 — this tier never degrades).
+        kernel = self._kernel
+        stats = self.stats
+        stats.events_executed = _lane_total(kernel.executed_masks, 0)
+        stats.events_scheduled = _lane_total(kernel.scheduled_masks, 0)
+        stats.events_filtered = _lane_total(kernel.filtered_masks, 0)
+        stats.late_events = _lane_total(kernel.late_masks, 0)
+        stats.transitions_emitted = _lane_total(kernel.emitted_masks, 0)
+        names = self._cn.net_names
+        toggles: Dict[str, int] = {}
+        for index, mask in kernel.toggle_events:
+            if mask & 1:
+                name = names[index]
+                toggles[name] = toggles.get(name, 0) + 1
+        stats.net_toggles = toggles
+
+    # -- inspection ----------------------------------------------------
+
+    def value(self, net_name: str) -> int:
+        """Committed logic value of a net at the current time."""
+        self._require_ready()
+        net = self.netlist.net(net_name)
+        index = net.index
+        constant = self._cn.net_constant[index]
+        if constant is not None:
+            return constant
+        if self._cn.net_is_pi[index]:
+            return self._kernel.net_val[index] & 1
+        if self._cn.net_driver[index] < 0:
+            raise SimulationError("net %r has no driver" % net_name)
+        return self._kernel.net_val[index] & 1

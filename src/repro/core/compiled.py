@@ -459,6 +459,7 @@ class CompiledSimulator(EngineBase):
     """
 
     lowers_netlist = True
+    cli_blurb = "array-lowered kernel, the fastest single run"
 
     def __init__(
         self,

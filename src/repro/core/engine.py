@@ -27,11 +27,16 @@ Two interchangeable *backends* implement this algorithm (see
   array-lowered kernel whose hot path touches only integers and floats;
 * ``"vector"`` — :class:`repro.core.vector.VectorSimulator`, a numpy
   N-lane kernel that advances whole batches in lockstep (requires
-  numpy; see ``lockstep_batches``).
+  numpy; see ``lockstep_batches``);
+* ``"bitparallel"`` — :class:`repro.core.bitparallel.BitParallelSimulator`,
+  a word-level kernel packing one stimulus per *bit* of a lane word
+  (requires numpy; logic-exact with CDM-grade timing — see
+  ``docs/architecture.md`` for the declared accuracy tiers).
 
 All backends share :class:`EngineBase` (lifecycle, stimulus, inspection
-and the :func:`simulate` facade) and are property-tested to produce
-bit-identical traces and statistics.
+and the :func:`simulate` facade).  The first three are property-tested
+to produce bit-identical traces and statistics; ``"bitparallel"`` is
+property-tested to produce bit-identical per-lane logic values.
 """
 
 from __future__ import annotations
@@ -92,12 +97,13 @@ def register_engine(kind: str) -> Callable[[type], type]:
 
 
 def _ensure_backends_registered() -> None:
-    # The compiled/vector backends live in their own modules (they
-    # import EngineBase from here); importing them lazily avoids a
+    # The compiled/vector/bitparallel backends live in their own modules
+    # (they import EngineBase from here); importing them lazily avoids a
     # circular import while guaranteeing the registry is complete
-    # whenever it is consulted.  The vector backend registers even when
-    # numpy is absent, so "unknown engine kind" errors list it and the
-    # availability failure stays a clear, actionable one.
+    # whenever it is consulted.  The numpy-backed backends register even
+    # when numpy is absent, so "unknown engine kind" errors list them
+    # and the availability failure stays a clear, actionable one.
+    from . import bitparallel  # noqa: F401
     from . import compiled  # noqa: F401
     from . import vector  # noqa: F401
 
@@ -168,6 +174,11 @@ class EngineBase(abc.ABC):
     #: routes to their ``run_lockstep_batch`` class method instead of
     #: replaying vectors one by one.
     lockstep_batches: bool = False
+
+    #: One-line description shown in the CLI's ``--engine`` help; the
+    #: option's choices *and* text come from the registry, so a newly
+    #: registered backend appears in both with no CLI edit.
+    cli_blurb: str = ""
 
     @classmethod
     def ensure_available(cls) -> None:
@@ -419,6 +430,8 @@ class HalotisSimulator(EngineBase):
             when given (used by delay-model unit tests).
         queue_kind: event-queue implementation (``"heap"`` default).
     """
+
+    cli_blurb = "readable object-graph kernel, the default"
 
     def __init__(
         self,

@@ -1315,6 +1315,9 @@ class VectorSimulator(EngineBase):
 
     lowers_netlist = True
     lockstep_batches = True
+    cli_blurb = (
+        "numpy N-lane kernel, steps whole batches in lockstep; needs numpy"
+    )
 
     def __init__(
         self,

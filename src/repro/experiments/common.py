@@ -178,6 +178,37 @@ def run_halotis_vector(
     )
 
 
+def run_halotis_bitparallel(
+    mode: DelayMode,
+    record_traces: bool = True,
+    queue_kind: str = "heap",
+) -> BatchResult:
+    """Both paper sequences as one 2-lane *word* batch.
+
+    Runs the Figure 6 and Figure 7 stimuli through the
+    ``"bitparallel"`` backend: each sequence occupies one bit of the
+    lane word, and every gate evaluation covers both at once.  Per-lane
+    logic values equal ``run_halotis(which, ...)`` bit for bit; event
+    *times* follow the word contract (CDM-grade, earliest/latest arc on
+    mixed words — see docs/architecture.md), so this variant is for
+    activity counts and settled-value checks, not waveform comparisons.
+    Real throughput comes from wide batches: 64+ lanes ride in every
+    word operation (see docs/performance.md).
+    """
+    config = ddm_config() if mode is DelayMode.DDM else cdm_config()
+    if not record_traces:
+        config = SimulationConfig(
+            delay_mode=config.delay_mode, record_traces=False
+        )
+    return simulate_batch(
+        multiplier_netlist(),
+        paper_stimulus_batch(),
+        config=config,
+        queue_kind=queue_kind,
+        engine_kind="bitparallel",
+    )
+
+
 def run_halotis_service(
     mode: DelayMode,
     record_traces: bool = True,

@@ -203,3 +203,49 @@ def test_compiled_as_numpy_views():
     assert arrays["vt_fraction"].shape == (compiled.num_inputs,)
     assert arrays["fanout_offsets"].shape == (compiled.num_nets + 1,)
     assert int(arrays["fanout_offsets"][-1]) == len(compiled.fanout_targets)
+
+
+def test_registering_new_engine_updates_cli_and_error_text(chain3):
+    """Satellite: CLI ``--engine`` choices/help and the unknown-kind
+    error text are derived from ``ENGINE_KINDS`` at call time — a newly
+    registered backend shows up in both with zero extra wiring."""
+    from repro.cli import _build_parser, _engine_help
+    from repro.core.engine import register_engine
+
+    assert "experimental" not in ENGINE_KINDS
+
+    @register_engine("experimental")
+    class ExperimentalSimulator(HalotisSimulator):
+        cli_blurb = "prototype backend for the registry-drift test"
+
+    try:
+        # make_engine / resolve_engine_class error text picks it up...
+        with pytest.raises(SimulationError) as excinfo:
+            make_engine(chain3, engine_kind="jit")
+        assert "'experimental'" in str(excinfo.value)
+
+        # ...the CLI parser accepts it as a choice...
+        parser = _build_parser()
+        args = parser.parse_args(
+            ["simulate", "--circuit", "c17", "--engine", "experimental"]
+        )
+        assert args.engine == "experimental"
+
+        # ...and the option help carries its blurb.
+        assert "experimental" in _engine_help()
+        assert ExperimentalSimulator.cli_blurb in _engine_help()
+
+        # It is a real engine, not just a name.
+        engine = make_engine(chain3, engine_kind="experimental")
+        assert isinstance(engine, ExperimentalSimulator)
+    finally:
+        ENGINE_KINDS.pop("experimental", None)
+
+    with pytest.raises(SimulationError) as excinfo:
+        make_engine(chain3, engine_kind="jit")
+    assert "experimental" not in str(excinfo.value)
+    parser = _build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(
+            ["simulate", "--circuit", "c17", "--engine", "experimental"]
+        )

@@ -1,12 +1,17 @@
-"""The vector engine's numpy gate: clear failures at validation time.
+"""The engine-availability matrix: clear failures at validation time.
 
-``--engine vector`` on a numpy-less install must fail with one
-actionable :class:`SimulationError` (or the server's ``bad-frame``
-twin) at *configuration* time — config validation, ``make_engine``,
-service construction, server registration, the CLI — never as a bare
-``ImportError`` mid-simulation.  numpy is installed in CI, so absence
-is simulated by monkeypatching :func:`repro.config.numpy_available`,
-which every layer consults through the module.
+Every numpy-backed engine (``vector``, ``bitparallel``) on a numpy-less
+install must fail with one actionable :class:`SimulationError` (or the
+server's ``bad-frame`` twin) at *configuration* time — config
+validation, ``make_engine``, service construction, server registration,
+the CLI — never as a bare ``ImportError`` mid-simulation.  The pure
+backends (``reference``, ``compiled``) must keep validating and running
+with numpy gone.  numpy is installed in CI, so absence is simulated by
+monkeypatching :func:`repro.config.numpy_available`, which every layer
+consults through the module.
+
+The matrix is driven from ``ENGINE_KINDS`` itself, so a newly
+registered backend is automatically probed on both axes.
 """
 
 from __future__ import annotations
@@ -21,64 +26,153 @@ from repro.core.vector import VectorSimulator
 from repro.errors import ServerError, SimulationError
 from repro.server.registry import NetlistRegistry
 
+ALL_KINDS = sorted(ENGINE_KINDS)
+
+#: The declared availability split.  A test below proves this set stays
+#: in sync with the registry's actual behaviour, so adding an engine
+#: with an unlisted numpy dependency fails loudly here.
+NUMPY_KINDS = frozenset({"vector", "bitparallel"})
+PURE_KINDS = frozenset(ALL_KINDS) - NUMPY_KINDS
+
 
 @pytest.fixture()
 def no_numpy(monkeypatch):
     monkeypatch.setattr(config_module, "numpy_available", lambda: False)
 
 
-def test_vector_is_registered_even_without_numpy(no_numpy):
-    # The registry always lists "vector", so unknown-kind errors name it
-    # and the availability failure stays the clear, actionable one.
-    assert "vector" in ENGINE_KINDS
+def test_declared_split_matches_registry(no_numpy):
+    """NUMPY_KINDS is exactly the set of kinds whose ensure_available
+    raises without numpy — the matrix can't silently go stale."""
+    needing = set()
+    for kind in ALL_KINDS:
+        try:
+            ENGINE_KINDS[kind].ensure_available()
+        except SimulationError:
+            needing.add(kind)
+    assert needing == NUMPY_KINDS
+
+
+def test_all_kinds_registered_even_without_numpy(no_numpy):
+    # The registry always lists every backend, so unknown-kind errors
+    # name them all and the availability failure stays the clear one.
+    for kind in ALL_KINDS:
+        assert kind in ENGINE_KINDS
     assert ENGINE_KINDS["vector"] is VectorSimulator
 
 
-def test_unknown_engine_error_lists_vector(chain3):
+def test_unknown_engine_error_lists_every_kind(chain3):
     with pytest.raises(SimulationError) as excinfo:
         make_engine(chain3, engine_kind="warp")
-    assert "vector" in str(excinfo.value)
-    assert "compiled" in str(excinfo.value)
-    assert "reference" in str(excinfo.value)
+    for kind in ALL_KINDS:
+        assert kind in str(excinfo.value)
 
 
-def test_config_validation_requires_numpy(no_numpy):
-    config = SimulationConfig(engine_kind="vector")
+# ----------------------------------------------------------------------
+# numpy-backed kinds: one actionable error per layer
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", sorted(NUMPY_KINDS))
+def test_config_validation_requires_numpy(no_numpy, kind):
+    config = SimulationConfig(engine_kind=kind)
     with pytest.raises(SimulationError) as excinfo:
         config.validate()
     message = str(excinfo.value)
+    assert kind in message  # names the engine that needs it
     assert "numpy" in message
     assert "compiled" in message  # actionable: names the fallback
 
 
-def test_config_validation_passes_with_numpy():
-    SimulationConfig(engine_kind="vector").validate()
-
-
-def test_make_engine_requires_numpy(chain3, no_numpy):
+@pytest.mark.parametrize("kind", sorted(NUMPY_KINDS))
+def test_make_engine_requires_numpy(chain3, no_numpy, kind):
     with pytest.raises(SimulationError) as excinfo:
-        make_engine(chain3, engine_kind="vector")
+        make_engine(chain3, engine_kind=kind)
     assert "numpy" in str(excinfo.value)
 
 
-def test_service_construction_requires_numpy(mult4, no_numpy):
+@pytest.mark.parametrize("kind", sorted(NUMPY_KINDS))
+def test_service_construction_requires_numpy(mult4, no_numpy, kind):
     # Must fail before any worker is spawned, not as a crash loop.
     with pytest.raises(SimulationError) as excinfo:
         SimulationService(mult4, config=ddm_config(), workers=1,
-                          engine_kind="vector")
+                          engine_kind=kind)
     assert "numpy" in str(excinfo.value)
 
 
-def test_server_registration_requires_numpy(no_numpy):
+@pytest.mark.parametrize("kind", sorted(NUMPY_KINDS))
+def test_server_registration_requires_numpy(no_numpy, kind):
     registry = NetlistRegistry(max_netlists=4)
     with pytest.raises(ServerError) as excinfo:
         registry.register(
-            "c17.vector", {"kind": "builtin", "name": "c17"},
-            engine_kind="vector",
+            "c17.%s" % kind, {"kind": "builtin", "name": "c17"},
+            engine_kind=kind,
         )
     assert excinfo.value.kind == "bad-frame"
     assert "numpy" in str(excinfo.value)
     assert len(registry) == 0  # the doomed entry consumed no slot
+
+
+@pytest.mark.parametrize("kind", sorted(NUMPY_KINDS))
+def test_cli_engine_requires_numpy(no_numpy, capsys, kind):
+    from repro.cli import main
+
+    assert main([
+        "simulate", "--circuit", "c17", "--vectors", "2",
+        "--engine", kind,
+    ]) == 1
+    err = capsys.readouterr().err
+    assert "numpy" in err
+    assert "Traceback" not in err
+
+
+@pytest.mark.parametrize("kind", sorted(NUMPY_KINDS))
+def test_cli_engine_batch_requires_numpy(no_numpy, capsys, kind):
+    from repro.cli import main
+
+    assert main([
+        "simulate", "--circuit", "c17", "--batch", "3", "--vectors", "2",
+        "--engine", kind,
+    ]) == 1
+    assert "numpy" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# pure-python kinds: unaffected by the probe
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", sorted(PURE_KINDS))
+def test_pure_kinds_validate_without_numpy(no_numpy, kind):
+    SimulationConfig(engine_kind=kind).validate()
+
+
+@pytest.mark.parametrize("kind", sorted(PURE_KINDS))
+def test_pure_kinds_simulate_without_numpy(chain3, no_numpy, kind):
+    from repro.stimuli.vectors import VectorSequence
+
+    inputs = [net.name for net in chain3.primary_inputs]
+    steps = [(0.0, {name: 0 for name in inputs}),
+             (2.0, {name: 1 for name in inputs})]
+    stimulus = VectorSequence(steps, slew=0.2, tail=4.0)
+    from repro.core.engine import simulate
+
+    result = simulate(chain3, stimulus, config=ddm_config(),
+                      engine_kind=kind)
+    assert result.stats.events_executed > 0
+
+
+@pytest.mark.parametrize("kind", sorted(PURE_KINDS))
+def test_pure_kinds_register_without_numpy(no_numpy, kind):
+    registry = NetlistRegistry(max_netlists=4)
+    handle = registry.register(
+        "c17.%s" % kind, {"kind": "builtin", "name": "c17"},
+        engine_kind=kind,
+    )
+    assert handle is not None
+    assert len(registry) == 1
+
+
+def test_all_kinds_validate_with_numpy():
+    for kind in ALL_KINDS:
+        SimulationConfig(engine_kind=kind).validate()
 
 
 def test_server_registration_rejects_unknown_engine():
@@ -89,26 +183,5 @@ def test_server_registration_rejects_unknown_engine():
             engine_kind="bogus",
         )
     assert excinfo.value.kind == "bad-frame"
-    assert "vector" in str(excinfo.value)
-
-
-def test_cli_engine_vector_requires_numpy(no_numpy, capsys):
-    from repro.cli import main
-
-    assert main([
-        "simulate", "--circuit", "c17", "--vectors", "2",
-        "--engine", "vector",
-    ]) == 1
-    err = capsys.readouterr().err
-    assert "numpy" in err
-    assert "Traceback" not in err
-
-
-def test_cli_engine_vector_batch_requires_numpy(no_numpy, capsys):
-    from repro.cli import main
-
-    assert main([
-        "simulate", "--circuit", "c17", "--batch", "3", "--vectors", "2",
-        "--engine", "vector",
-    ]) == 1
-    assert "numpy" in capsys.readouterr().err
+    for kind in ALL_KINDS:
+        assert kind in str(excinfo.value)
