@@ -1,0 +1,108 @@
+"""Static timing analysis cost vs one compiled simulation.
+
+The STA oracle (``SimulationConfig.check_sta_bounds``) only earns its
+keep if the static pass is much cheaper than the dynamic work it
+guards — otherwise users would just simulate twice.  This gate reuses
+the repo's canonical throughput workload (the 6x6 multiplier under 20
+random vectors, as in ``test_backend_speedup.py``) and asserts one
+windows-only ``analyze()`` pass — exactly what ``windows_for()`` runs
+for the oracle — is at least 10x faster than one compiled-engine
+``simulate()`` of that workload.  The full CLI-default analysis
+(``k_paths=4`` critical paths) is recorded alongside for the
+trajectory, un-gated.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.sta import analyze
+from repro.config import ddm_config
+from repro.core.engine import simulate
+from repro.experiments import common
+from repro.stimuli.patterns import random_vectors
+
+_WIDTH = 6
+_VECTORS = 20
+_SEED = 7
+
+#: The acceptance bar: windows-only STA vs one compiled simulation.
+_MIN_SPEEDUP = 10.0
+
+
+def _workload():
+    netlist = common.multiplier_netlist(_WIDTH)
+    stimulus = random_vectors(
+        [net.name for net in netlist.primary_inputs],
+        count=_VECTORS,
+        period=5.0,
+        seed=_SEED,
+    )
+    return netlist, stimulus
+
+
+def _best_s(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sta_analysis_throughput(benchmark):
+    """Wall-clock of one full analysis (windows + 4 critical paths)."""
+    netlist, _stimulus = _workload()
+    config = ddm_config()
+    netlist.compile()  # pre-warmed, as in any repeated workload
+    report = benchmark(analyze, netlist, config, k_paths=4)
+    assert report.windows
+    benchmark.extra_info["nets"] = report.num_nets
+    benchmark.extra_info["gates"] = report.num_gates
+
+
+def test_sta_beats_one_compiled_simulation(benchmark):
+    """The gate: windows-only STA >= 10x faster than one simulation."""
+    netlist, stimulus = _workload()
+    config = ddm_config(record_traces=False)
+    netlist.compile()
+    # Warm both paths so neither side pays one-time lowering costs.
+    simulate(netlist, stimulus, config=config, engine_kind="compiled")
+    analyze(netlist, config, k_paths=4)
+
+    def measure():
+        # Up to 3 attempts keeping the best ratio: a scheduler blip on
+        # a shared runner must not fail the gate when the steady-state
+        # advantage is real.
+        best = (0.0, (float("inf"), float("inf"), float("inf")))
+        for _attempt in range(3):
+            simulation = _best_s(
+                lambda: simulate(
+                    netlist, stimulus, config=config, engine_kind="compiled"
+                )
+            )
+            windows_only = _best_s(
+                lambda: analyze(netlist, config, k_paths=0)
+            )
+            full = _best_s(lambda: analyze(netlist, config, k_paths=4))
+            speedup = simulation / windows_only
+            if speedup > best[0]:
+                best = (speedup, (simulation, windows_only, full))
+            if best[0] >= _MIN_SPEEDUP * 1.2:
+                break
+        return best[1]
+
+    simulation, windows_only, full = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = simulation / windows_only
+    benchmark.extra_info["compiled_simulation_s"] = round(simulation, 6)
+    benchmark.extra_info["sta_windows_only_s"] = round(windows_only, 6)
+    benchmark.extra_info["sta_full_k4_s"] = round(full, 6)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["min_speedup"] = _MIN_SPEEDUP
+    assert speedup >= _MIN_SPEEDUP, (
+        "windows-only STA %.4fs vs one compiled simulation %.4fs: "
+        "%.1fx < required %.1fx"
+        % (windows_only, simulation, speedup, _MIN_SPEEDUP)
+    )

@@ -1,4 +1,5 @@
-"""Post-processing: switching activity, waveform comparison, rendering."""
+"""Post-processing and static analysis: switching activity, waveform
+comparison, rendering, static timing windows and hazard flags."""
 
 from .activity import (
     ActivityComparison,
@@ -8,7 +9,17 @@ from .activity import (
 )
 from .compare import EdgeMatch, match_edges, settled_words
 from .ascii_art import render_bus, render_waveforms
+from .findings import Finding, FindingReport, Severity
+from .hazards import HazardReport, analyze_hazards
 from .report import Table
+from .sta import (
+    CriticalPath,
+    NetWindow,
+    PathStep,
+    StaReport,
+    analyze,
+    verify_result,
+)
 
 __all__ = [
     "ActivityComparison",
@@ -20,5 +31,16 @@ __all__ = [
     "settled_words",
     "render_bus",
     "render_waveforms",
+    "Finding",
+    "FindingReport",
+    "Severity",
+    "HazardReport",
+    "analyze_hazards",
     "Table",
+    "CriticalPath",
+    "NetWindow",
+    "PathStep",
+    "StaReport",
+    "analyze",
+    "verify_result",
 ]

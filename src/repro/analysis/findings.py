@@ -1,0 +1,130 @@
+"""Shared finding/report model for every static check.
+
+The electrical rule checks (:mod:`repro.circuit.validate`), the static
+timing analyzer (:mod:`repro.analysis.sta`) and the hazard pass
+(:mod:`repro.analysis.hazards`) all report through one :class:`Finding`
+type, so ``repro lint`` can merge them into a single
+:class:`FindingReport` with one exit-code contract (errors → 2,
+warnings → 0 unless ``--strict``) and one JSON schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import NetlistError
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; errors fail ``raise_on_error`` and lint."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation or notable static-analysis fact.
+
+    ``net``/``gate`` locate the finding in the circuit when a single
+    object is responsible; ``data`` carries rule-specific numbers (path
+    skew, arrival bounds, ...) for the JSON output.
+    """
+
+    severity: Severity
+    rule: str
+    message: str
+    net: Optional[str] = None
+    gate: Optional[str] = None
+    data: Optional[Dict[str, object]] = None
+
+    def __str__(self) -> str:
+        return "[%s] %s: %s" % (self.severity.value, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready primitive form (stable key order)."""
+        payload: Dict[str, object] = {
+            "severity": self.severity.value,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.net is not None:
+            payload["net"] = self.net
+        if self.gate is not None:
+            payload["gate"] = self.gate
+        if self.data is not None:
+            payload["data"] = dict(self.data)
+        return payload
+
+
+@dataclasses.dataclass
+class FindingReport:
+    """A list of findings plus the shared severity/exit-code contract."""
+
+    findings: List[Finding] = dataclasses.field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        if self.errors:
+            details = "; ".join(str(f) for f in self.errors[:10])
+            raise NetlistError(
+                "netlist validation failed (%d errors): %s"
+                % (len(self.errors), details)
+            )
+
+    def _add(
+        self,
+        severity: Severity,
+        rule: str,
+        message: str,
+        net: Optional[str] = None,
+        gate: Optional[str] = None,
+        data: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.findings.append(Finding(severity, rule, message, net, gate, data))
+
+    def extend(self, findings: Iterable[Finding]) -> "FindingReport":
+        """Append findings (e.g. merge ERC + hazard passes); returns self."""
+        self.findings.extend(findings)
+        return self
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The lint exit-code contract: errors → 2, warnings → 0 unless
+        ``strict`` promotes them, clean → 0."""
+        if self.errors:
+            return 2
+        if strict and self.warnings:
+            return 2
+        return 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def format(self) -> str:
+        """Human-readable one-line-per-finding rendering."""
+        if not self.findings:
+            return "no findings"
+        lines = [str(finding) for finding in self.findings]
+        lines.append(
+            "%d error(s), %d warning(s)"
+            % (len(self.errors), len(self.warnings))
+        )
+        return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Static hazard pass over the STA windows.
+
+A gate with two or more statically-transitioning input pins is a
+*reconvergence site*: interleaved events on different pins can mint
+output pulses that no single fanin carried.  The widest pulse such a
+site can generate is bounded by its **path-delay skew** — the spread
+between the earliest and latest event its pins can see, straight off the
+:mod:`repro.analysis.sta` windows.  If that skew fits inside the
+engines' inertial rejection window (one ``time_resolution`` — the
+annihilation slack every policy applies), the minted pulse is dead on
+arrival and the site is harmless; otherwise the net is **flagged** as a
+static hazard generator, and every net downstream of a flagged net is
+marked a hazard *carrier* (a glitch born upstream can ride through a
+single-input-active gate unchanged).
+
+This is exactly where HALOTIS's degradation model earns its keep: the
+flagged nets are the ones whose glitches the DDM may still swallow but a
+pure-delay model would propagate.  The
+:func:`repro.analysis.sta.verify_result` oracle uses the *candidate*
+superset (>= 2 active pins, no skew refinement) — observed activity
+amplification anywhere else is a simulator bug by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..config import InertialPolicy, SimulationConfig
+from .findings import Finding, Severity
+from .sta import StaReport, analyze, _lower
+
+
+@dataclasses.dataclass
+class HazardReport:
+    """Hazard classification of every net, plus lint findings.
+
+    ``generator_candidates`` is the sound superset the dynamic oracle
+    checks against (every reconvergence site); ``flagged`` holds the
+    skew-refined generators that can mint pulses wider than the
+    rejection window, mapped to that worst-case width; ``carriers`` are
+    downstream nets a surviving glitch can ride through.
+    """
+
+    rejection_window: float
+    generator_candidates: Set[str]
+    flagged: Dict[str, float]
+    carriers: Set[str]
+
+    @property
+    def hazard_nets(self) -> Set[str]:
+        """Nets on which a dynamic glitch is statically explainable."""
+        return set(self.flagged) | self.carriers
+
+    def findings(self) -> List[Finding]:
+        """One WARNING per flagged generator and per carrier net."""
+        result: List[Finding] = []
+        for name in sorted(self.flagged):
+            skew = self.flagged[name]
+            result.append(
+                Finding(
+                    severity=Severity.WARNING,
+                    rule="static-hazard",
+                    message=(
+                        "reconvergent fanout can mint pulses up to "
+                        "%.4f ns wide on net %r (> %.4f ns rejection "
+                        "window)" % (skew, name, self.rejection_window)
+                    ),
+                    net=name,
+                    data={
+                        "skew": skew,
+                        "rejection_window": self.rejection_window,
+                    },
+                )
+            )
+        for name in sorted(self.carriers):
+            result.append(
+                Finding(
+                    severity=Severity.WARNING,
+                    rule="hazard-propagation",
+                    message=(
+                        "net %r can carry glitches minted on an upstream "
+                        "hazard net" % name
+                    ),
+                    net=name,
+                )
+            )
+        return result
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rejection_window": self.rejection_window,
+            "generator_candidates": sorted(self.generator_candidates),
+            "flagged": {
+                name: self.flagged[name] for name in sorted(self.flagged)
+            },
+            "carriers": sorted(self.carriers),
+        }
+
+
+def _pin_event_bounds(
+    arrival_min: float,
+    arrival_max: float,
+    slew_max: float,
+    vt_fraction: float,
+    peak_policy: bool,
+    resolution: float,
+) -> Tuple[float, float]:
+    """Earliest/latest executed event time at one pin, mirroring the
+    window recursion in :func:`repro.analysis.sta._window_pass`."""
+    offset = abs(vt_fraction - 0.5) * slew_max
+    low = arrival_min - offset
+    high = arrival_max + offset
+    if peak_policy:
+        low -= slew_max
+        high += resolution
+    return low, high
+
+
+def analyze_hazards(
+    circuit: Any,
+    config: Optional[SimulationConfig] = None,
+    input_slew: Optional[Tuple[float, float]] = None,
+    arc_slack: float = 0.0,
+    sta_report: Optional[StaReport] = None,
+) -> HazardReport:
+    """Classify every net's static hazard exposure.
+
+    Runs (or reuses) the STA window pass, then walks the gates in
+    topological order: a gate with >= 2 transitioning pins whose event
+    skew exceeds the rejection window flags its output net as a hazard
+    generator; any net with a transitioning fanin already on a hazard
+    net becomes a carrier.
+    """
+    if config is None:
+        config = SimulationConfig()
+    if sta_report is None:
+        sta_report = analyze(
+            circuit, config, input_slew=input_slew,
+            arc_slack=arc_slack, k_paths=0,
+        )
+    compiled = _lower(circuit)
+    windows = sta_report.windows
+    peak_policy = config.inertial_policy is InertialPolicy.PEAK_VOLTAGE
+    rejection = config.time_resolution
+
+    net_names = compiled.net_names
+    input_net = compiled.input_net
+    vt_fraction = compiled.vt_fraction
+    gate_offsets = compiled.gate_input_offsets
+    gate_output_net = compiled.gate_output_net
+
+    candidates: Set[str] = set()
+    flagged: Dict[str, float] = {}
+    carriers: Set[str] = set()
+    hazardous: Set[str] = set()
+
+    for gate in compiled.topological_order():
+        out_name = net_names[gate_output_net[gate]]
+        earliest = float("inf")
+        latest = float("-inf")
+        active_pins = 0
+        fed_by_hazard = False
+        for uid in range(gate_offsets[gate], gate_offsets[gate + 1]):
+            fanin_name = net_names[input_net[uid]]
+            window = windows[fanin_name]
+            if not window.can_transition:
+                continue
+            active_pins += 1
+            if fanin_name in hazardous:
+                fed_by_hazard = True
+            low, high = _pin_event_bounds(
+                window.arrival_min,
+                window.arrival_max,
+                window.slew_max,
+                vt_fraction[uid],
+                peak_policy,
+                config.time_resolution,
+            )
+            if low < earliest:
+                earliest = low
+            if high > latest:
+                latest = high
+        if not active_pins:
+            continue
+        generated = False
+        if active_pins >= 2:
+            candidates.add(out_name)
+            skew = latest - earliest
+            if skew > rejection:
+                flagged[out_name] = skew
+                generated = True
+        if generated or fed_by_hazard:
+            hazardous.add(out_name)
+            if not generated:
+                carriers.add(out_name)
+    return HazardReport(
+        rejection_window=rejection,
+        generator_candidates=candidates,
+        flagged=flagged,
+        carriers=carriers,
+    )

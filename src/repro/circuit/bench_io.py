@@ -50,8 +50,15 @@ def read_bench(
     source: Union[str, Path],
     library: Optional[CellLibrary] = None,
     name: Optional[str] = None,
+    allow_cycles: bool = False,
 ) -> Netlist:
-    """Parse ``.bench`` text (or a file path) into a :class:`Netlist`."""
+    """Parse ``.bench`` text (or a file path) into a :class:`Netlist`.
+
+    ``allow_cycles`` relaxes the build-time ERC the same way
+    ``CircuitBuilder.build(allow_cycles=True)`` does, so ``repro lint
+    --allow-cycles`` can load (and report on) a cyclic bench file
+    instead of dying at parse time.
+    """
     if isinstance(source, Path):
         with open(source) as handle:
             text = handle.read()
@@ -98,7 +105,7 @@ def read_bench(
             continue
         raise ParseError("unrecognised line %r" % raw_line.strip(), line_number)
 
-    return _build(name, library, inputs, outputs, assignments)
+    return _build(name, library, inputs, outputs, assignments, allow_cycles)
 
 
 def _build(
@@ -107,6 +114,7 @@ def _build(
     inputs: List[str],
     outputs: List[str],
     assignments: List[Tuple[int, str, GateFunction, List[str]]],
+    allow_cycles: bool = False,
 ) -> Netlist:
     builder = CircuitBuilder(library, name=name)
     nets: Dict[str, Net] = {}
@@ -135,7 +143,7 @@ def _build(
         if output_name not in nets:
             raise ParseError("OUTPUT(%s) references undefined net" % output_name)
         builder.output(nets[output_name])
-    return builder.build()
+    return builder.build(allow_cycles=allow_cycles)
 
 
 def _emit(

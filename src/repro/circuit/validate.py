@@ -3,66 +3,32 @@
 ``check()`` walks a netlist and reports structural problems before they
 turn into confusing simulation failures: undriven nets, floating gate
 inputs, unread gates, combinational cycles and interface inconsistencies.
+
+Findings use the shared :mod:`repro.analysis.findings` model, so
+``repro lint`` merges ERC output with the static timing and hazard
+passes under one severity and exit-code contract.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-from typing import List
-
-from ..errors import NetlistError
+from ..analysis.findings import Finding, FindingReport, Severity
+from ..errors import NetlistError, ReproError
 from .netlist import Netlist
 
+#: Backwards-compatible alias: ``check()`` historically returned a
+#: ``ValidationReport``; it is now the shared report type.
+ValidationReport = FindingReport
 
-class Severity(enum.Enum):
-    WARNING = "warning"
-    ERROR = "error"
-
-
-@dataclasses.dataclass(frozen=True)
-class Finding:
-    """One rule violation."""
-
-    severity: Severity
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        return "[%s] %s: %s" % (self.severity.value, self.rule, self.message)
+__all__ = [
+    "Severity",
+    "Finding",
+    "FindingReport",
+    "ValidationReport",
+    "check",
+]
 
 
-@dataclasses.dataclass
-class ValidationReport:
-    """Outcome of :func:`check`."""
-
-    findings: List[Finding] = dataclasses.field(default_factory=list)
-
-    @property
-    def errors(self) -> List[Finding]:
-        return [f for f in self.findings if f.severity is Severity.ERROR]
-
-    @property
-    def warnings(self) -> List[Finding]:
-        return [f for f in self.findings if f.severity is Severity.WARNING]
-
-    @property
-    def ok(self) -> bool:
-        return not self.errors
-
-    def raise_on_error(self) -> None:
-        if self.errors:
-            details = "; ".join(str(f) for f in self.errors[:10])
-            raise NetlistError(
-                "netlist validation failed (%d errors): %s"
-                % (len(self.errors), details)
-            )
-
-    def _add(self, severity: Severity, rule: str, message: str) -> None:
-        self.findings.append(Finding(severity, rule, message))
-
-
-def check(netlist: Netlist, allow_cycles: bool = False) -> ValidationReport:
+def check(netlist: Netlist, allow_cycles: bool = False) -> FindingReport:
     """Run all ERC rules on ``netlist``.
 
     Args:
@@ -70,7 +36,7 @@ def check(netlist: Netlist, allow_cycles: bool = False) -> ValidationReport:
             (feedback circuits such as latches are legal for the event
             kernel but need care at initialisation).
     """
-    report = ValidationReport()
+    report = FindingReport()
     _check_drivers(netlist, report)
     _check_dangling(netlist, report)
     _check_interface(netlist, report)
@@ -78,7 +44,7 @@ def check(netlist: Netlist, allow_cycles: bool = False) -> ValidationReport:
     return report
 
 
-def _check_drivers(netlist: Netlist, report: ValidationReport) -> None:
+def _check_drivers(netlist: Netlist, report: FindingReport) -> None:
     for net in netlist.nets.values():
         drives = net.driver is not None
         if drives and net.is_primary_input:
@@ -86,22 +52,27 @@ def _check_drivers(netlist: Netlist, report: ValidationReport) -> None:
                 Severity.ERROR,
                 "driven-input",
                 "primary input %r is driven by gate %r" % (net.name, net.driver.name),
+                net=net.name,
+                gate=net.driver.name,
             )
         if drives and net.is_constant:
             report._add(
                 Severity.ERROR,
                 "driven-constant",
                 "constant net %r is driven by gate %r" % (net.name, net.driver.name),
+                net=net.name,
+                gate=net.driver.name,
             )
         if not drives and not net.is_primary_input and not net.is_constant:
             report._add(
                 Severity.ERROR,
                 "undriven-net",
                 "net %r has no driver and is not an input/constant" % net.name,
+                net=net.name,
             )
 
 
-def _check_dangling(netlist: Netlist, report: ValidationReport) -> None:
+def _check_dangling(netlist: Netlist, report: FindingReport) -> None:
     for net in netlist.nets.values():
         unread = not net.fanouts and not net.is_primary_output
         if unread and net.driver is not None:
@@ -110,16 +81,19 @@ def _check_dangling(netlist: Netlist, report: ValidationReport) -> None:
                 "unread-net",
                 "net %r (driven by %r) has no readers and is not an output"
                 % (net.name, net.driver.name),
+                net=net.name,
+                gate=net.driver.name,
             )
         if unread and net.is_primary_input:
             report._add(
                 Severity.WARNING,
                 "unused-input",
                 "primary input %r is never read" % net.name,
+                net=net.name,
             )
 
 
-def _check_interface(netlist: Netlist, report: ValidationReport) -> None:
+def _check_interface(netlist: Netlist, report: FindingReport) -> None:
     if not netlist.primary_inputs:
         report._add(Severity.WARNING, "no-inputs", "netlist has no primary inputs")
     if not netlist.primary_outputs:
@@ -130,14 +104,57 @@ def _check_interface(netlist: Netlist, report: ValidationReport) -> None:
                 Severity.ERROR,
                 "undriven-output",
                 "primary output %r is undriven" % net.name,
+                net=net.name,
             )
 
 
 def _check_cycles(
-    netlist: Netlist, report: ValidationReport, allow_cycles: bool
+    netlist: Netlist, report: FindingReport, allow_cycles: bool
 ) -> None:
+    raw_cyclic = False
     try:
         netlist.topological_gates()
     except NetlistError as exc:
+        raw_cyclic = True
         severity = Severity.WARNING if allow_cycles else Severity.ERROR
         report._add(severity, "combinational-cycle", str(exc))
+    _check_lowering(netlist, report, raw_cyclic)
+
+
+def _check_lowering(
+    netlist: Netlist, report: FindingReport, raw_cyclic: bool
+) -> None:
+    """Assert the compiled lowering agrees with the raw-netlist verdict.
+
+    ``compile()`` must succeed exactly when the raw graph lowers (cycles
+    are *legal* to compile — latches simulate event-by-event — but the
+    lowering's own topological order must then fail just like the raw
+    one).  Any divergence means the two graph representations drifted,
+    which would silently invalidate every compiled-engine result, so it
+    is always an ERROR regardless of ``allow_cycles``.
+    """
+    try:
+        compiled = netlist.compile()
+    except ReproError as exc:
+        report._add(
+            Severity.ERROR,
+            "lowering-failed",
+            "netlist.compile() failed: %s" % exc,
+        )
+        return
+    try:
+        compiled.topological_order()
+        lowered_cyclic = False
+    except ReproError:
+        lowered_cyclic = True
+    if lowered_cyclic != raw_cyclic:
+        report._add(
+            Severity.ERROR,
+            "lowering-cycle-divergence",
+            "raw netlist is %s but its compiled lowering is %s — the "
+            "graph representations disagree"
+            % (
+                "cyclic" if raw_cyclic else "acyclic",
+                "cyclic" if lowered_cyclic else "acyclic",
+            ),
+        )

@@ -17,6 +17,12 @@ Subcommands:
   (see ``repro.server``).  ``simulate --connect HOST:PORT`` runs the
   same simulations against such a server instead of in-process, with
   bit-identical results.
+* ``sta`` — static timing analysis: one topological pass over the
+  compiled lowering prints per-net arrival/slew windows and the K
+  critical paths, no simulation required (``--json`` for tooling).
+* ``lint`` — electrical rule checks merged with the static hazard
+  pass under one finding model; exits 2 on errors (and on warnings
+  with ``--strict``).
 * ``characterize`` — extract delay/degradation parameters for a cell
   from the analog substrate and compare with the shipped library.
 * ``info`` — library and circuit inventory.
@@ -27,11 +33,15 @@ See docs/performance.md for choosing between these modes.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from . import __version__
+from .analysis.hazards import analyze_hazards
 from .analysis.report import Table
+from .analysis.sta import analyze as sta_analyze
+from .circuit import validate as circuit_validate
 from .circuit import bench_io, stats as circuit_stats
 from .circuit.library import default_library
 from .config import DelayMode, SimulationConfig, cdm_config, ddm_config
@@ -39,7 +49,7 @@ from .config import DelayMode, SimulationConfig, cdm_config, ddm_config
 # registers every backend in ENGINE_KINDS
 from .core.batch import simulate_batch
 from .core.engine import ENGINE_KINDS, _ensure_backends_registered, simulate
-from .errors import ReproError, SimulationError
+from .errors import AnalysisError, ReproError, SimulationError
 from .io_formats.batch_results import BATCH_FORMATS, write_batch_results
 from .io_formats.json_results import dump_results
 from .io_formats.vcd import write_vcd
@@ -63,6 +73,18 @@ def _engine_help() -> str:
         for kind in sorted(ENGINE_KINDS)
     ]
     return "simulation backend (default reference): " + "; ".join(parts)
+
+
+def _add_circuit_source(command: argparse.ArgumentParser) -> None:
+    """The shared ``--circuit``/``--bench`` input group (simulate, sta,
+    lint all read the same two sources)."""
+    source = command.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--circuit",
+        choices=sorted(BUILTIN_CIRCUITS),
+        help="built-in circuit",
+    )
+    source.add_argument("--bench", metavar="PATH", help="ISCAS-85 .bench file")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -92,13 +114,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate_cmd = commands.add_parser(
         "simulate", help="simulate a circuit with HALOTIS"
     )
-    source = simulate_cmd.add_mutually_exclusive_group(required=True)
-    source.add_argument(
-        "--circuit",
-        choices=sorted(BUILTIN_CIRCUITS),
-        help="built-in circuit",
-    )
-    source.add_argument("--bench", metavar="PATH", help="ISCAS-85 .bench file")
+    _add_circuit_source(simulate_cmd)
     simulate_cmd.add_argument(
         "--mode", choices=["ddm", "cdm"], default="ddm",
         help="delay model (default ddm)",
@@ -162,6 +178,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-vector result format for --batch-out (default json)",
     )
     simulate_cmd.add_argument(
+        "--check-sta", action="store_true",
+        help="after every simulated vector, verify each recorded "
+        "transition against the static timing windows and hazard "
+        "flags (repro sta); any violation fails the run with an "
+        "OracleError — a cross-engine sanitizer for CI",
+    )
+    simulate_cmd.add_argument(
         "--connect", metavar="HOST:PORT",
         help="run on a network simulation server (see 'repro serve') "
         "instead of in-process: registers the circuit there, simulates "
@@ -198,6 +221,60 @@ def _build_parser() -> argparse.ArgumentParser:
         default=_CONFIG_DEFAULTS.server_queue_depth,
         help="per-netlist bound on queued+running vectors; overflow is "
         "refused with a 'busy' frame (default %(default)s)",
+    )
+
+    sta = commands.add_parser(
+        "sta",
+        help="static timing analysis over the compiled lowering: "
+        "per-net arrival/slew windows and the K critical paths",
+    )
+    _add_circuit_source(sta)
+    sta.add_argument(
+        "--mode", choices=["ddm", "cdm"], default="ddm",
+        help="delay model the windows must bound (default ddm)",
+    )
+    sta.add_argument(
+        "--k", type=int, default=4,
+        help="critical paths to extract (default %(default)s)",
+    )
+    sta.add_argument(
+        "--slew", nargs=2, type=float, metavar=("MIN", "MAX"),
+        help="primary-input slew interval in ns the windows must cover "
+        "(default: the config's default input slew as a point)",
+    )
+    sta.add_argument(
+        "--windows", type=int, default=20,
+        help="rows in the latest-arriving-nets table (default "
+        "%(default)s)",
+    )
+    sta.add_argument(
+        "--json", action="store_true",
+        help="emit the full report (every window, every path) as JSON",
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        help="electrical rule checks + static hazard findings under "
+        "one report; exits 2 on errors (with --strict also on "
+        "warnings)",
+    )
+    _add_circuit_source(lint)
+    lint.add_argument(
+        "--mode", choices=["ddm", "cdm"], default="ddm",
+        help="delay model for the hazard-skew analysis (default ddm)",
+    )
+    lint.add_argument(
+        "--allow-cycles", action="store_true",
+        help="demote combinational cycles to warnings (latches are "
+        "legal for the event kernel)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit 2 on warnings too",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the merged finding report as JSON",
     )
 
     characterize = commands.add_parser(
@@ -250,16 +327,34 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> int:
+def _load_circuit(args):
+    """Resolve the shared ``--circuit``/``--bench`` source group.
+
+    ``lint --allow-cycles`` threads into the bench loader, so a cyclic
+    bench file reaches the lint report instead of dying at load time.
+    """
     if args.bench:
-        netlist = bench_io.read_bench(args.bench)
-    else:
-        netlist = BUILTIN_CIRCUITS[args.circuit]()
+        return bench_io.read_bench(
+            args.bench,
+            allow_cycles=getattr(args, "allow_cycles", False),
+        )
+    return BUILTIN_CIRCUITS[args.circuit]()
+
+
+def _cmd_simulate(args) -> int:
+    netlist = _load_circuit(args)
     config = ddm_config() if args.mode == "ddm" else cdm_config()
     if args.connect:
+        if args.check_sta:
+            raise SimulationError(
+                "--check-sta verifies in-process traces; with --connect "
+                "run the server-side 'sta' op instead (the remote "
+                "protocol returns summaries, not full traces)"
+            )
         # The chosen engine runs server-side; the server's registry
         # vets availability when the circuit is registered.
         return _cmd_simulate_remote(args, netlist, config)
+    config.check_sta_bounds = args.check_sta
     # Record the chosen backend on the config and validate up front, so
     # an unusable selection (--engine vector without numpy) fails here
     # with one clear error instead of mid-simulation.
@@ -528,6 +623,46 @@ def _cmd_simulate_remote(args, netlist, config) -> int:
     return 0
 
 
+def _cmd_sta(args) -> int:
+    """The ``sta`` subcommand: static windows + critical paths."""
+    netlist = _load_circuit(args)
+    config = ddm_config() if args.mode == "ddm" else cdm_config()
+    input_slew = (args.slew[0], args.slew[1]) if args.slew else None
+    report = sta_analyze(
+        netlist, config, input_slew=input_slew, k_paths=args.k
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format(max_windows=args.windows))
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    """The ``lint`` subcommand: ERC + static hazards, one report.
+
+    Exit-code contract: 0 clean or warnings only, 2 on any error (or,
+    under ``--strict``, on warnings too); 1 stays reserved for crashes
+    (``main``'s ReproError handler).
+    """
+    netlist = _load_circuit(args)
+    config = ddm_config() if args.mode == "ddm" else cdm_config()
+    report = circuit_validate.check(netlist, allow_cycles=args.allow_cycles)
+    try:
+        hazard = analyze_hazards(netlist, config)
+    except AnalysisError:
+        # Cyclic circuit: no topological windows, and the ERC pass
+        # already reported the combinational-cycle finding.
+        hazard = None
+    if hazard is not None:
+        report.extend(hazard.findings())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_serve(args) -> int:
     """The ``serve`` subcommand: run the network simulation server."""
     from .server.app import SimulationServer
@@ -638,6 +773,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_experiment(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "sta":
+            return _cmd_sta(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "characterize":

@@ -98,6 +98,13 @@ class SimulationConfig:
             analysis and VCD dumps; disable for pure-throughput benchmarks).
         record_filtered: keep a log of filtered (annihilated) events for
             inspection.
+        check_sta_bounds: run the static-timing oracle
+            (:func:`repro.analysis.sta.verify_result`) after every
+            ``simulate()`` / ``simulate_batch()`` run: every recorded
+            transition must lie inside its net's static arrival/slew
+            window and glitch activity may only appear on statically
+            flagged hazard nets, else :class:`repro.errors.OracleError`
+            is raised.  Needs ``record_traces``.
         default_input_slew: transition time, in ns, applied to primary-input
             ramps when the stimulus does not specify one.
         batch_jobs: default worker-process count for
@@ -135,6 +142,7 @@ class SimulationConfig:
     time_resolution: float = units.TIME_RESOLUTION
     record_traces: bool = True
     record_filtered: bool = False
+    check_sta_bounds: bool = False
     default_input_slew: float = 0.20
     batch_jobs: int = 1
     batch_chunk_size: Optional[int] = None
@@ -174,6 +182,11 @@ class SimulationConfig:
             raise ValueError("min_delay must be positive")
         if self.time_resolution < 0.0:
             raise ValueError("time_resolution must be non-negative")
+        if self.check_sta_bounds and not self.record_traces:
+            raise ValueError(
+                "check_sta_bounds needs record_traces=True (the oracle "
+                "verifies the recorded transitions)"
+            )
         if self.default_input_slew <= 0.0:
             raise ValueError("default_input_slew must be positive")
         if self.batch_jobs < 1:

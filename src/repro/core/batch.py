@@ -269,6 +269,17 @@ def simulate_batch(
                 netlist, stimuli, config=config, settle=settle,
                 queue_kind=queue_kind, seed=seed,
             )
+            if config is not None and config.check_sta_bounds:
+                # Lockstep kernels bypass run_stimulus (its oracle hook
+                # covers every other path), so verify here.  Word
+                # engines merge lanes into shared events, so each
+                # lane's transitions are bounded by the *batch-wide*
+                # launch/slew hull, not its own stimulus' — pass the
+                # union, plus the class's declared per-arc hold slack.
+                _verify_lockstep_results(
+                    netlist, stimuli, results, config,
+                    engine_cls.sta_batch_time_slack(netlist, len(stimuli)),
+                )
         else:
             simulator = make_engine(
                 netlist, config=config, queue_kind=queue_kind,
@@ -291,6 +302,41 @@ def simulate_batch(
         lowering_seconds=lowering_seconds,
         wall_seconds=_time.perf_counter() - wall_start,
     )
+
+
+def _verify_lockstep_results(
+    netlist: Netlist,
+    stimuli: List,
+    results: List,
+    config,
+    arc_slack: float,
+) -> None:
+    """STA-oracle pass over a lockstep batch (check_sta_bounds=True).
+
+    Builds the batch-wide launch-time and input-slew hulls — a merged
+    word event may carry another lane's launch time or ramp duration —
+    then verifies every lane's result against windows widened to that
+    hull.  Imported lazily: analysis sits above core.
+    """
+    from ..analysis.sta import _stimulus_launches, verify_result
+
+    launches: List[float] = []
+    slews: List[float] = []
+    for stimulus in stimuli:
+        stimulus_launches, stimulus_slews = _stimulus_launches(
+            stimulus, config
+        )
+        launches.extend(stimulus_launches)
+        slews.extend(stimulus_slews)
+    launch_window = (min(launches), max(launches)) if launches else None
+    input_slew = (min(slews), max(slews)) if slews else None
+    for stimulus, result in zip(stimuli, results):
+        verify_result(
+            netlist, stimulus, result, config,
+            arc_slack=arc_slack,
+            launch_window=launch_window,
+            input_slew=input_slew,
+        )
 
 
 def _simulate_via_service(

@@ -1470,6 +1470,32 @@ class BitParallelSimulator(EngineBase):
         driver = _WordLockstepDriver(netlist, kernel, stimuli, settle, seed)
         return driver.run()
 
+    def sta_time_slack(self) -> float:
+        """Oracle slack: the single-stimulus engine runs with a 1-lane
+        kernel whose batch hold is zero, so no allowance is needed."""
+        kernel = self._kernel
+        return kernel._hold if kernel is not None else 0.0
+
+    @classmethod
+    def sta_batch_time_slack(cls, netlist: Netlist, lanes: int) -> float:
+        """Oracle slack for a lockstep batch: the word-merge hold.
+
+        Mirrors the ``_WordKernel`` hold — one mean CDM base delay per
+        word event — which delays an event's entry by at most that much
+        per level, so the STA oracle widens every arc's upper bound by
+        the same amount.
+        """
+        if lanes <= 1:
+            return 0.0
+        compiled = netlist.compile()
+        if not compiled.num_inputs:
+            return 0.0
+        return sum(
+            arc[0]
+            for arcs in (compiled.arc_rise, compiled.arc_fall)
+            for arc in arcs
+        ) / (2.0 * compiled.num_inputs)
+
     @property
     def compiled_netlist(self) -> CompiledNetlist:
         return self._cn

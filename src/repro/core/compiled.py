@@ -96,6 +96,7 @@ class CompiledNetlist:
         "arc_rise",
         "arc_fall",
         "_numpy_cache",
+        "_topo_cache",
     )
 
     def __init__(self, netlist: Netlist):
@@ -206,6 +207,7 @@ class CompiledNetlist:
         #: lazily built numpy view of the lowering (see :meth:`as_numpy`);
         #: never pickled — every process rebuilds its own cheap views.
         self._numpy_cache: Optional[Dict[str, object]] = None
+        self._topo_cache: Optional[List[int]] = None
 
     def __getstate__(self) -> Dict[str, object]:
         """Pickle the lowered arrays without the netlist back-reference.
@@ -234,6 +236,106 @@ class CompiledNetlist:
             for name, is_po in zip(self.net_names, self.net_is_po)
             if is_po
         ]
+
+    def topological_order(self) -> List[int]:
+        """Gate indices in driver-before-reader order over the lowering.
+
+        The compiled twin of
+        :meth:`repro.circuit.netlist.Netlist.topological_gates`: Kahn's
+        algorithm over the CSR fanout arrays, counting per-pin fanin
+        exactly as the object-graph version does.  Raises
+        :class:`SimulationError` naming a stuck gate when the lowering
+        contains a combinational cycle.  The static timing analyzer
+        (:mod:`repro.analysis.sta`) runs its window pass in this order,
+        and the ERC lowering check (:mod:`repro.circuit.validate`)
+        asserts this agrees with the raw netlist's cycle verdict.
+
+        The order depends only on connectivity, which is frozen for the
+        lifetime of this object (a structural edit compiles a fresh
+        lowering), so the Kahn pass runs once and later calls return a
+        copy of the cached result.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        net_driver = self.net_driver
+        input_net = self.input_net
+        offsets = self.gate_input_offsets
+        remaining: List[int] = [0] * self.num_gates
+        ready: List[int] = []
+        for gate in range(self.num_gates):
+            fanin = 0
+            for uid in range(offsets[gate], offsets[gate + 1]):
+                if net_driver[input_net[uid]] >= 0:
+                    fanin += 1
+            remaining[gate] = fanin
+            if fanin == 0:
+                ready.append(gate)
+        fanout_offsets = self.fanout_offsets
+        fanout_targets = self.fanout_targets
+        input_gate = self.input_gate
+        gate_output_net = self.gate_output_net
+        order: List[int] = []
+        cursor = 0
+        while cursor < len(ready):
+            gate = ready[cursor]
+            cursor += 1
+            order.append(gate)
+            out_net = gate_output_net[gate]
+            for position in range(
+                fanout_offsets[out_net], fanout_offsets[out_net + 1]
+            ):
+                reader = input_gate[fanout_targets[position]]
+                remaining[reader] -= 1
+                if remaining[reader] == 0:
+                    ready.append(reader)
+        if len(order) != self.num_gates:
+            stuck = next(
+                gate for gate in range(self.num_gates) if remaining[gate] > 0
+            )
+            raise SimulationError(
+                "combinational cycle detected in the lowering (through "
+                "gate %r)" % self.gate_names[stuck]
+            )
+        self._topo_cache = order
+        return list(order)
+
+    def arc_delay_bounds(
+        self, uid: int, slew_min: float, slew_max: float
+    ) -> Tuple[float, float, float, float]:
+        """Hull of the nominal delay and output slew of gate input ``uid``.
+
+        Evaluates the load-folded rise *and* fall arcs at both endpoints
+        of the input-slew interval and returns ``(tp_min, tp_max,
+        tau_min, tau_max)``: the extreme nominal propagation delays and
+        output transition durations reachable through this input for
+        either output edge and any input slew in ``[slew_min,
+        slew_max]``.  "Nominal" means before the delay-mode policy (DDM
+        degradation shrink, ``min_delay`` floor) is applied — the static
+        analyzer (:mod:`repro.analysis.sta`) layers the mode on top.
+        The arcs are affine in the input slew, so the endpoint hull is
+        exact.
+        """
+        tp_min = tp_max = tau_min = tau_max = 0.0
+        first = True
+        for params in (self.arc_rise[uid], self.arc_fall[uid]):
+            tp0_base, d_slew, tau_base, s_slew = params[:4]
+            for tau_in in (slew_min, slew_max):
+                tp = tp0_base + d_slew * tau_in
+                tau_out = tau_base + s_slew * tau_in
+                if first:
+                    tp_min = tp_max = tp
+                    tau_min = tau_max = tau_out
+                    first = False
+                    continue
+                if tp < tp_min:
+                    tp_min = tp
+                elif tp > tp_max:
+                    tp_max = tp
+                if tau_out < tau_min:
+                    tau_min = tau_out
+                elif tau_out > tau_max:
+                    tau_max = tau_out
+        return tp_min, tp_max, tau_min, tau_max
 
     def as_numpy(self) -> Dict[str, "object"]:
         """The complete lowering as **read-only** numpy arrays (optional dep).

@@ -190,6 +190,28 @@ class EngineBase(abc.ABC):
         time with an actionable message, never mid-simulation.
         """
 
+    def sta_time_slack(self) -> float:
+        """Per-arc upper-bound slack, in ns, the STA oracle must grant
+        this engine instance (default: none).
+
+        Backends whose scheduling contract can legitimately hold an
+        event back beyond the nominal arc delay (the bit-parallel
+        word-merge hold) report that per-level allowance here so
+        ``check_sta_bounds`` stays a zero-false-positive sanitizer.
+        """
+        return 0.0
+
+    @classmethod
+    def sta_batch_time_slack(cls, netlist: Netlist, lanes: int) -> float:
+        """Per-arc oracle slack for a ``run_lockstep_batch`` of
+        ``lanes`` stimuli over ``netlist`` (default: none).
+
+        The lockstep path constructs its engine internally, so the
+        batch driver asks the class — not an instance — what allowance
+        the verification of those results needs.
+        """
+        return 0.0
+
     def __init__(
         self,
         netlist: Netlist,
@@ -671,12 +693,28 @@ def run_stimulus(
         simulator.apply_word(assignments, at_time, slew)
     simulator.run(until=stimulus.horizon + settle)
     simulator.run()  # drain any events scheduled past the horizon
-    return SimulationResult(
+    result = SimulationResult(
         traces=simulator.traces,
         stats=simulator.stats,
         final_values=simulator.values(),
         simulator=simulator,
     )
+    if simulator.config.check_sta_bounds:
+        # Every execution path funnels through here — simulate(),
+        # in-process batches, shard workers and service workers (the
+        # config pickles across) — so one hook covers them all.  Only
+        # the lockstep batch entry point needs its own (see
+        # repro.core.batch).  Imported lazily: analysis sits above core.
+        from ..analysis.sta import verify_result
+
+        verify_result(
+            simulator.netlist,
+            stimulus,
+            result,
+            simulator.config,
+            arc_slack=simulator.sta_time_slack(),
+        )
+    return result
 
 
 def simulate(

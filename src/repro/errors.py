@@ -74,6 +74,18 @@ class InitializationError(SimulationError):
     """DC initialisation could not assign a consistent value to every net."""
 
 
+class OracleError(SimulationError):
+    """A simulation result violated its static timing envelope.
+
+    Raised by :func:`repro.analysis.sta.verify_result` (and therefore by
+    any run with ``SimulationConfig(check_sta_bounds=True)``) when an
+    engine records a transition outside its net's static arrival window,
+    a ramp duration outside the static slew interval, or glitch activity
+    on a net the hazard pass proves glitch-free.  This always indicates
+    a simulator (or analyzer) bug, never a property of the circuit.
+    """
+
+
 class StimulusError(ReproError):
     """A stimulus description is inconsistent with the circuit interface."""
 

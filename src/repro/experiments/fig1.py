@@ -142,7 +142,12 @@ def run(
         high_threshold_chain=_pulse_seen(analog_edges["out2c"]),
     )
 
-    iddm_result = simulate(netlist, stimulus, config=ddm_config())
+    # check_sta_bounds: the paper artefact doubles as an oracle run —
+    # every transition in the figure is asserted against its static
+    # timing window (repro.analysis.sta) as it is produced.
+    iddm_result = simulate(
+        netlist, stimulus, config=ddm_config(check_sta_bounds=True)
+    )
     iddm_verdict = ChainVerdict(
         low_threshold_chain=_pulse_seen(iddm_result.traces["out1c"].edges()),
         high_threshold_chain=_pulse_seen(iddm_result.traces["out2c"].edges()),

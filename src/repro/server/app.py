@@ -553,6 +553,44 @@ class SimulationServer:
         )
         return {"netlist": entry.name, "results": payload}
 
+    async def _op_sta(self, frame: dict) -> Dict[str, object]:
+        """Static timing analysis of a registered netlist, no simulation.
+
+        Runs :func:`repro.analysis.sta.analyze` (and the hazard pass)
+        under the entry's registered config — so the windows bound
+        exactly what the entry's ``simulate``/``batch`` ops will run —
+        and returns both reports as JSON-ready dicts.  CPU-bound, so it
+        runs off-loop; the lowering is the entry's cached one.
+        """
+        from ..analysis.hazards import analyze_hazards
+        from ..analysis.sta import analyze as sta_analyze
+        from ..errors import AnalysisError
+
+        entry = self.registry.get(str(frame.get("netlist", "")))
+        k_paths = frame.get("k", 4)
+        if not isinstance(k_paths, int) or k_paths < 0:
+            raise ServerError(
+                "k must be a non-negative integer", kind="bad-frame"
+            )
+
+        def job() -> Dict[str, object]:
+            try:
+                report = sta_analyze(
+                    entry.netlist, entry.config, k_paths=k_paths
+                )
+                hazard = analyze_hazards(
+                    entry.netlist, entry.config, sta_report=report
+                )
+            except AnalysisError as error:
+                raise ServerError(str(error), kind="analysis") from None
+            return {
+                "netlist": entry.name,
+                "sta": report.to_dict(),
+                "hazards": hazard.to_dict(),
+            }
+
+        return await asyncio.to_thread(job)
+
     async def _op_shutdown(self, _frame: dict) -> Dict[str, object]:
         # The response flushes first; _serve_frame flips the stop event
         # when it sees the marker below.
@@ -566,5 +604,6 @@ class SimulationServer:
         "stats": _op_stats,
         "simulate": _op_simulate,
         "batch": _op_batch,
+        "sta": _op_sta,
         "shutdown": _op_shutdown,
     }

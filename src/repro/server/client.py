@@ -293,6 +293,17 @@ class SimulationClient:
     def unregister(self, name: str) -> dict:
         return self.call("unregister", name=name)  # type: ignore[return-value]
 
+    def sta(self, name: str, k_paths: int = 4) -> dict:
+        """Static timing + hazard analysis of registered netlist ``name``.
+
+        Returns ``{"netlist", "sta", "hazards"}`` — the server-side
+        :class:`repro.analysis.sta.StaReport` and
+        :class:`repro.analysis.hazards.HazardReport` dicts, computed
+        under the entry's registered config without running a single
+        vector.
+        """
+        return self.call("sta", netlist=name, k=k_paths)  # type: ignore[return-value]
+
     def list_netlists(self) -> List[dict]:
         payload = self.call("list")
         return payload["netlists"]  # type: ignore[index]

@@ -77,3 +77,52 @@ def test_finding_str_format():
     text = str(report.errors[0])
     assert "undriven-net" in text
     assert "error" in text
+
+
+def test_raw_and_lowered_cycle_verdicts_agree():
+    """``check()`` now cross-checks its raw-graph cycle verdict against
+    the compiled lowering's, so ``compile()`` can never silently
+    diverge from ``check()`` — on both an acyclic and a cyclic input."""
+    from repro.circuit import modules
+
+    acyclic = validate.check(modules.array_multiplier(4))
+    assert not any(
+        f.rule.startswith("lowering") for f in acyclic.findings
+    )
+
+    cyclic = validate.check(modules.rs_latch(), allow_cycles=True)
+    assert cyclic.ok
+    assert not any(
+        f.rule.startswith("lowering") for f in cyclic.findings
+    )
+
+
+def test_lowering_cycle_divergence_is_an_error(monkeypatch):
+    """Teeth: a lowering whose topological sort wrongly succeeds on a
+    cyclic netlist must surface as a validation ERROR."""
+    from repro.circuit import modules
+    from repro.core.compiled import CompiledNetlist
+
+    latch = modules.rs_latch()  # built before the corruption
+    monkeypatch.setattr(
+        CompiledNetlist, "topological_order", lambda self: []
+    )
+    report = validate.check(latch, allow_cycles=True)
+    assert any(
+        f.rule == "lowering-cycle-divergence" for f in report.errors
+    )
+
+
+def test_lowering_failure_is_an_error(monkeypatch):
+    from repro.circuit import modules
+    from repro.circuit.netlist import Netlist
+    from repro.errors import SimulationError
+
+    netlist = modules.c17()  # built before the corruption
+
+    def boom(self):
+        raise SimulationError("injected lowering failure")
+
+    monkeypatch.setattr(Netlist, "compile", boom)
+    report = validate.check(netlist)
+    assert any(f.rule == "lowering-failed" for f in report.errors)

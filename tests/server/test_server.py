@@ -680,3 +680,35 @@ def test_result_codec_roundtrip_is_lossless(mult4):
     assert_results_identical(rebuilt, result, context="codec roundtrip")
     assert rebuilt.stats.runtime_seconds == result.stats.runtime_seconds
     assert rebuilt.simulator is None
+
+
+# ----------------------------------------------------------------------
+# static timing op
+# ----------------------------------------------------------------------
+
+def test_sta_op_returns_windows_and_hazards(client):
+    client.register("c17.sta", {"kind": "builtin", "name": "c17"})
+    payload = client.sta("c17.sta", k_paths=2)
+    assert set(payload) == {"netlist", "sta", "hazards"}
+    assert payload["netlist"] == "c17.sta"
+    sta = payload["sta"]
+    assert len(sta["windows"]) == sta["nets"]
+    assert len(sta["critical_paths"]) == 2
+    hazards = payload["hazards"]
+    assert set(hazards) == {
+        "rejection_window", "generator_candidates", "flagged", "carriers",
+    }
+    assert hazards["flagged"]  # c17 reconverges
+
+
+def test_sta_op_unknown_netlist(client):
+    with pytest.raises(ServerError) as excinfo:
+        client.sta("never-registered")
+    assert excinfo.value.kind == "unknown-netlist"
+
+
+def test_sta_op_rejects_bad_k(client):
+    client.register("c17.sta2", {"kind": "builtin", "name": "c17"})
+    with pytest.raises(ServerError) as excinfo:
+        client.call("sta", netlist="c17.sta2", k=-1)
+    assert excinfo.value.kind == "bad-frame"

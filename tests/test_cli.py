@@ -307,3 +307,111 @@ def test_version_flag(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])
     assert excinfo.value.code == 0
+
+
+def test_sta_builtin(capsys):
+    assert main(["sta", "--circuit", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "STA over 'c17'" in out
+    assert "latest-arriving nets" in out
+    assert "critical path #1" in out
+
+
+def test_sta_json(capsys):
+    assert main(["sta", "--circuit", "mult4", "--json", "--k", "2"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["netlist"] == "mult4x4"
+    assert len(payload["windows"]) == payload["nets"]
+    assert len(payload["critical_paths"]) == 2
+    assert payload["delay_mode"] == "ddm"
+
+
+def test_sta_cdm_and_slew_interval(capsys):
+    assert main([
+        "sta", "--circuit", "chain8", "--mode", "cdm",
+        "--slew", "0.1", "0.4", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["delay_mode"] == "cdm"
+    assert payload["input_slew"] == [0.1, 0.4]
+
+
+def test_sta_bench_file(tmp_path, capsys):
+    bench = tmp_path / "tiny.bench"
+    bench.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+    assert main(["sta", "--bench", str(bench)]) == 0
+    assert "STA over 'tiny'" in capsys.readouterr().out
+
+
+_CYCLIC_BENCH = (
+    "INPUT(s)\nINPUT(r)\nOUTPUT(q)\n"
+    "q = NAND(s, qb)\nqb = NAND(r, q)\n"
+)
+
+
+def test_sta_rejects_cyclic_circuit(tmp_path, capsys):
+    bench = tmp_path / "loop.bench"
+    bench.write_text(_CYCLIC_BENCH)
+    code = main(["sta", "--bench", str(bench)])
+    assert code == 1
+    assert "cycle" in capsys.readouterr().err
+
+
+def test_lint_warnings_exit_zero_unless_strict(capsys):
+    assert main(["lint", "--circuit", "c17"]) == 0
+    out = capsys.readouterr().out
+    assert "static-hazard" in out
+    assert "0 error(s)" in out
+    assert main(["lint", "--circuit", "c17", "--strict"]) == 2
+
+
+def test_lint_clean_circuit(capsys):
+    assert main(["lint", "--circuit", "chain8"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_lint_json(capsys):
+    assert main(["lint", "--circuit", "c17", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["errors"] == 0
+    assert payload["warnings"] > 0
+    assert all("rule" in f for f in payload["findings"])
+
+
+def test_lint_cyclic_bench_skips_hazards(tmp_path, capsys):
+    # --allow-cycles threads into the bench loader; the ERC reports the
+    # cycle as a warning and the (topological) hazard pass is skipped
+    # rather than crashing.  Without the flag, loading itself fails.
+    bench = tmp_path / "loop.bench"
+    bench.write_text(_CYCLIC_BENCH)
+    code = main(["lint", "--bench", str(bench), "--allow-cycles"])
+    assert code == 0
+    assert "combinational-cycle" in capsys.readouterr().out
+    assert main(["lint", "--bench", str(bench)]) == 1
+    assert "cycle" in capsys.readouterr().err
+
+
+def test_simulate_check_sta(capsys):
+    assert main([
+        "simulate", "--circuit", "c17", "--vectors", "4", "--check-sta",
+    ]) == 0
+    assert "events executed" in capsys.readouterr().out
+
+
+def test_simulate_check_sta_batch_all_engines(capsys):
+    for engine in ("reference", "compiled", "vector", "bitparallel"):
+        assert main([
+            "simulate", "--circuit", "chain8", "--batch", "3",
+            "--engine", engine, "--check-sta",
+        ]) == 0
+        capsys.readouterr()
+
+
+def test_check_sta_rejects_remote_runs(capsys):
+    code = main([
+        "simulate", "--circuit", "c17", "--check-sta",
+        "--connect", "127.0.0.1:1",
+    ])
+    assert code == 1
+    assert "--check-sta" in capsys.readouterr().err
