@@ -63,6 +63,14 @@ from .stimuli.vectors import (
     VectorSequence,
     multiplication_sequence,
 )
+from .faults.campaign import DependabilityReport, run_campaign
+from .faults.faultload import (
+    FaultKind,
+    FaultSpec,
+    Faultload,
+    generate_faultload,
+)
+from .faults.inject import FaultedStimulus
 
 __version__ = "1.0.0"
 
@@ -101,4 +109,11 @@ __all__ = [
     "multiplication_sequence",
     "PAPER_SEQUENCE_1",
     "PAPER_SEQUENCE_2",
+    "DependabilityReport",
+    "FaultKind",
+    "FaultSpec",
+    "Faultload",
+    "FaultedStimulus",
+    "generate_faultload",
+    "run_campaign",
 ]

@@ -67,8 +67,59 @@ _INVERTING = frozenset(
 )
 
 
-def evaluate(function: GateFunction, values: Sequence[int]) -> int:
+class TableFunction:
+    """An explicit truth-table gate function.
+
+    Duck-types the :class:`GateFunction` surface the evaluation layers
+    touch (``name``, ``fixed_arity``, ``is_inverting``), but computes the
+    output by table lookup instead of enum dispatch.  This is how the
+    fault-injection layer (:mod:`repro.faults`) expresses mutated cells
+    — a stuck-at or bit-flipped gate has no named boolean function — so
+    one stand-in object drives the reference engine, DC initialisation
+    and any re-lowering identically.
+
+    ``table`` follows the :func:`truth_table` convention: entry ``i`` is
+    the output for the assignment whose bit ``k`` (LSB = input 0) is
+    ``(i >> k) & 1``; its length must be a power of two.
+    """
+
+    __slots__ = ("name", "table", "arity")
+
+    def __init__(self, name: str, table: Sequence[int]):
+        size = len(table)
+        if size == 0 or size & (size - 1):
+            raise ValueError(
+                "truth table length must be a power of two, got %d" % size
+            )
+        for entry in table:
+            if entry not in (0, 1):
+                raise ValueError(
+                    "truth table entries must be 0 or 1, got %r" % (entry,)
+                )
+        self.name = name
+        self.table = tuple(table)
+        self.arity = size.bit_length() - 1
+
+    @property
+    def fixed_arity(self) -> int:
+        return self.arity
+
+    @property
+    def is_inverting(self) -> bool:
+        # Only consulted by the analog expansion, which never sees
+        # table-driven cells; an inverting-stage answer is meaningless
+        # for an arbitrary table.
+        return False
+
+    def __repr__(self) -> str:
+        return "TableFunction(%s, arity=%d)" % (self.name, self.arity)
+
+
+def evaluate(function, values: Sequence[int]) -> int:
     """Evaluate ``function`` on input ``values`` (each 0 or 1).
+
+    ``function`` is a :class:`GateFunction` member or a
+    :class:`TableFunction` stand-in.
 
     Raises:
         ValueError: on an arity mismatch or a non-binary input value.
@@ -84,6 +135,11 @@ def evaluate(function: GateFunction, values: Sequence[int]) -> int:
         if value not in (0, 1):
             raise ValueError("logic values must be 0 or 1, got %r" % (value,))
 
+    if isinstance(function, TableFunction):
+        index = 0
+        for position, value in enumerate(values):
+            index |= value << position
+        return function.table[index]
     if function is GateFunction.BUF:
         return values[0]
     if function is GateFunction.INV:
@@ -114,13 +170,21 @@ def evaluate(function: GateFunction, values: Sequence[int]) -> int:
     raise ValueError("unhandled gate function %r" % (function,))
 
 
-def truth_table(function: GateFunction, arity: int) -> list[int]:
+def truth_table(function, arity: int) -> list[int]:
     """Return the function's truth table as a flat list.
 
     Entry ``i`` is the output for the input assignment whose bit ``k``
     (LSB = input 0) is ``(i >> k) & 1``.  Useful for exhaustive gate tests
-    and for cross-checking macro expansions.
+    and for cross-checking macro expansions.  A :class:`TableFunction`
+    returns a copy of its stored table directly.
     """
+    if isinstance(function, TableFunction):
+        if arity != function.arity:
+            raise ValueError(
+                "%s has fixed arity %d, got %d"
+                % (function.name, function.arity, arity)
+            )
+        return list(function.table)
     fixed = function.fixed_arity
     if fixed is not None and arity != fixed:
         raise ValueError(

@@ -20,6 +20,11 @@ Subcommands:
 * ``sta`` — static timing analysis: one topological pass over the
   compiled lowering prints per-net arrival/slew windows and the K
   critical paths, no simulation required (``--json`` for tooling).
+* ``faults {generate,run,report}`` — fault-injection campaigns:
+  deterministic faultload generation, golden-diff campaigns over any
+  engine/throughput layer (``--jobs``, ``--pool-workers``,
+  ``--connect``), and dependability-report rendering (see
+  ``repro.faults``).
 * ``lint`` — electrical rule checks merged with the static hazard
   pass under one finding model; exits 2 on errors (and on warnings
   with ``--strict``).
@@ -50,6 +55,7 @@ from .config import DelayMode, SimulationConfig, cdm_config, ddm_config
 from .core.batch import simulate_batch
 from .core.engine import ENGINE_KINDS, _ensure_backends_registered, simulate
 from .errors import AnalysisError, ReproError, SimulationError
+from .faults.faultload import FaultKind
 from .io_formats.batch_results import BATCH_FORMATS, write_batch_results
 from .io_formats.json_results import dump_results
 from .io_formats.vcd import write_vcd
@@ -275,6 +281,125 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--json", action="store_true",
         help="emit the merged finding report as JSON",
+    )
+
+    faults = commands.add_parser(
+        "faults",
+        help="fault-injection campaigns: generate faultloads, run "
+        "golden-diff campaigns (locally, on a warm pool, or against "
+        "a repro serve instance), render reports",
+    )
+    faults_commands = faults.add_subparsers(dest="faults_command", required=True)
+
+    generate = faults_commands.add_parser(
+        "generate",
+        help="draw a deterministic faultload over a circuit's gate "
+        "outputs and emit it as JSON",
+    )
+    _add_circuit_source(generate)
+    generate.add_argument(
+        "--mutants", type=int, default=50,
+        help="number of single-fault mutants (default %(default)s)",
+    )
+    generate.add_argument(
+        "--seed", type=int, default=0,
+        help="faultload PRNG seed (default %(default)s)",
+    )
+    generate.add_argument(
+        "--kinds", nargs="+", metavar="KIND",
+        choices=[kind.value for kind in FaultKind],
+        help="fault kinds to draw from (default: all except 'none')",
+    )
+    generate.add_argument(
+        "--window", nargs=2, type=float, metavar=("START", "END"),
+        default=(0.0, 10.0),
+        help="SET-pulse start window in ns (default 0 10)",
+    )
+    generate.add_argument(
+        "--out", metavar="PATH",
+        help="write the faultload JSON here instead of stdout",
+    )
+
+    run = faults_commands.add_parser(
+        "run",
+        help="run a campaign: golden run + one run per mutant, "
+        "classified by trace diff into a dependability report",
+    )
+    _add_circuit_source(run)
+    run.add_argument(
+        "--faultload", metavar="PATH",
+        help="faultload JSON from 'faults generate' (default: generate "
+        "one in-process from --mutants/--seed over the stimulus window)",
+    )
+    run.add_argument(
+        "--mutants", type=int, default=50,
+        help="mutants to generate when no --faultload is given "
+        "(default %(default)s)",
+    )
+    run.add_argument(
+        "--seed", type=int, default=0,
+        help="faultload PRNG seed when generating (default %(default)s)",
+    )
+    run.add_argument(
+        "--vectors", type=int, default=3,
+        help="random stimulus vectors every run replays (default "
+        "%(default)s)",
+    )
+    run.add_argument(
+        "--period", type=float, default=4.0,
+        help="vector period in ns (default %(default)s)",
+    )
+    run.add_argument(
+        "--vector-seed", type=int, default=1,
+        help="stimulus PRNG seed (default %(default)s)",
+    )
+    run.add_argument(
+        "--mode", choices=["ddm", "cdm"], default="ddm",
+        help="delay model (default ddm)",
+    )
+    run.add_argument(
+        "--engine", choices=sorted(ENGINE_KINDS), default="compiled",
+        help=_engine_help(),
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard the mutants over N processes (local path)",
+    )
+    run.add_argument(
+        "--pool-workers", type=int, metavar="N",
+        help="fan mutants over a warm N-worker SimulationService pool",
+    )
+    run.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="run the campaign on a 'repro serve' instance (registers "
+        "the circuit, ships the faultload, gets the report back)",
+    )
+    run.add_argument(
+        "--epsilon", type=float, default=0.0,
+        help="edge-time diff tolerance in ns (default 0: bit-identical)",
+    )
+    run.add_argument(
+        "--settle", type=float, default=0.0,
+        help="extra post-horizon settle in ns per run (default "
+        "%(default)s)",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="emit the full dependability report as JSON",
+    )
+    run.add_argument(
+        "--out", metavar="PATH",
+        help="also write the report JSON here",
+    )
+
+    report = faults_commands.add_parser(
+        "report",
+        help="re-render a saved campaign report (from 'faults run --out')",
+    )
+    report.add_argument("path", help="report JSON file")
+    report.add_argument(
+        "--json", action="store_true",
+        help="re-emit the normalised report JSON instead of text",
     )
 
     characterize = commands.add_parser(
@@ -663,6 +788,130 @@ def _cmd_lint(args) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_faults(args) -> int:
+    """The ``faults`` subcommand: generate / run / report."""
+    from .faults.campaign import DependabilityReport, run_campaign
+    from .faults.faultload import Faultload, generate_faultload
+
+    if args.faults_command == "report":
+        with open(args.path) as handle:
+            report = DependabilityReport.from_dict(json.load(handle))
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.format())
+        return 0
+
+    netlist = _load_circuit(args)
+    if args.faults_command == "generate":
+        kinds = (
+            tuple(FaultKind(value) for value in args.kinds)
+            if args.kinds else None
+        )
+        faultload = generate_faultload(
+            netlist,
+            args.mutants,
+            seed=args.seed,
+            window=(args.window[0], args.window[1]),
+            **({"kinds": kinds} if kinds else {}),
+        )
+        text = faultload.to_json()
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            print("%d-mutant faultload written to %s"
+                  % (len(faultload), args.out))
+        else:
+            print(text)
+        return 0
+
+    # faults run
+    config = ddm_config() if args.mode == "ddm" else cdm_config()
+    config.engine_kind = args.engine
+    stimulus = random_vectors(
+        [net.name for net in netlist.primary_inputs],
+        count=args.vectors,
+        period=args.period,
+        seed=args.vector_seed,
+    )
+    if args.faultload:
+        with open(args.faultload) as handle:
+            faultload = Faultload.from_json(handle.read())
+    else:
+        faultload = generate_faultload(
+            netlist, args.mutants, seed=args.seed,
+            window=(0.0, stimulus.horizon),
+        )
+    faultload.validate(netlist)
+
+    if args.connect:
+        report = _run_faults_remote(args, netlist, faultload, stimulus)
+    else:
+        config.validate()
+        report = run_campaign(
+            netlist,
+            faultload,
+            stimulus,
+            config=config,
+            engine_kind=args.engine,
+            via="service" if args.pool_workers else "local",
+            jobs=args.jobs,
+            workers=args.pool_workers,
+            settle=args.settle,
+            epsilon=args.epsilon,
+        )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if not args.json:
+            print("report written to %s" % args.out)
+    return 0
+
+
+def _run_faults_remote(args, netlist, faultload, stimulus):
+    """The ``faults run --connect`` path: campaign on a serve instance."""
+    from .faults.campaign import DependabilityReport
+    from .server.client import SimulationClient, parse_address
+
+    if args.jobs != 1 or args.pool_workers is not None:
+        raise SimulationError(
+            "--jobs/--pool-workers tune *local* execution; with "
+            "--connect the pool lives server-side (size it with "
+            "'repro serve --pool-workers')"
+        )
+    if args.settle:
+        raise SimulationError(
+            "--settle applies to local campaigns; the server runs the "
+            "entry's registered settle (0)"
+        )
+    host, port = parse_address(args.connect)
+    if args.circuit:
+        source = {"kind": "builtin", "name": args.circuit}
+    else:
+        with open(args.bench) as handle:
+            source = {
+                "kind": "bench", "text": handle.read(), "name": netlist.name,
+            }
+    registered = "%s.%s.%s" % (
+        args.circuit or netlist.name, args.mode, args.engine
+    )
+    with SimulationClient(host, port) as client:
+        client.register(
+            registered, source, mode=args.mode, engine_kind=args.engine
+        )
+        payload = client.faults(
+            registered, faultload.to_dict(), stimulus, epsilon=args.epsilon
+        )
+    report = DependabilityReport.from_dict(payload)
+    report.via = "server"
+    return report
+
+
 def _cmd_serve(args) -> int:
     """The ``serve`` subcommand: run the network simulation server."""
     from .server.app import SimulationServer
@@ -777,6 +1026,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sta(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "characterize":

@@ -132,6 +132,18 @@ class SimulationConfig:
             requests; requests past the bound are refused immediately
             with a ``busy`` error frame (backpressure) instead of
             growing an unbounded queue.
+        campaign_workers: default worker-process count for the warm
+            :class:`~repro.core.service.SimulationService` pool a fault
+            campaign (:func:`repro.faults.campaign.run_campaign`) fans
+            its mutants over when asked to run ``via="service"``.
+        campaign_settle: extra settle time, in ns, granted past each
+            mutant run's horizon before trace diffing — covers faults
+            (delay drift, late SET pulses) whose effects trail the base
+            stimulus horizon.
+        campaign_detect_epsilon: edge-time tolerance, in ns, when
+            diffing a mutant trace against the golden run; 0.0 (the
+            default) demands bit-identical edge times.  Values are
+            always compared exactly.
     """
 
     delay_mode: DelayMode = DelayMode.DDM
@@ -152,6 +164,9 @@ class SimulationConfig:
     server_port: int = 8047
     server_max_netlists: int = 8
     server_queue_depth: int = 64
+    campaign_workers: int = 2
+    campaign_settle: float = 0.0
+    campaign_detect_epsilon: float = 0.0
 
     def validate(self) -> None:
         """Raise ``ValueError`` for out-of-range settings.
@@ -205,6 +220,12 @@ class SimulationConfig:
             raise ValueError("server_max_netlists must be >= 1")
         if self.server_queue_depth < 1:
             raise ValueError("server_queue_depth must be >= 1")
+        if self.campaign_workers < 1:
+            raise ValueError("campaign_workers must be >= 1")
+        if self.campaign_settle < 0.0:
+            raise ValueError("campaign_settle must be non-negative")
+        if self.campaign_detect_epsilon < 0.0:
+            raise ValueError("campaign_detect_epsilon must be non-negative")
 
     def with_mode(self, delay_mode: DelayMode) -> "SimulationConfig":
         """Return a copy differing only in ``delay_mode``.

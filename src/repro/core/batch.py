@@ -259,8 +259,15 @@ def simulate_batch(
         lowering_seconds = _time.perf_counter() - lowering_start
 
     jobs = min(jobs, len(stimuli))
+    # Faulted stimuli (repro.faults) patch the shared lowering per
+    # vector; a lockstep kernel runs all lanes over ONE lowering, so any
+    # fault in the batch forces the per-vector run_stimulus loop (whose
+    # fault hook injects/restores around each vector).
+    has_faults = any(
+        getattr(stimulus, "fault", None) is not None for stimulus in stimuli
+    )
     if jobs <= 1:
-        if engine_cls is not None and engine_cls.lockstep_batches:
+        if engine_cls is not None and engine_cls.lockstep_batches and not has_faults:
             # Lockstep fast path (the "vector" and "bitparallel"
             # backends): all N vectors advance through one kernel
             # instead of replaying the event loop per vector.  Sharded

@@ -1505,6 +1505,13 @@ class BitParallelSimulator(EngineBase):
         """The underlying word kernel (None before ``initialize()``)."""
         return self._kernel
 
+    def rebind_lowering(self) -> None:
+        """Drop the cached kernel: it reads the ``as_numpy()`` export
+        (and memoises its word program content-keyed) at construction,
+        so a patched lowering needs a fresh kernel on next
+        ``initialize()``."""
+        self._kernel = None
+
     def _make_queue(self, queue_kind: str):
         # Validated here so a bad kind fails at make_engine() time like
         # the other backends; the kernel drives this same queue object.

@@ -424,6 +424,61 @@ class CompiledNetlist:
         }
         return dict(self._numpy_cache)
 
+    def refresh_numpy_cache(self) -> None:
+        """Re-derive the copied entries of the cached numpy export in place.
+
+        Most :meth:`as_numpy` entries are zero-copy views over the live
+        ``array`` storage and track in-place mutation automatically, but
+        ``net_constant``, ``gate_tables`` and ``arc_rise``/``arc_fall``
+        are one-time *copies* (their sources are Python lists).  This is
+        the sanctioned mutation seam for the fault-injection layer
+        (:mod:`repro.faults.inject`): after patching ``gate_tables`` /
+        ``arc_rise`` / ``arc_fall`` entries on this object, calling this
+        method re-synchronises the frozen numpy copies — **in place**,
+        briefly lifting the ``writeable`` guard, so every kernel holding
+        a reference to the exported arrays observes the patch (and its
+        restoration) without a rebuild.
+
+        Shape-preserving patches only: truth tables keep their gate's
+        arity and arc rows their 6-tuple layout, so a changed shape
+        means the lowering was structurally edited — that needs
+        ``Netlist.invalidate_lowering()``, not this seam.
+
+        No-op when the export was never built (nothing to resync).
+        """
+        cache = self._numpy_cache
+        if cache is None:
+            return
+        import numpy
+
+        flat_tables: List[int] = []
+        for table in self.gate_tables:
+            if table is not None:
+                flat_tables.extend(table)
+        updates = {
+            "net_constant": [
+                -1 if value is None else value for value in self.net_constant
+            ],
+            "gate_tables": flat_tables,
+            "arc_rise": self.arc_rise,
+            "arc_fall": self.arc_fall,
+        }
+        for key, source in updates.items():
+            target = cache[key]
+            fresh = numpy.asarray(source, dtype=target.dtype)
+            if fresh.shape != target.shape:
+                raise SimulationError(
+                    "lowering patch changed the shape of %r (%s -> %s); "
+                    "structural edits need invalidate_lowering(), not "
+                    "refresh_numpy_cache()"
+                    % (key, target.shape, fresh.shape)
+                )
+            target.flags.writeable = True
+            try:
+                target[...] = fresh
+            finally:
+                target.flags.writeable = False
+
     def __repr__(self) -> str:
         return "CompiledNetlist(%s: %d gates, %d nets, %d inputs)" % (
             self.netlist.name,

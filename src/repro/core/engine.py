@@ -212,6 +212,19 @@ class EngineBase(abc.ABC):
         """
         return 0.0
 
+    def rebind_lowering(self) -> None:
+        """Drop any backend state derived from the cached lowering
+        (default: nothing to drop).
+
+        The fault-injection layer (:mod:`repro.faults.inject`) patches
+        the shared :class:`~repro.core.compiled.CompiledNetlist` tables
+        in place and calls this before the next ``initialize()`` so
+        backends that snapshot the lowering at kernel-construction time
+        (vector, bitparallel) rebuild from the patched arrays.  The
+        reference and compiled engines read cells/tables live per event
+        and need no action.
+        """
+
     def __init__(
         self,
         netlist: Netlist,
@@ -683,7 +696,19 @@ def run_stimulus(
     (:func:`repro.core.batch.simulate_batch`) can push many stimuli
     through one reused engine.  The engine's statistics object is
     replaced (not reset) so every returned result owns its counters.
+
+    A stimulus carrying a ``fault`` attribute (a
+    :class:`repro.faults.inject.FaultedStimulus`) is routed through the
+    fault-injection layer, which patches the lowering, replays the base
+    stimulus and guarantees restoration — one hook here covers every
+    execution path (simulate(), in-process batches, shard workers,
+    service workers), exactly like the STA-oracle hook below.
     """
+    fault = getattr(stimulus, "fault", None)
+    if fault is not None:
+        from ..faults.inject import run_faulted_stimulus
+
+        return run_faulted_stimulus(simulator, stimulus, settle=settle, seed=seed)
     simulator.stats = SimulationStatistics()
     simulator.initialize(stimulus.initial_values(simulator.netlist), seed=seed)
     changes: Iterable[Tuple[float, Mapping[str, int], Optional[float]]]

@@ -140,12 +140,20 @@ def _worker_main(
 ) -> None:
     """Worker-process loop: build the engine once, serve tasks forever.
 
-    Tasks are ``(generation, job_id, index, stimulus, settle, seed)``
-    tuples; ``None`` is the shutdown pill.  Results go back as
+    Tasks are ``(generation, job_id, indices, stimuli, settle, seed)``
+    tuples — one *chunk* of a batch, ``indices`` and ``stimuli`` running
+    in parallel (length 1 unless the submitter chunked); ``None`` is the
+    shutdown pill.  Each chunk answers with exactly one message:
 
-    * ``("shm", worker_id, generation, job_id, index, segment_name, meta)``
-    * ``("pickle", worker_id, generation, job_id, index, result)``
+    * ``("shm", worker_id, generation, job_id, indices, segment, metas)``
+    * ``("pickle", worker_id, generation, job_id, indices, results)``
     * ``("error", worker_id, generation, job_id, index, type_name, text)``
+
+    One message per chunk keeps the single shm buffer safe to reuse (the
+    parent reads it before this worker gets its next task) and is the
+    point of chunking: the queue round-trip is paid once per chunk, not
+    once per vector.  On an error the rest of the chunk is abandoned —
+    the parent fails the whole job on the first error anyway.
 
     The generation stamp lets the parent discard messages a worker
     emitted before it was declared dead and its task requeued.
@@ -159,26 +167,41 @@ def _worker_main(
             task = task_queue.get()
             if task is None:
                 break
-            generation, job_id, index, stimulus, settle, seed = task
-            try:
-                result = run_stimulus(engine, stimulus, settle=settle, seed=seed)
-            except Exception as error:  # noqa: BLE001 - forwarded to parent
-                result_queue.put((
-                    "error", worker_id, generation, job_id, index,
-                    type(error).__name__,
-                    "%s\n%s" % (error, _traceback.format_exc()),
-                ))
+            generation, job_id, indices, stimuli, settle, seed = task
+            results = []
+            failed = False
+            for index, stimulus in zip(indices, stimuli):
+                try:
+                    results.append(
+                        run_stimulus(engine, stimulus, settle=settle, seed=seed)
+                    )
+                except Exception as error:  # noqa: BLE001 - forwarded to parent
+                    result_queue.put((
+                        "error", worker_id, generation, job_id, index,
+                        type(error).__name__,
+                        "%s\n%s" % (error, _traceback.format_exc()),
+                    ))
+                    failed = True
+                    break
+            if failed:
                 continue
-            result.simulator = None
+            for result in results:
+                result.simulator = None
             if buffer is not None:
-                payload, meta = shm_transport.pack_result(result)
-                segment = buffer.write(payload)
+                payloads = []
+                metas = []
+                for result in results:
+                    payload, meta = shm_transport.pack_result(result)
+                    payloads.append(payload)
+                    metas.append(meta)
+                segment = buffer.write(b"".join(payloads))
                 result_queue.put((
-                    "shm", worker_id, generation, job_id, index, segment, meta
+                    "shm", worker_id, generation, job_id, indices,
+                    segment, metas,
                 ))
             else:
                 result_queue.put((
-                    "pickle", worker_id, generation, job_id, index, result
+                    "pickle", worker_id, generation, job_id, indices, results
                 ))
     finally:
         if buffer is not None:
@@ -190,14 +213,16 @@ def _worker_main(
 # ----------------------------------------------------------------------
 
 class _Task:
-    """One vector of one batch, with its crash-retry accounting."""
+    """One dispatch unit — a chunk of consecutive vectors of one batch —
+    with its crash-retry accounting.  ``indices`` and ``stimuli`` run in
+    parallel; both have length 1 unless the batch was chunked."""
 
-    __slots__ = ("job_id", "index", "stimulus", "settle", "seed", "attempts")
+    __slots__ = ("job_id", "indices", "stimuli", "settle", "seed", "attempts")
 
-    def __init__(self, job_id, index, stimulus, settle, seed):
+    def __init__(self, job_id, indices, stimuli, settle, seed):
         self.job_id = job_id
-        self.index = index
-        self.stimulus = stimulus
+        self.indices = indices
+        self.stimuli = stimuli
         self.settle = settle
         self.seed = seed
         self.attempts = 0
@@ -457,23 +482,35 @@ class SimulationService:
         stimuli: Sequence,
         settle: float = 0.0,
         seed: Optional[Mapping[str, int]] = None,
+        chunk: int = 1,
     ) -> BatchJob:
         """Enqueue N stimuli; returns a :class:`BatchJob` handle.
 
         Vectors start executing immediately on idle workers; results
         are collected whenever the job (or any other job of this
         service) is pumped.
+
+        ``chunk`` packs that many consecutive vectors into one worker
+        round-trip.  The default (1) gives finest-grained scheduling
+        and crash retry; large batches of *short* vectors (fault
+        campaigns, pattern sweeps) amortise the per-task queue overhead
+        by chunking — a crash then retries the whole chunk.
         """
         self._require_open()
         stimuli = list(stimuli)
         if not stimuli:
             raise ServiceError("submit_batch() needs at least one stimulus")
+        if chunk < 1:
+            raise ServiceError("chunk must be >= 1, got %d" % chunk)
         job_id = next(self._job_seq)
         job = BatchJob(self, job_id, len(stimuli))
         self._jobs[job_id] = job
-        for index, stimulus in enumerate(stimuli):
+        seed = dict(seed) if seed else None
+        for start in range(0, len(stimuli), chunk):
+            indices = list(range(start, min(start + chunk, len(stimuli))))
             self._pending.append(
-                _Task(job_id, index, stimulus, settle, dict(seed) if seed else None)
+                _Task(job_id, indices, stimuli[start:start + chunk],
+                      settle, seed)
             )
         self._dispatch()
         return job
@@ -535,8 +572,8 @@ class SimulationService:
                 break
             worker.current = task
             worker.task_queue.put((
-                worker.generation, task.job_id, task.index,
-                task.stimulus, task.settle, task.seed,
+                worker.generation, task.job_id, task.indices,
+                task.stimuli, task.settle, task.seed,
             ))
 
     def _next_live_task(self) -> Optional[_Task]:
@@ -561,13 +598,13 @@ class SimulationService:
             if kind == "shm":
                 self._unlink_segment(message[5])
             return
-        job_id, index = message[3], message[4]
-        task = worker.current
-        if task is not None and (task.job_id, task.index) == (job_id, index):
-            worker.current = None
+        job_id = message[3]
         job = self._jobs.get(job_id)
         if kind == "error":
-            type_name, detail = message[5], message[6]
+            index, type_name, detail = message[4], message[5], message[6]
+            task = worker.current
+            if task is not None and task.job_id == job_id and index in task.indices:
+                worker.current = None
             if job is not None:
                 job._fail(ServiceError(
                     "vector %d failed in worker %d: %s: %s"
@@ -575,8 +612,12 @@ class SimulationService:
                 ))
                 self._jobs.pop(job_id, None)
             return
+        indices = message[4]
+        task = worker.current
+        if task is not None and (task.job_id, task.indices) == (job_id, indices):
+            worker.current = None
         if kind == "shm":
-            segment, meta = message[5], message[6]
+            segment, metas = message[5], message[6]
             if worker.last_segment not in (None, segment):
                 # The worker grew (and unlinked) its buffer; drop our
                 # mapping of the abandoned segment.
@@ -584,17 +625,18 @@ class SimulationService:
                 if stale is not None:
                     stale.close()
             worker.last_segment = segment
-            result = self._read_shm_result(segment, meta)
+            results = self._read_shm_results(segment, metas)
         else:
-            result = message[5]
+            results = message[5]
         if job is not None and job._error is None:
-            job._store(index, result)
+            for index, result in zip(indices, results):
+                job._store(index, result)
         if job is not None and job.done:
             # The handle keeps its own results; the registry must not
             # grow without bound over a long-running service.
             self._jobs.pop(job_id, None)
 
-    def _read_shm_result(self, segment: str, meta) -> SimulationResult:
+    def _read_shm_results(self, segment: str, metas) -> List[SimulationResult]:
         shm = self._attachments.get(segment)
         if shm is None:
             # Attaching re-registers the name with the resource tracker;
@@ -604,7 +646,19 @@ class SimulationService:
             # _unlink_segment after a crash) clears the single entry.
             shm = _shared_memory.SharedMemory(name=segment)
             self._attachments[segment] = shm
-        return shm_transport.unpack_result(meta, shm.buf)
+        # A chunk's payloads sit back to back in the segment, each
+        # meta carrying its own byte length.
+        results = []
+        offset = 0
+        for meta in metas:
+            nbytes: int = meta["nbytes"]
+            results.append(
+                shm_transport.unpack_result(
+                    meta, shm.buf[offset:offset + nbytes]
+                )
+            )
+            offset += nbytes
+        return results
 
     # -- failure handling ----------------------------------------------
 
@@ -636,11 +690,11 @@ class SimulationService:
                 job._fail(ServiceError(
                     "vector %d crashed its worker %d times "
                     "(max_task_retries=%d)"
-                    % (task.index, task.attempts, self.max_task_retries)
+                    % (task.indices[0], task.attempts, self.max_task_retries)
                 ))
                 self._jobs.pop(task.job_id, None)
             return
-        self.tasks_requeued += 1
+        self.tasks_requeued += len(task.indices)
         self._pending.appendleft(task)
 
     def _unlink_worker_segments(self, worker_id: int, dead: "_Worker") -> None:

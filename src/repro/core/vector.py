@@ -1378,6 +1378,12 @@ class VectorSimulator(EngineBase):
     def compiled_netlist(self) -> CompiledNetlist:
         return self._cn
 
+    def rebind_lowering(self) -> None:
+        """Drop the cached kernel: it snapshots the ``as_numpy()``
+        export (arc stack copy + list mirrors) at construction, so a
+        patched lowering needs a fresh kernel on next ``initialize()``."""
+        self._kernel = None
+
     def _make_queue(self, queue_kind: str):
         # Validated here (not only at kernel construction) so a bad
         # kind fails at make_engine() time like the other backends.

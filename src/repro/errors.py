@@ -86,6 +86,16 @@ class OracleError(SimulationError):
     """
 
 
+class FaultError(SimulationError):
+    """A fault specification cannot be injected into the target circuit.
+
+    Raised by :mod:`repro.faults` when a faultload references a net the
+    netlist does not drive (primary inputs and constants have no gate to
+    corrupt), when a gate's truth table is too wide to patch, or when a
+    serialized faultload fails validation.
+    """
+
+
 class StimulusError(ReproError):
     """A stimulus description is inconsistent with the circuit interface."""
 

@@ -1,0 +1,299 @@
+"""Deterministic, seedable faultload generation.
+
+A *faultload* is the campaign's input: a list of single-fault mutants,
+each naming a net, a fault kind and the kind's parameters.  Generation
+is a pure function of ``(netlist, seed, knobs)`` — the same seed always
+produces the same faultload, byte for byte, which is what lets golden
+campaign reports be pinned in CI and lets a faultload travel to a
+remote server as JSON and mean the same thing there.
+
+Fault kinds (DAVOS's SBFI taxonomy, adapted to gate level):
+
+* ``stuck_at_0`` / ``stuck_at_1`` — the driving gate's output is tied
+  to a rail for the whole run (permanent fault).
+* ``bit_flip`` — the driving gate computes the complement of its
+  function for the whole run (an upset latched into the cell).
+* ``set_pulse`` — a transient Single-Event Transient: the net's value
+  is flipped at ``time`` for ``width`` ns and released.  The width is
+  drawn around the circuit's mean arc delay so whether the pulse
+  survives its fanout cone is decided by the inertial/degradation
+  model, not by construction.
+* ``delay_drift`` — every timing arc of the driving gate is scaled by
+  ``factor`` (a slow/fast corner escape on one cell); the logic
+  function is untouched, only the timing — and therefore hazard
+  behaviour — changes.
+* ``none`` — the identity fault; injects nothing.  Campaigns over a
+  ``none``-faultload must classify every mutant as silent, which is
+  the property suite's calibration check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Netlist
+from ..errors import FaultError
+
+
+class FaultKind(enum.Enum):
+    """The kind of single fault one mutant carries."""
+
+    NONE = "none"
+    STUCK_AT_0 = "stuck_at_0"
+    STUCK_AT_1 = "stuck_at_1"
+    BIT_FLIP = "bit_flip"
+    SET_PULSE = "set_pulse"
+    DELAY_DRIFT = "delay_drift"
+
+
+#: kinds that patch the lowering before the run (vs. transient ones
+#: injected while the run is in flight).
+PERMANENT_KINDS = frozenset(
+    {
+        FaultKind.STUCK_AT_0,
+        FaultKind.STUCK_AT_1,
+        FaultKind.BIT_FLIP,
+        FaultKind.DELAY_DRIFT,
+    }
+)
+
+#: kinds the default generator draws from (NONE is opt-in).
+DEFAULT_KINDS = (
+    FaultKind.STUCK_AT_0,
+    FaultKind.STUCK_AT_1,
+    FaultKind.BIT_FLIP,
+    FaultKind.SET_PULSE,
+    FaultKind.DELAY_DRIFT,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One single-fault mutant.
+
+    Attributes:
+        kind: what to inject.
+        net: target net name; must be gate-driven (primary inputs and
+            constants have no gate to corrupt).
+        time: SET pulse start, in ns (``set_pulse`` only).
+        width: SET pulse width, in ns (``set_pulse`` only).
+        factor: arc scale factor (``delay_drift`` only).
+    """
+
+    kind: FaultKind
+    net: str
+    time: float = 0.0
+    width: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.net, str) or not self.net:
+            raise FaultError(
+                "fault spec needs a non-empty net name, got %r" % (self.net,)
+            )
+        if self.kind is FaultKind.SET_PULSE:
+            if self.width <= 0.0:
+                raise FaultError(
+                    "set_pulse on %r needs a positive width, got %r"
+                    % (self.net, self.width)
+                )
+            if self.time < 0.0:
+                raise FaultError(
+                    "set_pulse on %r needs a non-negative time, got %r"
+                    % (self.net, self.time)
+                )
+        if self.kind is FaultKind.DELAY_DRIFT and self.factor <= 0.0:
+            raise FaultError(
+                "delay_drift on %r needs a positive factor, got %r"
+                % (self.net, self.factor)
+            )
+
+    def describe(self) -> str:
+        """One-line human summary (CLI report rows)."""
+        if self.kind is FaultKind.SET_PULSE:
+            return "%s @ %s t=%.3f w=%.3f" % (
+                self.kind.value, self.net, self.time, self.width,
+            )
+        if self.kind is FaultKind.DELAY_DRIFT:
+            return "%s @ %s x%.3f" % (self.kind.value, self.net, self.factor)
+        return "%s @ %s" % (self.kind.value, self.net)
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"kind": self.kind.value, "net": self.net}
+        if self.kind is FaultKind.SET_PULSE:
+            data["time"] = self.time
+            data["width"] = self.width
+        if self.kind is FaultKind.DELAY_DRIFT:
+            data["factor"] = self.factor
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        try:
+            kind = FaultKind(data["kind"])
+            net = data["net"]
+        except (KeyError, ValueError, TypeError) as exc:
+            raise FaultError("malformed fault spec %r: %s" % (data, exc)) from None
+        time = float(data.get("time", 0.0))  # type: ignore[arg-type]
+        width = float(data.get("width", 0.0))  # type: ignore[arg-type]
+        factor = float(data.get("factor", 1.0))  # type: ignore[arg-type]
+        # __post_init__ validates the shape (width/time/factor/net)
+        return cls(kind=kind, net=net, time=time, width=width, factor=factor)
+
+
+@dataclasses.dataclass
+class Faultload:
+    """A named, reproducible list of single-fault mutants.
+
+    ``circuit`` and ``seed`` are provenance: a report built from this
+    faultload records both, so any classification difference between
+    two runs is attributable to the engine, never the input.
+    """
+
+    circuit: str
+    seed: int
+    faults: List[FaultSpec]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def validate(self, netlist: Netlist) -> None:
+        """Check every fault targets a gate-driven net of ``netlist``.
+
+        Raises:
+            FaultError: on an unknown or undriven target net.
+        """
+        for fault in self.faults:
+            if fault.net not in netlist.nets:
+                raise FaultError(
+                    "faultload targets unknown net %r (circuit %s)"
+                    % (fault.net, netlist.name)
+                )
+            if (
+                fault.kind is not FaultKind.NONE
+                and netlist.nets[fault.net].driver is None
+            ):
+                raise FaultError(
+                    "faultload targets undriven net %r — primary inputs "
+                    "and constants have no gate to corrupt" % fault.net
+                )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit,
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Faultload":
+        try:
+            circuit = str(data["circuit"])
+            seed = int(data["seed"])  # type: ignore[arg-type]
+            raw_faults = data["faults"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultError("malformed faultload: %s" % exc) from None
+        if not isinstance(raw_faults, list):
+            raise FaultError("faultload 'faults' must be a list")
+        faults = [FaultSpec.from_dict(entry) for entry in raw_faults]
+        return cls(circuit=circuit, seed=seed, faults=faults)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Faultload":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError("faultload is not valid JSON: %s" % exc) from None
+        if not isinstance(data, dict):
+            raise FaultError("faultload JSON must be an object")
+        return cls.from_dict(data)
+
+
+def mean_arc_delay(netlist: Netlist) -> float:
+    """Mean zero-slew arc delay (``tp0`` with load folded in), in ns.
+
+    The circuit's characteristic gate delay: SET pulse widths are drawn
+    around it so the inertial filter and the degradation model operate
+    in their interesting regime — much narrower pulses die by
+    construction, much wider ones always survive.
+    """
+    compiled = netlist.compile()
+    if not compiled.num_inputs:
+        return 0.0
+    return sum(
+        arc[0]
+        for arcs in (compiled.arc_rise, compiled.arc_fall)
+        for arc in arcs
+    ) / (2.0 * compiled.num_inputs)
+
+
+def generate_faultload(
+    netlist: Netlist,
+    count: int,
+    seed: int = 0,
+    kinds: Sequence[FaultKind] = DEFAULT_KINDS,
+    window: Tuple[float, float] = (0.0, 10.0),
+    set_width_span: Tuple[float, float] = (0.25, 3.0),
+    drift_span: Tuple[float, float] = (1.5, 3.5),
+) -> Faultload:
+    """Draw ``count`` single-fault mutants over the netlist's gate outputs.
+
+    Deterministic: the draw sequence depends only on the arguments (one
+    ``random.Random(seed)`` stream, nets in netlist insertion order).
+
+    Args:
+        netlist: target circuit; targets are its gate-driven nets.
+        count: number of mutants (>= 0).
+        seed: PRNG seed recorded in the faultload.
+        kinds: fault kinds to draw from, uniformly.
+        window: ``(start, end)`` time window, in ns, SET pulse starts
+            are drawn from — normally ``(0, stimulus horizon)``.
+        set_width_span: SET widths are ``mean_arc_delay * U(lo, hi)``.
+        drift_span: delay-drift factors are ``U(lo, hi)``.
+
+    Raises:
+        FaultError: when the netlist has no gate-driven nets, the count
+            is negative, or ``kinds`` is empty.
+    """
+    if count < 0:
+        raise FaultError("faultload count must be >= 0, got %d" % count)
+    if not kinds:
+        raise FaultError("faultload generation needs at least one fault kind")
+    targets = [net.name for net in netlist.nets.values() if net.driver is not None]
+    if not targets and count:
+        raise FaultError(
+            "circuit %s has no gate-driven nets to inject into" % netlist.name
+        )
+    start, end = window
+    if end < start:
+        raise FaultError("fault window end %r before start %r" % (end, start))
+    base_delay = mean_arc_delay(netlist) if count else 0.0
+    rng = random.Random(seed)
+    faults: List[FaultSpec] = []
+    for _ in range(count):
+        net = rng.choice(targets)
+        kind = rng.choice(list(kinds))
+        if kind is FaultKind.SET_PULSE:
+            width = max(base_delay, 1e-3) * rng.uniform(*set_width_span)
+            faults.append(
+                FaultSpec(
+                    kind=kind,
+                    net=net,
+                    time=rng.uniform(start, end),
+                    width=width,
+                )
+            )
+        elif kind is FaultKind.DELAY_DRIFT:
+            faults.append(
+                FaultSpec(kind=kind, net=net, factor=rng.uniform(*drift_span))
+            )
+        else:
+            faults.append(FaultSpec(kind=kind, net=net))
+    return Faultload(circuit=netlist.name, seed=seed, faults=faults)

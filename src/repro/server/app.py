@@ -591,6 +591,63 @@ class SimulationServer:
 
         return await asyncio.to_thread(job)
 
+    async def _op_faults(self, frame: dict) -> Dict[str, object]:
+        """Run a fault-injection campaign on a registered netlist's pool.
+
+        The frame carries the faultload (as JSON, see
+        :mod:`repro.faults.faultload`) and the base vector; the server
+        plays golden + mutants through the entry's warm workers — one
+        batch, so the campaign rides the same backpressure accounting
+        as ``batch`` — classifies server-side and returns the
+        :class:`~repro.faults.campaign.DependabilityReport` dict.
+        Mutant injection happens inside the workers (each owns a
+        private netlist copy) with guaranteed restoration, so the
+        entry's lowering stays clean for other clients.
+        """
+        from ..errors import FaultError
+        from ..faults.campaign import classify_results
+        from ..faults.faultload import Faultload
+        from ..faults.inject import FaultedStimulus
+
+        entry = self.registry.get(str(frame.get("netlist", "")))
+        raw_faultload = frame.get("faultload")
+        if not isinstance(raw_faultload, dict):
+            raise ServerError(
+                "faults needs a 'faultload' object", kind="bad-frame"
+            )
+        if "vector" not in frame:
+            raise ServerError(
+                "faults needs a 'vector' payload (the base stimulus)",
+                kind="bad-frame",
+            )
+        epsilon = frame.get("epsilon", 0.0)
+        if not isinstance(epsilon, (int, float)) or epsilon < 0:
+            raise ServerError(
+                "epsilon must be a non-negative number", kind="bad-frame"
+            )
+        try:
+            faultload = Faultload.from_dict(raw_faultload)
+            faultload.validate(entry.netlist)
+        except FaultError as error:
+            raise ServerError(str(error), kind="faults") from None
+        base = self._decode_stimuli([frame["vector"]])[0]
+        stimuli = [base] + [
+            FaultedStimulus(base, fault) for fault in faultload.faults
+        ]
+
+        def encode(results) -> Dict[str, object]:
+            try:
+                report = classify_results(
+                    entry.netlist, faultload, results[0], results[1:],
+                    entry.engine_kind, epsilon=float(epsilon),
+                )
+            except FaultError as error:
+                raise ServerError(str(error), kind="faults") from None
+            return report.to_dict()
+
+        payload = await self._run_on_entry(entry, stimuli, encode)
+        return {"netlist": entry.name, "report": payload}
+
     async def _op_shutdown(self, _frame: dict) -> Dict[str, object]:
         # The response flushes first; _serve_frame flips the stop event
         # when it sees the marker below.
@@ -605,5 +662,6 @@ class SimulationServer:
         "simulate": _op_simulate,
         "batch": _op_batch,
         "sta": _op_sta,
+        "faults": _op_faults,
         "shutdown": _op_shutdown,
     }

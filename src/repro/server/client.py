@@ -304,6 +304,31 @@ class SimulationClient:
         """
         return self.call("sta", netlist=name, k=k_paths)  # type: ignore[return-value]
 
+    def faults(
+        self,
+        name: str,
+        faultload: dict,
+        stimulus: VectorSequence,
+        epsilon: float = 0.0,
+    ) -> dict:
+        """Run a fault-injection campaign server-side.
+
+        ``faultload`` is a :class:`repro.faults.faultload.Faultload`
+        dict (``Faultload.to_dict()``); the server plays golden +
+        mutants on the entry's warm pool and returns the
+        :class:`repro.faults.campaign.DependabilityReport` dict —
+        classification happens server-side, only the report crosses
+        the wire.
+        """
+        payload = self.call(
+            "faults",
+            netlist=name,
+            faultload=faultload,
+            vector=jsonl_protocol.encode_vector(stimulus),
+            epsilon=epsilon,
+        )
+        return payload["report"]  # type: ignore[index]
+
     def list_netlists(self) -> List[dict]:
         payload = self.call("list")
         return payload["netlists"]  # type: ignore[index]

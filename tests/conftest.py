@@ -39,3 +39,56 @@ def c17():
 @pytest.fixture()
 def chain3():
     return modules.inverter_chain(3)
+
+
+@pytest.fixture()
+def patched_lowering():
+    """Mutate a netlist's cached lowering in place, restore at teardown.
+
+    The one sanctioned route for tests that corrupt the compiled
+    lowering (the STA-teeth and fault-teeth suites): call
+    ``patched_lowering(netlist, mutate_fn)`` — the fixture snapshots
+    the mutable lowering entries (truth tables, gate functions, delay
+    arcs) and the raw gate cells first, applies the mutation, re-syncs
+    the frozen numpy export, and restores everything byte-identically
+    when the test ends, pass or fail.  Ad-hoc in-place mutation without
+    this fixture leaks corrupted state into every later test sharing
+    the netlist (or its primed caches).
+    """
+    patched = []
+
+    def patch(netlist, mutate=None):
+        compiled = netlist.compile()
+        patched.append(
+            (
+                netlist,
+                compiled,
+                [
+                    None if table is None else list(table)
+                    for table in compiled.gate_tables
+                ],
+                list(compiled.gate_functions),
+                list(compiled.arc_rise),
+                list(compiled.arc_fall),
+                {name: gate.cell for name, gate in netlist.gates.items()},
+            )
+        )
+        if mutate is not None:
+            mutate(compiled)
+            compiled.refresh_numpy_cache()
+        return compiled
+
+    yield patch
+
+    for netlist, compiled, tables, functions, rise, fall, cells in reversed(
+        patched
+    ):
+        compiled.gate_tables[:] = [
+            None if table is None else list(table) for table in tables
+        ]
+        compiled.gate_functions[:] = functions
+        compiled.arc_rise[:] = rise
+        compiled.arc_fall[:] = fall
+        for name, cell in cells.items():
+            netlist.gates[name].cell = cell
+        compiled.refresh_numpy_cache()

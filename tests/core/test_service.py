@@ -144,6 +144,61 @@ def test_warm_service_survives_many_batches(mult4):
         assert service.worker_restarts == 0
 
 
+@pytest.mark.parametrize("shm", [True, False], ids=["shm", "pickle"])
+def test_chunked_batches_bit_identical_to_unchunked(mult4, shm):
+    """``chunk > 1`` is pure transport amortisation: results are
+    bit-identical to the per-vector dispatch on both transports, in
+    input order, including a ragged final chunk."""
+    stimuli = common.paper_stimulus_batch() * 2  # 10 vectors, chunk 4 -> ragged
+    config = ddm_config()
+    with SimulationService(
+        mult4, config=config, workers=2, engine_kind="compiled",
+        shm_transport=shm,
+    ) as service:
+        unchunked = service.submit_batch(stimuli).wait()
+        chunked = service.submit_batch(stimuli, chunk=4).wait()
+        whole = service.submit_batch(stimuli, chunk=len(stimuli)).wait()
+    for position in range(len(stimuli)):
+        assert_results_identical(
+            chunked[position], unchunked[position], mult4,
+            context="chunk=4 vector %d" % position,
+        )
+        assert_results_identical(
+            whole[position], unchunked[position], mult4,
+            context="chunk=all vector %d" % position,
+        )
+
+
+def test_chunk_must_be_positive(mult4):
+    stimuli = common.paper_stimulus_batch()
+    with SimulationService(
+        mult4, config=ddm_config(), workers=1, engine_kind="compiled"
+    ) as service:
+        with pytest.raises(ServiceError, match="chunk"):
+            service.submit_batch(stimuli, chunk=0)
+
+
+def test_error_mid_chunk_fails_the_batch_cleanly(mult4):
+    """A stimulus exception inside a chunk fails the job with the
+    offending vector's index; the pool keeps serving."""
+    input_names = [net.name for net in mult4.primary_inputs]
+    good = random_vector_batch(
+        input_names, batch=5, count=1, period=3.0, base_seed=53
+    )
+    bad = random_vector_batch(
+        ["not-a-net"], batch=1, count=1, period=3.0, base_seed=53
+    )
+    mixed = good[:3] + bad + good[3:]
+    with SimulationService(
+        mult4, config=ddm_config(), workers=1, engine_kind="compiled"
+    ) as service:
+        with pytest.raises(ServiceError, match="vector 3 failed"):
+            service.submit_batch(mixed, chunk=3).wait()
+        assert service.worker_restarts == 0
+        batch = service.run_batch(good)
+        assert len(batch) == len(good)
+
+
 def test_as_completed_yields_every_vector(mult4):
     input_names = [net.name for net in mult4.primary_inputs]
     stimuli = random_vector_batch(

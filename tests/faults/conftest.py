@@ -1,0 +1,14 @@
+"""Path shim: let the fault suite reuse tests/test_properties helpers.
+
+The tests tree has no package ``__init__`` files (pytest rootdir
+imports), so subdirectory suites insert the tests root on ``sys.path``
+to import the shared random-circuit helpers, mirroring how
+``tests/test_sta_oracle.py`` imports them from the tests root itself.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

@@ -1,0 +1,125 @@
+"""Faultload generation: determinism, serialization, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuit import modules
+from repro.errors import FaultError
+from repro.faults.faultload import (
+    DEFAULT_KINDS,
+    FaultKind,
+    FaultSpec,
+    Faultload,
+    generate_faultload,
+    mean_arc_delay,
+)
+
+
+@pytest.fixture(scope="module")
+def mult4_load():
+    netlist = modules.array_multiplier(4)
+    return netlist, generate_faultload(netlist, 60, seed=11)
+
+
+def test_generation_is_deterministic_per_seed(mult4_load):
+    netlist, load = mult4_load
+    again = generate_faultload(netlist, 60, seed=11)
+    assert load.faults == again.faults
+    assert load.seed == again.seed == 11
+
+
+def test_generation_is_seed_sensitive(mult4_load):
+    netlist, load = mult4_load
+    other = generate_faultload(netlist, 60, seed=12)
+    assert load.faults != other.faults
+
+
+def test_generated_faults_cover_requested_kinds(mult4_load):
+    _, load = mult4_load
+    kinds = {fault.kind for fault in load.faults}
+    assert kinds == set(DEFAULT_KINDS)
+
+
+def test_generated_faults_target_gate_driven_nets(mult4_load):
+    netlist, load = mult4_load
+    driven = {gate.output.name for gate in netlist.gates.values()}
+    assert all(fault.net in driven for fault in load.faults)
+    load.validate(netlist)  # and validate() agrees
+
+
+def test_set_widths_straddle_the_mean_gate_delay():
+    netlist = modules.array_multiplier(4)
+    base = mean_arc_delay(netlist)
+    assert base > 0.0
+    load = generate_faultload(
+        netlist, 200, seed=3, kinds=(FaultKind.SET_PULSE,),
+        set_width_span=(0.25, 3.0),
+    )
+    widths = [fault.width for fault in load.faults]
+    assert min(widths) >= 0.25 * base * 0.999
+    assert max(widths) <= 3.0 * base * 1.001
+    # the span actually straddles the filter scale: some pulses are
+    # narrower than the mean gate delay, some wider
+    assert any(width < base for width in widths)
+    assert any(width > base for width in widths)
+
+
+def test_json_round_trip(mult4_load):
+    _, load = mult4_load
+    text = load.to_json()
+    back = Faultload.from_json(text)
+    assert back == load
+    # and the payload is genuine JSON, not repr()
+    payload = json.loads(text)
+    assert payload["circuit"] == load.circuit
+    assert len(payload["faults"]) == len(load.faults)
+
+
+def test_dict_round_trip_preserves_every_field():
+    spec = FaultSpec(
+        kind=FaultKind.SET_PULSE, net="n3", time=2.5, width=0.4
+    )
+    assert FaultSpec.from_dict(spec.to_dict()) == spec
+    drift = FaultSpec(kind=FaultKind.DELAY_DRIFT, net="n3", factor=2.5)
+    assert FaultSpec.from_dict(drift.to_dict()) == drift
+
+
+def test_validate_rejects_unknown_nets():
+    netlist = modules.c17()
+    load = Faultload(
+        circuit="c17", seed=0,
+        faults=(FaultSpec(kind=FaultKind.STUCK_AT_0, net="nope"),),
+    )
+    with pytest.raises(FaultError, match="unknown net"):
+        load.validate(netlist)
+
+
+def test_validate_rejects_primary_input_targets():
+    netlist = modules.c17()
+    name = netlist.primary_inputs[0].name
+    load = Faultload(
+        circuit="c17", seed=0,
+        faults=(FaultSpec(kind=FaultKind.STUCK_AT_1, net=name),),
+    )
+    with pytest.raises(FaultError, match="no gate to corrupt"):
+        load.validate(netlist)
+
+
+def test_generate_rejects_bad_parameters():
+    netlist = modules.c17()
+    with pytest.raises(FaultError, match="count"):
+        generate_faultload(netlist, -1)
+    with pytest.raises(FaultError, match="kind"):
+        generate_faultload(netlist, 5, kinds=())
+
+
+def test_spec_rejects_degenerate_shapes():
+    with pytest.raises(FaultError, match="width"):
+        FaultSpec(kind=FaultKind.SET_PULSE, net="n", time=1.0, width=0.0)
+    with pytest.raises(FaultError, match="time"):
+        FaultSpec(kind=FaultKind.SET_PULSE, net="n", time=-1.0, width=0.5)
+    with pytest.raises(FaultError, match="factor"):
+        FaultSpec(kind=FaultKind.DELAY_DRIFT, net="n", factor=0.0)

@@ -1,0 +1,132 @@
+"""Golden campaign-report regression.
+
+Pins the full ``DependabilityReport.to_dict()`` payloads of two fixed
+campaigns — c17 and the 4x4 multiplier, compiled engine, DDM, 40
+mutants from seed 5 — byte for byte to a committed JSON file.  The
+payload is deterministic by construction (seeded faultload generation,
+timing-free report serialisation), so any classification drift — a
+changed inertial threshold, a reordered diff, a new fault kind leaking
+into the default generator — shows up here first.
+
+Regeneration (after an *intended* change) goes through the shared
+driver, which also regenerates the waveform golden:
+
+    python tools/make_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import modules
+from repro.config import ddm_config
+from repro.faults.campaign import run_campaign
+from repro.faults.faultload import generate_faultload
+from repro.stimuli.vectors import VectorSequence, multiplication_sequence
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "data"
+    / "golden_faults_campaigns.json"
+)
+
+MUTANTS = 40
+SEED = 5
+
+
+def _campaigns():
+    """The two pinned campaigns: (name, netlist, stimulus)."""
+    c17 = modules.c17()
+    c17_stimulus = VectorSequence(
+        [
+            (0.0, {net.name: 0 for net in c17.primary_inputs}),
+            (4.0, {net.name: 1 for net in c17.primary_inputs}),
+            (8.0, {net.name: 0 for net in c17.primary_inputs}),
+        ],
+        slew=0.2,
+        tail=6.0,
+    )
+    mult4 = modules.array_multiplier(4)
+    mult4_stimulus = multiplication_sequence(
+        [(0x0, 0x0), (0x7, 0x7), (0xF, 0xF)]
+    )
+    return [("c17", c17, c17_stimulus), ("mult4", mult4, mult4_stimulus)]
+
+
+def _current():
+    payload = {}
+    for name, netlist, stimulus in _campaigns():
+        faultload = generate_faultload(
+            netlist, MUTANTS, seed=SEED, window=(0.0, stimulus.horizon)
+        )
+        report = run_campaign(
+            netlist,
+            faultload,
+            stimulus,
+            config=ddm_config(record_traces=True),
+            engine_kind="compiled",
+        )
+        payload[name] = report.to_dict()
+    return payload
+
+
+def _render(payload) -> str:
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def regenerate() -> None:
+    payload = _current()
+    payload["description"] = (
+        "DependabilityReport payloads of the pinned fault campaigns "
+        "(c17 + mult4, compiled/DDM, %d mutants, faultload seed %d)"
+        % (MUTANTS, SEED)
+    )
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(_render(payload))
+
+
+def check() -> bool:
+    """Driver hook (tools/make_goldens.py --check)."""
+    if not GOLDEN_PATH.exists():
+        return False
+    committed = json.loads(GOLDEN_PATH.read_text())
+    current = _current()
+    return all(committed.get(name) == current[name] for name in current)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return _current()
+
+
+@pytest.mark.parametrize("name", ["c17", "mult4"])
+def test_campaign_report_matches_golden(name, golden, current):
+    assert current[name] == golden[name]
+
+
+def test_golden_file_is_byte_exact(golden):
+    """The committed file is exactly what regenerate() writes —
+    normalisation drift (key order, indent, trailing newline) counts
+    as drift too."""
+    committed = GOLDEN_PATH.read_text()
+    assert committed == _render(golden)
+
+
+def test_golden_campaigns_exercise_every_class(golden):
+    """The pinned campaigns are non-trivial: across both circuits all
+    four outcome classes occur, so the golden actually guards each
+    classification path."""
+    seen = set()
+    for name in ("c17", "mult4"):
+        for label, count in golden[name]["counts"].items():
+            if count:
+                seen.add(label)
+    assert seen == {"silent", "detected", "latent", "masked"}

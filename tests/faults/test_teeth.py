@@ -1,0 +1,118 @@
+"""Teeth: prove the restore-leak seam is caught by the suites.
+
+Mirror of the PR-7 STA-teeth pattern: a guarantee enforced only by
+tests is worth exactly as much as the tests' ability to notice its
+violation.  ``repro.faults.inject.LEAK_RESTORES`` makes ``restore()``
+silently keep the patch; flipping it must make the fingerprint
+round-trip property fail and must corrupt subsequent *healthy* runs —
+otherwise those suites are decoration.
+
+Throwaway netlists only: a leaked patch is permanent by design, so
+these tests never touch the shared session fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import modules
+from repro.config import SimulationConfig
+from repro.core.engine import simulate
+from repro.faults import inject
+from repro.faults.faultload import FaultKind, FaultSpec
+from repro.faults.inject import FaultedStimulus, lowering_fingerprint
+from repro.stimuli.vectors import VectorSequence
+
+
+def _throwaway():
+    netlist = modules.c17()
+    stimulus = VectorSequence(
+        [(0.0, {net.name: 0 for net in netlist.primary_inputs}),
+         (4.0, {net.name: 1 for net in netlist.primary_inputs})],
+        slew=0.2, tail=6.0,
+    )
+    fault = FaultSpec(
+        kind=FaultKind.STUCK_AT_1,
+        net=next(iter(netlist.gates.values())).output.name,
+    )
+    return netlist, stimulus, fault
+
+
+def test_leaked_restore_breaks_the_fingerprint_property(monkeypatch):
+    """With the seam open, the round-trip property's exact assertion
+    (fingerprint before == after a faulted run) must fail."""
+    netlist, stimulus, fault = _throwaway()
+    config = SimulationConfig(record_traces=True)
+    before = lowering_fingerprint(netlist)
+    monkeypatch.setattr(inject, "LEAK_RESTORES", True)
+    simulate(
+        netlist, FaultedStimulus(stimulus, fault),
+        config=config, engine_kind="compiled",
+    )
+    assert lowering_fingerprint(netlist) != before
+
+
+def test_leaked_restore_corrupts_subsequent_healthy_runs(monkeypatch):
+    """The downstream symptom the parity suites would see: after a
+    leaked restore, a *healthy* rerun of the same stimulus no longer
+    matches the pre-leak golden — the stuck-at is still wired in."""
+    netlist, stimulus, fault = _throwaway()
+    config = SimulationConfig(record_traces=True)
+    golden = simulate(
+        netlist, stimulus, config=config, engine_kind="compiled"
+    )
+    assert golden.final_values[fault.net] != 1  # all-inputs-low drives 0
+    monkeypatch.setattr(inject, "LEAK_RESTORES", True)
+    simulate(
+        netlist, FaultedStimulus(stimulus, fault),
+        config=config, engine_kind="compiled",
+    )
+    healthy_again = simulate(
+        netlist, stimulus, config=config, engine_kind="compiled"
+    )
+    assert healthy_again.final_values != golden.final_values
+    assert healthy_again.final_values[fault.net] == 1
+
+
+def test_closed_seam_restores_cleanly():
+    """Control: the same sequence with the seam closed round-trips,
+    pinning the teeth tests on the seam rather than on some unrelated
+    leak."""
+    assert inject.LEAK_RESTORES is False
+    netlist, stimulus, fault = _throwaway()
+    config = SimulationConfig(record_traces=True)
+    golden = simulate(
+        netlist, stimulus, config=config, engine_kind="compiled"
+    )
+    before = lowering_fingerprint(netlist)
+    simulate(
+        netlist, FaultedStimulus(stimulus, fault),
+        config=config, engine_kind="compiled",
+    )
+    assert lowering_fingerprint(netlist) == before
+    healthy_again = simulate(
+        netlist, stimulus, config=config, engine_kind="compiled"
+    )
+    assert healthy_again.final_values == golden.final_values
+
+
+@pytest.mark.parametrize("kind", [
+    FaultKind.STUCK_AT_0, FaultKind.BIT_FLIP, FaultKind.DELAY_DRIFT,
+])
+def test_every_permanent_kind_leaks_detectably(kind, monkeypatch):
+    """The fingerprint covers truth tables *and* delay arcs: each
+    permanent fault kind, leaked, moves it."""
+    netlist, stimulus, _ = _throwaway()
+    fault = FaultSpec(
+        kind=kind,
+        net=next(iter(netlist.gates.values())).output.name,
+        factor=2.0,
+    )
+    config = SimulationConfig(record_traces=True)
+    before = lowering_fingerprint(netlist)
+    monkeypatch.setattr(inject, "LEAK_RESTORES", True)
+    simulate(
+        netlist, FaultedStimulus(stimulus, fault),
+        config=config, engine_kind="compiled",
+    )
+    assert lowering_fingerprint(netlist) != before

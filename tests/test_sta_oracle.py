@@ -174,19 +174,21 @@ def _collapse_every_arc(compiled):
 
 
 @pytest.mark.parametrize("kind", COMPILED_KINDS)
-def test_oracle_detects_corrupted_delay_arcs(kind):
+def test_oracle_detects_corrupted_delay_arcs(kind, patched_lowering):
     netlist = random_netlist(3, num_inputs=3, num_gates=8)
     input_names = [net.name for net in netlist.primary_inputs]
     stimulus = random_stimulus(3, input_names, vectors=3)
     config = SimulationConfig(record_traces=True, check_sta_bounds=True)
     simulate(netlist, stimulus, config=config, engine_kind=kind)  # primes
-    _slow_every_arc(netlist.compile())
+    patched_lowering(netlist, _slow_every_arc)
     with pytest.raises(OracleError, match="STA oracle"):
         simulate(netlist, stimulus, config=config, engine_kind=kind)
 
 
 @pytest.mark.parametrize("kind", LOCKSTEP_KINDS)
-def test_oracle_detects_corrupted_arcs_in_lockstep_batches(kind):
+def test_oracle_detects_corrupted_arcs_in_lockstep_batches(
+    kind, patched_lowering
+):
     netlist = random_netlist(3, num_inputs=3, num_gates=8)
     input_names = [net.name for net in netlist.primary_inputs]
     stimuli = [
@@ -195,14 +197,14 @@ def test_oracle_detects_corrupted_arcs_in_lockstep_batches(kind):
     ]
     config = SimulationConfig(record_traces=True, check_sta_bounds=True)
     simulate_batch(netlist, stimuli, config=config, engine_kind=kind, jobs=1)
-    _slow_every_arc(netlist.compile())
+    patched_lowering(netlist, _slow_every_arc)
     with pytest.raises(OracleError, match="STA oracle"):
         simulate_batch(
             netlist, stimuli, config=config, engine_kind=kind, jobs=1
         )
 
 
-def test_oracle_detects_an_analyzer_side_corruption():
+def test_oracle_detects_an_analyzer_side_corruption(patched_lowering):
     """The reference-engine seam: collapsed compiled arcs make the
     windows claim near-zero delay; the raw-netlist interpreter's
     healthy transitions land far outside them."""
@@ -211,7 +213,7 @@ def test_oracle_detects_an_analyzer_side_corruption():
         [(0.0, {"in": 0}), (4.0, {"in": 1})], slew=0.2, tail=6.0
     )
     config = SimulationConfig(record_traces=True, check_sta_bounds=True)
-    _collapse_every_arc(netlist.compile())
+    patched_lowering(netlist, _collapse_every_arc)
     with pytest.raises(OracleError, match="violation"):
         simulate(netlist, stimulus, config=config, engine_kind="reference")
 

@@ -1,11 +1,18 @@
 #!/usr/bin/env python
 """Deterministically (re)generate the committed golden files.
 
-Currently one golden exists: ``tests/data/golden_mult4_seq1_ddm.json``,
-the exact HALOTIS-DDM edge lists of the Figure 6 run (4x4 multiplier,
-paper sequence 1, default library).  The payload depends only on the
-library numbers and the kernel arithmetic — no randomness, no wall
-clock — so regeneration is reproducible bit-for-bit.
+Two goldens exist:
+
+* ``tests/data/golden_mult4_seq1_ddm.json`` — the exact HALOTIS-DDM
+  edge lists of the Figure 6 run (4x4 multiplier, paper sequence 1,
+  default library), owned by ``tests/test_golden_regression.py``.
+* ``tests/data/golden_faults_campaigns.json`` — the full dependability
+  reports of two pinned fault campaigns (c17 + mult4), owned by
+  ``tests/faults/test_goldens.py``.
+
+Both payloads depend only on the library numbers, the kernel
+arithmetic and seeded PRNG draws — no randomness, no wall clock — so
+regeneration is reproducible bit-for-bit.
 
 Usage::
 
@@ -31,15 +38,33 @@ SRC = ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+#: the modules that own a golden file (tests/ is not a package, so they
+#: are imported by path — this tool and the regression tests can never
+#: drift apart).
+GOLDEN_MODULES = (
+    ("golden_regression", ROOT / "tests" / "test_golden_regression.py"),
+    ("golden_faults", ROOT / "tests" / "faults" / "test_goldens.py"),
+)
 
-def _load_golden_module():
-    """Import tests/test_golden_regression.py by path (tests/ is not a
-    package), so this tool and the regression test can never drift."""
-    path = ROOT / "tests" / "test_golden_regression.py"
-    spec = importlib.util.spec_from_file_location("golden_regression", path)
+
+def _load(name: str, path: Path):
+    spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _check(module) -> bool:
+    """True when the module's committed golden matches current behaviour."""
+    if hasattr(module, "check"):
+        return bool(module.check())
+    # legacy shape (test_golden_regression): compare the payload keys
+    golden_path = module.GOLDEN_PATH
+    if not golden_path.exists():
+        return False
+    committed = json.loads(golden_path.read_text())
+    current = module._current()
+    return all(committed.get(key) == current[key] for key in ("stats", "edges"))
 
 
 def main(argv=None) -> int:
@@ -51,30 +76,25 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    module = _load_golden_module()
-    golden_path = module.GOLDEN_PATH
-    golden_path.parent.mkdir(parents=True, exist_ok=True)
-
-    if args.check:
-        if not golden_path.exists():
-            print("MISSING %s (run tools/make_goldens.py)" % golden_path)
-            return 1
-        committed = json.loads(golden_path.read_text())
-        current = module._current()
-        for key in ("stats", "edges"):
-            if committed.get(key) != current[key]:
+    status = 0
+    for name, path in GOLDEN_MODULES:
+        module = _load(name, path)
+        golden_path = module.GOLDEN_PATH
+        if args.check:
+            if _check(module):
+                print("OK %s" % golden_path)
+            else:
                 print(
-                    "STALE %s: %r differs from current behaviour "
-                    "(rerun tools/make_goldens.py if the change is "
-                    "intended)" % (golden_path, key)
+                    "STALE %s: differs from current behaviour (rerun "
+                    "tools/make_goldens.py if the change is intended)"
+                    % golden_path
                 )
-                return 1
-        print("OK %s" % golden_path)
-        return 0
-
-    module.regenerate()
-    print("wrote %s" % golden_path)
-    return 0
+                status = 1
+        else:
+            golden_path.parent.mkdir(parents=True, exist_ok=True)
+            module.regenerate()
+            print("wrote %s" % golden_path)
+    return status
 
 
 if __name__ == "__main__":
