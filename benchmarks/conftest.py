@@ -21,6 +21,34 @@ def pytest_configure(config):
     )
 
 
+#: The shared shape of one benchmark's record inside a ``BENCH_*.json``
+#: artifact (``benchmarks[].extra_info.bench``); bumped on breaking
+#: changes.  ``tools/check_bench.py`` validates it, CI stamps the
+#: artifact with timestamp + commit via ``check_bench.py --stamp``.
+BENCH_RECORD_SCHEMA = 1
+
+
+@pytest.fixture
+def bench_record(benchmark):
+    """Attach the shared BENCH record to this benchmark's extra_info.
+
+    Usage: ``bench_record("vector-speedup", config={...workload
+    knobs...}, measured={...numbers the gate asserted on...})``.
+    ``config`` values are free-form JSON scalars; ``measured`` values
+    must be numbers — that is what trajectory tooling plots.
+    """
+
+    def record(name, config=None, measured=None):
+        benchmark.extra_info["bench"] = {
+            "schema": BENCH_RECORD_SCHEMA,
+            "name": str(name),
+            "config": dict(config or {}),
+            "measured": dict(measured or {}),
+        }
+
+    return record
+
+
 @pytest.fixture(params=sorted(ENGINE_KINDS))
 def engine_kind(request):
     """Parametrises a benchmark over every registered backend."""

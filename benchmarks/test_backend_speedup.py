@@ -38,7 +38,7 @@ def _throughput_config():
     return ddm_config(record_traces=False)
 
 
-def test_backend_throughput(benchmark, engine_kind):
+def test_backend_throughput(benchmark, engine_kind, bench_record):
     """Wall-clock per backend, recorded into the bench trajectory."""
     netlist, stimulus = _workload()
     config = _throughput_config()
@@ -48,9 +48,15 @@ def test_backend_throughput(benchmark, engine_kind):
     assert result.stats.events_executed > 0
     benchmark.extra_info["engine_kind"] = engine_kind
     benchmark.extra_info["events_executed"] = result.stats.events_executed
+    bench_record(
+        "backend-throughput",
+        config={"engine": engine_kind, "width": _WIDTH,
+                "vectors": _VECTORS, "seed": _SEED},
+        measured={"events_executed": result.stats.events_executed},
+    )
 
 
-def test_compiled_at_least_2x_faster(benchmark):
+def test_compiled_at_least_2x_faster(benchmark, bench_record):
     """The acceptance bar: compiled >= 2x reference on the multiplier."""
     netlist, stimulus = _workload()
     config = _throughput_config()
@@ -88,6 +94,13 @@ def test_compiled_at_least_2x_faster(benchmark):
     benchmark.extra_info["reference_s"] = round(reference_s, 6)
     benchmark.extra_info["compiled_s"] = round(compiled_s, 6)
     benchmark.extra_info["speedup"] = round(speedup, 3)
+    bench_record(
+        "backend-speedup-compiled-vs-reference",
+        config={"width": _WIDTH, "vectors": _VECTORS, "seed": _SEED},
+        measured={"reference_s": round(reference_s, 6),
+                  "compiled_s": round(compiled_s, 6),
+                  "speedup": round(speedup, 3)},
+    )
     assert speedup >= 2.0, (
         "compiled backend only %.2fx faster than reference "
         "(reference %.4fs, compiled %.4fs)" % (speedup, reference_s, compiled_s)

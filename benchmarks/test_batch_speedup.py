@@ -44,7 +44,7 @@ def _throughput_config():
     return ddm_config(record_traces=False)
 
 
-def test_batch_throughput(benchmark):
+def test_batch_throughput(benchmark, bench_record):
     """Wall-clock of the batched path, recorded into the trajectory."""
     netlist, stimuli = _workload()
     config = _throughput_config()
@@ -55,9 +55,15 @@ def test_batch_throughput(benchmark):
     assert aggregate.events_executed > 0
     benchmark.extra_info["vectors"] = len(batch)
     benchmark.extra_info["events_executed"] = aggregate.events_executed
+    bench_record(
+        "batch-throughput",
+        config={"engine": "compiled", "vectors": _VECTORS,
+                "steps": _STEPS, "seed": _SEED},
+        measured={"events_executed": aggregate.events_executed},
+    )
 
 
-def test_batch_beats_independent_runs(benchmark):
+def test_batch_beats_independent_runs(benchmark, bench_record):
     """The acceptance bar: batched per-vector time < N independent runs."""
     netlist, stimuli = _workload()
     config = _throughput_config()
@@ -110,6 +116,15 @@ def test_batch_beats_independent_runs(benchmark):
     benchmark.extra_info["speedup"] = round(speedup, 3)
     benchmark.extra_info["amortised_per_vector_s"] = round(
         batch_s / _VECTORS, 8
+    )
+    bench_record(
+        "batch-speedup-vs-independent",
+        config={"engine": "compiled", "vectors": _VECTORS,
+                "steps": _STEPS, "seed": _SEED},
+        measured={"independent_s": round(loose_s, 6),
+                  "batched_s": round(batch_s, 6),
+                  "speedup": round(speedup, 3),
+                  "amortised_per_vector_s": round(batch_s / _VECTORS, 8)},
     )
     assert speedup > 1.0, (
         "batched per-vector time no better than independent runs "

@@ -68,7 +68,7 @@ def _word_kernel(netlist, config, lanes):
     )
 
 
-def test_bitparallel_batch_throughput(benchmark):
+def test_bitparallel_batch_throughput(benchmark, bench_record):
     """Wall-clock of the word-kernel path, recorded into the trajectory
     together with the per-gate word-op counts."""
     netlist, stimuli = _workload()
@@ -86,6 +86,13 @@ def test_bitparallel_batch_throughput(benchmark):
     benchmark.extra_info["events_executed"] = aggregate.events_executed
     benchmark.extra_info["word_ops_per_gate"] = word_ops
     benchmark.extra_info["word_ops_max"] = max(word_ops.values())
+    bench_record(
+        "bitparallel-throughput",
+        config={"engine": "bitparallel", "lanes": _LANES,
+                "steps": _STEPS, "seed": _SEED},
+        measured={"events_executed": aggregate.events_executed,
+                  "word_ops_max": max(word_ops.values())},
+    )
     # Every multiplier gate must lower onto the word program path; a
     # -1 here means a gate fell back to per-lane evaluation.
     assert all(ops >= 0 for ops in word_ops.values()), (
@@ -94,7 +101,7 @@ def test_bitparallel_batch_throughput(benchmark):
     )
 
 
-def test_bitparallel_beats_vector_and_sequential(benchmark):
+def test_bitparallel_beats_vector_and_sequential(benchmark, bench_record):
     """The acceptance bars: one 256-lane word-kernel batch must run
     >= 10x faster than the vector lockstep batch and >= 20x faster than
     256 sequential compiled runs of the same stimuli."""
@@ -163,6 +170,17 @@ def test_bitparallel_beats_vector_and_sequential(benchmark):
     )
     benchmark.extra_info["amortised_per_lane_s"] = round(word / _LANES, 8)
     benchmark.extra_info["word_ops_per_gate"] = word_ops
+    bench_record(
+        "bitparallel-speedup",
+        config={"lanes": _LANES, "steps": _STEPS, "seed": _SEED,
+                "min_vs_vector": _MIN_VS_VECTOR,
+                "min_vs_sequential": _MIN_VS_SEQUENTIAL},
+        measured={"sequential_compiled_s": round(sequential, 6),
+                  "vector_batch_s": round(vector, 6),
+                  "bitparallel_batch_s": round(word, 6),
+                  "speedup_vs_vector": round(vector / word, 3),
+                  "speedup_vs_sequential": round(sequential / word, 3)},
+    )
     assert vector / word >= _MIN_VS_VECTOR, (
         "word kernel below the %.0fx bar against the vector lockstep "
         "batch (vector %.4fs, bitparallel %.4fs, %.2fx)"

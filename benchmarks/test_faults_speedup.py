@@ -65,7 +65,7 @@ def _naive_campaign(stimulus, faultload, config, limit=None):
     return results
 
 
-def test_campaign_throughput(benchmark):
+def test_campaign_throughput(benchmark, bench_record):
     """Steady-state mutants/s of the warm service path, for the trend."""
     netlist, stimulus, faultload = _workload()
     config = _campaign_config()
@@ -95,9 +95,16 @@ def test_campaign_throughput(benchmark):
         _MUTANTS / report.wall_seconds, 1
     )
     benchmark.extra_info["counts"] = report.counts()
+    bench_record(
+        "faults-campaign-throughput",
+        config={"mutants": _MUTANTS, "workers": _WORKERS, "seed": _SEED},
+        measured={"mutants_per_s": round(_MUTANTS / report.wall_seconds, 1)},
+    )
 
 
-def test_warm_campaign_beats_naive_per_mutant_simulate(benchmark):
+def test_warm_campaign_beats_naive_per_mutant_simulate(
+    benchmark, bench_record
+):
     """The acceptance gate: warm-service campaign >= 5x the naive path.
 
     The naive side is timed on a slice and scaled: at >=200 mutants a
@@ -150,6 +157,13 @@ def test_warm_campaign_beats_naive_per_mutant_simulate(benchmark):
     benchmark.extra_info["naive_per_mutant_s"] = round(naive / _MUTANTS, 8)
     benchmark.extra_info["warm_per_mutant_s"] = round(warm / _MUTANTS, 8)
     benchmark.extra_info["speedup"] = round(speedup, 3)
+    bench_record(
+        "faults-campaign-speedup",
+        config={"mutants": _MUTANTS, "workers": _WORKERS, "seed": _SEED},
+        measured={"naive_projected_s": round(naive, 6),
+                  "warm_campaign_s": round(warm, 6),
+                  "speedup": round(speedup, 3)},
+    )
     assert speedup >= 5.0, (
         "warm campaign below the 5x gate vs naive per-mutant simulate "
         "(naive %.3fs projected, warm %.3fs, %.2fx)" % (naive, warm, speedup)

@@ -1,0 +1,126 @@
+"""Observability overhead: instrumented vs uninstrumented simulation.
+
+The metrics layer only earns always-on default status if it is close to
+free on the hot path.  Engine instrumentation is deliberately coarse —
+per-*run* counter increments and one histogram observation, never
+per-event work — so the overhead must vanish into timing noise.  This
+gate drives the repo's canonical throughput workload (the 6x6
+multiplier under 20 random vectors, as in ``test_backend_speedup.py``)
+through the compiled engine twice, once with ``collect_metrics=True``
+(the default) and once with it off, and asserts the instrumented run is
+within 1.05x of the uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import ddm_config
+from repro.core.engine import simulate
+from repro.experiments import common
+from repro.stimuli.patterns import random_vectors
+
+_WIDTH = 6
+_VECTORS = 20
+_SEED = 7
+
+#: The acceptance bar from the issue: instrumentation <= 5% overhead.
+_MAX_OVERHEAD = 1.05
+
+
+def _workload():
+    netlist = common.multiplier_netlist(_WIDTH)
+    stimulus = random_vectors(
+        [net.name for net in netlist.primary_inputs],
+        count=_VECTORS,
+        period=5.0,
+        seed=_SEED,
+    )
+    return netlist, stimulus
+
+
+def test_instrumentation_overhead_within_bound(benchmark, bench_record):
+    """The gate: metrics-on compiled simulate() <= 1.05x metrics-off."""
+    netlist, stimulus = _workload()
+    on = ddm_config(record_traces=False)
+    off = ddm_config(record_traces=False, collect_metrics=False)
+    assert on.collect_metrics and not off.collect_metrics
+
+    def best_of(config, repeats: int = 5) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            simulate(netlist, stimulus, config=config, engine_kind="compiled")
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    # Warm both paths (and the lowering cache both share).
+    simulate(netlist, stimulus, config=on, engine_kind="compiled")
+    simulate(netlist, stimulus, config=off, engine_kind="compiled")
+
+    def measure():
+        # Up to 5 attempts keeping the best (lowest) observed ratio: the
+        # claim is about steady-state cost, and on a shared CI runner a
+        # single scheduler blip in the instrumented run must not fail
+        # the gate.  Interleaved best-of-5 already smooths most noise.
+        best = (float("inf"), (float("inf"), float("inf")))
+        for _attempt in range(5):
+            plain = best_of(off)
+            instrumented = best_of(on)
+            ratio = instrumented / plain
+            if ratio < best[0]:
+                best = (ratio, (plain, instrumented))
+            if best[0] <= 1.02:
+                break
+        return best[1]
+
+    plain, instrumented = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = instrumented / plain
+    benchmark.extra_info["uninstrumented_s"] = round(plain, 6)
+    benchmark.extra_info["instrumented_s"] = round(instrumented, 6)
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 4)
+    bench_record(
+        "obs-overhead",
+        config={"engine": "compiled", "width": _WIDTH,
+                "vectors": _VECTORS, "seed": _SEED,
+                "max_overhead": _MAX_OVERHEAD},
+        measured={"uninstrumented_s": round(plain, 6),
+                  "instrumented_s": round(instrumented, 6),
+                  "overhead_ratio": round(ratio, 4)},
+    )
+    assert ratio <= _MAX_OVERHEAD, (
+        "metrics collection costs %.1f%% on the compiled hot path "
+        "(uninstrumented %.4fs, instrumented %.4fs); the bar is %.0f%%"
+        % (
+            (ratio - 1.0) * 100.0, plain, instrumented,
+            (_MAX_OVERHEAD - 1.0) * 100.0,
+        )
+    )
+
+
+def test_metrics_off_leaves_registry_untouched(benchmark):
+    """Guard: the uninstrumented side of the gate really records nothing."""
+    from repro.obs.registry import get_registry
+
+    netlist, stimulus = _workload()
+    off = ddm_config(record_traces=False, collect_metrics=False)
+    registry = get_registry()
+
+    def run():
+        registry.snapshot(reset=True)  # drain whatever ran before us
+        result = simulate(
+            netlist, stimulus, config=off, engine_kind="compiled"
+        )
+        return result, registry.snapshot(reset=True)
+
+    result, delta = benchmark(run)
+    assert result.stats.events_executed > 0
+    assert result.metrics is None
+    recorded = {
+        name: entry["series"]
+        for name, entry in delta["metrics"].items()
+        if entry["series"]
+    }
+    assert not recorded, "metrics recorded with collection off: %s" % (
+        sorted(recorded),
+    )

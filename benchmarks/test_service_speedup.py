@@ -45,7 +45,7 @@ def _throughput_config():
     return ddm_config(record_traces=False)
 
 
-def test_service_throughput(benchmark):
+def test_service_throughput(benchmark, bench_record):
     """Steady-state wall-clock of one warm batch, for the trajectory."""
     netlist, stimuli = _workload()
     config = _throughput_config()
@@ -60,9 +60,15 @@ def test_service_throughput(benchmark):
     benchmark.extra_info["workers"] = _WORKERS
     benchmark.extra_info["transport"] = service.transport
     benchmark.extra_info["events_executed"] = aggregate.events_executed
+    bench_record(
+        "service-throughput",
+        config={"vectors": _VECTORS, "workers": _WORKERS, "seed": _SEED,
+                "transport": service.transport},
+        measured={"events_executed": aggregate.events_executed},
+    )
 
 
-def test_warm_service_beats_cold_sharding(benchmark):
+def test_warm_service_beats_cold_sharding(benchmark, bench_record):
     """The acceptance bar: warm per-vector time < cold sharded per-vector.
 
     "Cold" is PR 2's ``jobs > 1`` path exactly as a fresh caller pays
@@ -128,6 +134,14 @@ def test_warm_service_beats_cold_sharding(benchmark):
     benchmark.extra_info["transport"] = transport
     benchmark.extra_info["cold_per_vector_s"] = round(cold / _VECTORS, 8)
     benchmark.extra_info["warm_per_vector_s"] = round(warm / _VECTORS, 8)
+    bench_record(
+        "service-speedup-warm-vs-cold",
+        config={"vectors": _VECTORS, "workers": _WORKERS, "seed": _SEED,
+                "transport": transport},
+        measured={"cold_sharded_s": round(cold, 6),
+                  "warm_service_s": round(warm, 6),
+                  "speedup": round(speedup, 3)},
+    )
     assert speedup > 1.0, (
         "warm service per-vector time no better than cold sharding "
         "(cold %.4fs, warm %.4fs, %.2fx)" % (cold, warm, speedup)

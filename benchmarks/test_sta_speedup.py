@@ -50,7 +50,7 @@ def _best_s(fn, repeats: int = 3) -> float:
     return best
 
 
-def test_sta_analysis_throughput(benchmark):
+def test_sta_analysis_throughput(benchmark, bench_record):
     """Wall-clock of one full analysis (windows + 4 critical paths)."""
     netlist, _stimulus = _workload()
     config = ddm_config()
@@ -59,9 +59,14 @@ def test_sta_analysis_throughput(benchmark):
     assert report.windows
     benchmark.extra_info["nets"] = report.num_nets
     benchmark.extra_info["gates"] = report.num_gates
+    bench_record(
+        "sta-analysis-throughput",
+        config={"width": _WIDTH, "k_paths": 4},
+        measured={"nets": report.num_nets, "gates": report.num_gates},
+    )
 
 
-def test_sta_beats_one_compiled_simulation(benchmark):
+def test_sta_beats_one_compiled_simulation(benchmark, bench_record):
     """The gate: windows-only STA >= 10x faster than one simulation."""
     netlist, stimulus = _workload()
     config = ddm_config(record_traces=False)
@@ -101,6 +106,15 @@ def test_sta_beats_one_compiled_simulation(benchmark):
     benchmark.extra_info["sta_full_k4_s"] = round(full, 6)
     benchmark.extra_info["speedup"] = round(speedup, 2)
     benchmark.extra_info["min_speedup"] = _MIN_SPEEDUP
+    bench_record(
+        "sta-speedup-vs-simulation",
+        config={"width": _WIDTH, "vectors": _VECTORS, "seed": _SEED,
+                "min_speedup": _MIN_SPEEDUP},
+        measured={"compiled_simulation_s": round(simulation, 6),
+                  "sta_windows_only_s": round(windows_only, 6),
+                  "sta_full_k4_s": round(full, 6),
+                  "speedup": round(speedup, 2)},
+    )
     assert speedup >= _MIN_SPEEDUP, (
         "windows-only STA %.4fs vs one compiled simulation %.4fs: "
         "%.1fx < required %.1fx"

@@ -50,7 +50,7 @@ def _throughput_config():
     return ddm_config(record_traces=False)
 
 
-def test_vector_batch_throughput(benchmark):
+def test_vector_batch_throughput(benchmark, bench_record):
     """Wall-clock of the lockstep path, recorded into the trajectory."""
     netlist, stimuli = _workload()
     config = _throughput_config()
@@ -62,9 +62,15 @@ def test_vector_batch_throughput(benchmark):
     assert aggregate.events_executed > 0
     benchmark.extra_info["vectors"] = len(batch)
     benchmark.extra_info["events_executed"] = aggregate.events_executed
+    bench_record(
+        "vector-throughput",
+        config={"engine": "vector", "vectors": _VECTORS,
+                "steps": _STEPS, "seed": _SEED},
+        measured={"events_executed": aggregate.events_executed},
+    )
 
 
-def test_vector_batch_beats_sequential_compiled_runs(benchmark):
+def test_vector_batch_beats_sequential_compiled_runs(benchmark, bench_record):
     """The acceptance bar: one N-lane lockstep batch < N compiled runs
     (and < the compiled batched path, so lockstep itself is the win)."""
     netlist, stimuli = _workload()
@@ -127,6 +133,16 @@ def test_vector_batch_beats_sequential_compiled_runs(benchmark):
     )
     benchmark.extra_info["amortised_per_vector_s"] = round(
         vector / _VECTORS, 8
+    )
+    bench_record(
+        "vector-speedup",
+        config={"vectors": _VECTORS, "steps": _STEPS, "seed": _SEED},
+        measured={"sequential_compiled_s": round(sequential, 6),
+                  "compiled_batch_s": round(compiled_batch, 6),
+                  "vector_batch_s": round(vector, 6),
+                  "speedup_vs_sequential": round(sequential / vector, 3),
+                  "speedup_vs_compiled_batch": round(
+                      compiled_batch / vector, 3)},
     )
     assert sequential / vector > 1.0, (
         "lockstep batch no better than %d sequential compiled runs "

@@ -25,6 +25,9 @@ Subcommands:
   engine/throughput layer (``--jobs``, ``--pool-workers``,
   ``--connect``), and dependability-report rendering (see
   ``repro.faults``).
+* ``stats`` — query a running ``repro serve`` instance: human summary,
+  raw JSON (``--json``) or Prometheus text exposition
+  (``--prometheus``) of the server's metrics registry.
 * ``lint`` — electrical rule checks merged with the static hazard
   pass under one finding model; exits 2 on errors (and on warnings
   with ``--strict``).
@@ -101,6 +104,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "Inertial and Degradation Delay Model",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        default="warning",
+        help="logging threshold for the 'repro' logger tree on stderr "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log lines as JSON objects (one per line) instead of "
+        "human-readable text",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     experiment = commands.add_parser(
@@ -227,6 +241,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default=_CONFIG_DEFAULTS.server_queue_depth,
         help="per-netlist bound on queued+running vectors; overflow is "
         "refused with a 'busy' frame (default %(default)s)",
+    )
+
+    stats_cmd = commands.add_parser(
+        "stats",
+        help="query a running simulation server's stats and metrics "
+        "(see 'repro serve')",
+    )
+    stats_cmd.add_argument(
+        "--connect", metavar="HOST:PORT", required=True,
+        help="server address to query",
+    )
+    stats_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the raw stats frame (including the metrics snapshot) "
+        "as JSON",
+    )
+    stats_cmd.add_argument(
+        "--prometheus", action="store_true",
+        help="print the server's metrics registry in Prometheus text "
+        "exposition format instead of the summary",
     )
 
     sta = commands.add_parser(
@@ -748,6 +782,46 @@ def _cmd_simulate_remote(args, netlist, config) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    """The ``stats`` subcommand: observe a running serve instance."""
+    from .server.client import SimulationClient, parse_address
+
+    host, port = parse_address(args.connect)
+    with SimulationClient(host, port) as client:
+        if args.prometheus:
+            sys.stdout.write(client.metrics())
+            return 0
+        stats = client.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    table = Table(
+        ["quantity", "value"], title="server %s:%d" % (host, port)
+    )
+    table.add_row(["uptime (s)", "%.1f" % stats["uptime_seconds"]])
+    table.add_row(["vectors served", stats["vectors_served"]])
+    table.add_row(["busy rejections", stats["busy_rejections"]])
+    table.add_row(["bad frames", stats["bad_frames"]])
+    table.add_row([
+        "netlists",
+        "%d/%d" % (len(stats["netlists"]), stats["max_netlists"]),
+    ])
+    snapshot = stats.get("metrics")
+    table.add_row([
+        "metric families",
+        len(snapshot["metrics"]) if snapshot else "collection off",
+    ])
+    print(table.render())
+    for entry in stats["netlists"]:
+        print(
+            "- %s: engine=%s workers=%d pending=%d served=%d restarts=%d"
+            % (entry["name"], entry["engine"], entry["workers"],
+               entry["pending"], entry["vectors_served"],
+               entry["worker_restarts"])
+        )
+    return 0
+
+
 def _cmd_sta(args) -> int:
     """The ``sta`` subcommand: static windows + critical paths."""
     netlist = _load_circuit(args)
@@ -1017,11 +1091,16 @@ def _cmd_info(_args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    from .obs.log import configure_logging
+
+    configure_logging(level=args.log_level, json_mode=args.log_json)
     try:
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         if args.command == "sta":
             return _cmd_sta(args)
         if args.command == "lint":

@@ -144,6 +144,14 @@ class SimulationConfig:
             diffing a mutant trace against the golden run; 0.0 (the
             default) demands bit-identical edge times.  Values are
             always compared exactly.
+        collect_metrics: publish per-run counters, phase timings and
+            latency histograms to the process metrics registry
+            (:mod:`repro.obs`) and attach a ``metrics`` summary to
+            results.  Sampling is per run — never per event — so the
+            instrumented hot path stays within 5% of uninstrumented
+            (gated by ``benchmarks/test_obs_overhead.py``).  False
+            skips every observability touch; the registry's own
+            ``enabled`` switch gates publication process-wide too.
     """
 
     delay_mode: DelayMode = DelayMode.DDM
@@ -167,6 +175,7 @@ class SimulationConfig:
     campaign_workers: int = 2
     campaign_settle: float = 0.0
     campaign_detect_epsilon: float = 0.0
+    collect_metrics: bool = True
 
     def validate(self) -> None:
         """Raise ``ValueError`` for out-of-range settings.
@@ -226,6 +235,8 @@ class SimulationConfig:
             raise ValueError("campaign_settle must be non-negative")
         if self.campaign_detect_epsilon < 0.0:
             raise ValueError("campaign_detect_epsilon must be non-negative")
+        if self.collect_metrics not in (True, False):
+            raise ValueError("collect_metrics must be True or False")
 
     def with_mode(self, delay_mode: DelayMode) -> "SimulationConfig":
         """Return a copy differing only in ``delay_mode``.

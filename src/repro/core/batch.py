@@ -71,6 +71,12 @@ class BatchResult:
     jobs: int
     lowering_seconds: float
     wall_seconds: float
+    #: batch-level observability summary (vector count, throughput,
+    #: wall/lowering split), filled when ``config.collect_metrics`` and
+    #: the process metrics registry are enabled; None otherwise.
+    #: Deliberately cheap: no per-vector aggregation happens here (lazy
+    #: lane statistics stay lazy).
+    metrics: Optional[dict] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -302,13 +308,69 @@ def simulate_batch(
             jobs, chunk_size,
         )
 
-    return BatchResult(
+    batch = BatchResult(
         results=results,
         engine_kind=engine_kind,
         jobs=jobs,
         lowering_seconds=lowering_seconds,
         wall_seconds=_time.perf_counter() - wall_start,
     )
+    if config.collect_metrics:
+        _publish_batch_metrics(batch)
+    return batch
+
+
+def _publish_batch_metrics(batch: BatchResult, mode: Optional[str] = None) -> None:
+    """Batch-level throughput metrics, once per :func:`simulate_batch`.
+
+    Per-vector engine counters are published elsewhere (``run_stimulus``
+    per vector, or the lockstep drivers per batch); this layer only adds
+    what the batch alone knows: vector count, end-to-end wall clock and
+    the lowering split.  Labelled by engine and by shard mode so the
+    sharded path's overhead is separable.  ``mode`` overrides the
+    jobs-derived label — the warm service pool passes ``"service"``.
+    """
+    from ..obs import get_registry
+
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    if mode is None:
+        mode = "inprocess" if batch.jobs <= 1 else "sharded"
+    labels = {"engine": batch.engine_kind, "mode": mode}
+    registry.counter(
+        "halotis_batch_runs_total",
+        "Completed simulate_batch() calls.",
+        ("engine", "mode"),
+    ).inc(**labels)
+    registry.counter(
+        "halotis_batch_vectors_total",
+        "Stimulus vectors completed by simulate_batch().",
+        ("engine", "mode"),
+    ).inc(len(batch.results), **labels)
+    registry.histogram(
+        "halotis_batch_seconds",
+        "End-to-end wall time of one simulate_batch() call.",
+        ("engine", "mode"),
+    ).observe(batch.wall_seconds, **labels)
+    if batch.lowering_seconds:
+        registry.histogram(
+            "halotis_batch_lowering_seconds",
+            "Up-front netlist lowering time paid by one batch.",
+            ("engine",),
+        ).observe(batch.lowering_seconds, engine=batch.engine_kind)
+    batch.metrics = {
+        "engine": batch.engine_kind,
+        "mode": mode,
+        "vectors": len(batch.results),
+        "jobs": batch.jobs,
+        "wall_seconds": batch.wall_seconds,
+        "lowering_seconds": batch.lowering_seconds,
+        "vectors_per_second": (
+            len(batch.results) / batch.wall_seconds
+            if batch.wall_seconds > 0 else 0.0
+        ),
+    }
 
 
 def _verify_lockstep_results(

@@ -1237,6 +1237,44 @@ class _WordKernel:
         return packed
 
 
+def _mask_popcount(masks: Sequence[int]) -> int:
+    """Total set lanes across a recorded mask list."""
+    return sum(mask.bit_count() for mask in masks)
+
+
+def _publish_word_metrics(kernel: _WordKernel, wall: float) -> None:
+    """One word-lockstep batch's engine counters.
+
+    All totals come from the append-only mask logs the kernel already
+    keeps — one ``bit_count`` sweep per category, once per batch.  A
+    *wave* here is one executed word event; its lane count is the
+    word's popcount.  Degradation counters stay absent (CDM tier).
+    """
+    from ..obs import get_registry
+    from .engine import publish_engine_metrics
+
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    counts = {
+        "events_executed": _mask_popcount(kernel.executed_masks),
+        "events_scheduled": _mask_popcount(kernel.scheduled_masks),
+        "events_filtered": _mask_popcount(kernel.filtered_masks),
+        "late_events": _mask_popcount(kernel.late_masks),
+        "transitions_emitted": _mask_popcount(kernel.emitted_masks),
+        "source_transitions": _mask_popcount(kernel.source_masks),
+    }
+    publish_engine_metrics(
+        "bitparallel", counts, runs=kernel.lanes, run_seconds=wall,
+        phases={"lockstep": wall},
+        waves=(
+            kernel.word_events_executed,
+            _mask_popcount(kernel.executed_masks),
+        ),
+        registry=registry,
+    )
+
+
 # ----------------------------------------------------------------------
 # the lockstep batch driver
 # ----------------------------------------------------------------------
@@ -1304,6 +1342,8 @@ class _WordLockstepDriver:
         kernel.run_until(self.limit)
         kernel.run_until(None)
         wall = _time.perf_counter() - wall_start
+        if self.config.collect_metrics:
+            _publish_word_metrics(kernel, wall)
 
         lanes = kernel.lanes
         counts_view = _LaneCountsView(kernel)
@@ -1578,6 +1618,15 @@ class BitParallelSimulator(EngineBase):
         kernel = self._kernel
         kernel.execute(entry)
         self.now = kernel.now
+
+    def _wave_counters(self):
+        kernel = self._kernel
+        if kernel is None:
+            return None
+        return (
+            kernel.word_events_executed,
+            _mask_popcount(kernel.executed_masks),
+        )
 
     def _after_run(self) -> None:
         # Mirror lane 0 of the kernel's counters into the result-facing

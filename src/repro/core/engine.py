@@ -50,6 +50,7 @@ from ..circuit.logic import evaluate as evaluate_function
 from ..circuit.netlist import Net, Netlist
 from ..config import DelayMode, SimulationConfig
 from ..errors import SimulationError, SimulationLimitError, StimulusError
+from ..obs.timing import PhaseTimer as _PhaseTimer
 from . import inertial
 from .cdm import ConventionalDelayModel
 from .ddm import DegradationDelayModel
@@ -281,6 +282,17 @@ class EngineBase(abc.ABC):
 
     def _after_run(self) -> None:
         """Backend hook invoked after every ``run()``/``step()``."""
+
+    def _wave_counters(self) -> Optional[Tuple[int, int]]:
+        """``(waves, lanes)`` executed since the last ``initialize()``
+        by a lockstep kernel (None for scalar backends).
+
+        A *wave* is one vectorised execution step; *lanes* counts the
+        per-lane events it carried.  Read once per run by the metrics
+        publication in :func:`run_stimulus` — backends keep these as
+        plain ints so the hot path never touches a metric object.
+        """
+        return None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -680,6 +692,114 @@ class SimulationResult:
     stats: SimulationStatistics
     final_values: Dict[str, int]
     simulator: Optional[EngineBase]
+    #: per-run observability summary (phase breakdown, counter totals),
+    #: filled by :func:`run_stimulus` when ``config.collect_metrics``
+    #: and the process metrics registry are enabled; None otherwise.
+    #: Deliberately NOT part of SimulationStatistics: the parity suites
+    #: compare statistics field by field across engines and transports,
+    #: and wall-clock phase data is not bit-reproducible.
+    metrics: Optional[Dict[str, object]] = None
+
+
+# ----------------------------------------------------------------------
+# engine observability (docs/observability.md)
+# ----------------------------------------------------------------------
+#
+# Publication happens once per run (or once per lockstep batch), never
+# per event: the counters below are derived from the counters the
+# kernels already maintain, so the hot path is untouched and the
+# "instrumented within 5% of uninstrumented" gate
+# (benchmarks/test_obs_overhead.py) holds by construction.
+
+#: SimulationStatistics field -> (metric name, help).  One counter per
+#: kernel statistic, labelled by engine kind.
+_ENGINE_COUNTERS: Tuple[Tuple[str, str, str], ...] = (
+    ("events_executed", "halotis_engine_events_executed_total",
+     "Events popped and executed by the kernel."),
+    ("events_scheduled", "halotis_engine_events_scheduled_total",
+     "Events inserted into the queue (including later-cancelled ones)."),
+    ("events_filtered", "halotis_engine_events_filtered_total",
+     "Inertial-rule annihilations (one filtered runt pulse each)."),
+    ("late_events", "halotis_engine_late_events_total",
+     "Events rescheduled to the current time (predecessor already ran)."),
+    ("transitions_emitted", "halotis_engine_transitions_total",
+     "Output transitions emitted by gates."),
+    ("source_transitions", "halotis_engine_source_transitions_total",
+     "Stimulus transitions applied to primary inputs."),
+    ("transitions_degraded", "halotis_engine_transitions_degraded_total",
+     "Transitions whose degradation factor was < 1 (DDM eq. 1)."),
+    ("transitions_fully_degraded",
+     "halotis_engine_transitions_fully_degraded_total",
+     "Transitions emitted at min_delay because eq. 1 gave tp <= 0."),
+)
+
+
+def publish_engine_metrics(
+    engine_kind: str,
+    counts: Mapping[str, int],
+    runs: int = 1,
+    run_seconds: Optional[float] = None,
+    phases: Optional[Mapping[str, float]] = None,
+    waves: Optional[Tuple[int, int]] = None,
+    registry=None,
+) -> None:
+    """Publish one run's (or one lockstep batch's) engine counters.
+
+    ``counts`` maps :class:`SimulationStatistics` field names to totals;
+    ``waves`` is the ``(waves, lanes)`` pair of a lockstep kernel.  The
+    caller is responsible for the enabled check — this function always
+    publishes.  Shared by :func:`run_stimulus` and the vector /
+    bit-parallel lockstep drivers so the metric names cannot drift.
+    """
+    from ..obs import get_registry
+
+    if registry is None:
+        registry = get_registry()
+    registry.counter(
+        "halotis_engine_runs_total",
+        "Completed stimulus runs (lockstep batches count one per lane).",
+        ("engine",),
+    ).inc(runs, engine=engine_kind)
+    for field, name, help_text in _ENGINE_COUNTERS:
+        value = counts.get(field, 0)
+        if value:
+            registry.counter(name, help_text, ("engine",)).inc(
+                value, engine=engine_kind
+            )
+    if run_seconds is not None:
+        registry.histogram(
+            "halotis_engine_run_seconds",
+            "End-to-end wall time of one run (lockstep: whole batch).",
+            ("engine",),
+        ).observe(run_seconds, engine=engine_kind)
+    if phases:
+        histogram = registry.histogram(
+            "halotis_engine_phase_seconds",
+            "Per-simulate() phase wall time "
+            "(initialize/stimulus/settle/drain; lockstep for batches).",
+            ("engine", "phase"),
+        )
+        for phase, seconds in phases.items():
+            histogram.observe(seconds, engine=engine_kind, phase=phase)
+    if waves is not None:
+        registry.counter(
+            "halotis_lockstep_waves_total",
+            "Vectorised execution steps taken by lockstep kernels.",
+            ("engine",),
+        ).inc(waves[0], engine=engine_kind)
+        registry.counter(
+            "halotis_lockstep_lanes_total",
+            "Per-lane events carried by those waves.",
+            ("engine",),
+        ).inc(waves[1], engine=engine_kind)
+
+
+def _stat_counts(stats: SimulationStatistics) -> Dict[str, int]:
+    """The publishable scalar counters of one run's statistics."""
+    return {
+        field: getattr(stats, field) for field, _name, _help in
+        _ENGINE_COUNTERS
+    }
 
 
 def run_stimulus(
@@ -709,21 +829,54 @@ def run_stimulus(
         from ..faults.inject import run_faulted_stimulus
 
         return run_faulted_stimulus(simulator, stimulus, settle=settle, seed=seed)
+    collect = simulator.config.collect_metrics
+    if collect:
+        # One hook covers every execution path (simulate(), in-process
+        # batches, shard workers, service workers) — the same funnel the
+        # fault and STA-oracle hooks use.  All sampling is per *run*:
+        # a handful of perf_counter stamps plus one counter batch below,
+        # nothing per event (benchmarks/test_obs_overhead.py gates it).
+        from ..obs import get_registry
+
+        registry = get_registry()
+        collect = registry.enabled
+    timer = _PhaseTimer(enabled=collect)
     simulator.stats = SimulationStatistics()
-    simulator.initialize(stimulus.initial_values(simulator.netlist), seed=seed)
+    with timer.phase("initialize"):
+        simulator.initialize(
+            stimulus.initial_values(simulator.netlist), seed=seed
+        )
     changes: Iterable[Tuple[float, Mapping[str, int], Optional[float]]]
     changes = stimulus.iter_changes()
-    for at_time, assignments, slew in changes:
-        simulator.run(until=at_time)
-        simulator.apply_word(assignments, at_time, slew)
-    simulator.run(until=stimulus.horizon + settle)
-    simulator.run()  # drain any events scheduled past the horizon
+    with timer.phase("stimulus"):
+        for at_time, assignments, slew in changes:
+            simulator.run(until=at_time)
+            simulator.apply_word(assignments, at_time, slew)
+    with timer.phase("settle"):
+        simulator.run(until=stimulus.horizon + settle)
+    with timer.phase("drain"):
+        simulator.run()  # drain any events scheduled past the horizon
     result = SimulationResult(
         traces=simulator.traces,
         stats=simulator.stats,
         final_values=simulator.values(),
         simulator=simulator,
     )
+    if collect:
+        counts = _stat_counts(result.stats)
+        phases = timer.phases()
+        wall = timer.elapsed()
+        publish_engine_metrics(
+            simulator.kind, counts, runs=1, run_seconds=wall,
+            phases=phases, waves=simulator._wave_counters(),
+            registry=registry,
+        )
+        result.metrics = {
+            "engine": simulator.kind,
+            "wall_seconds": wall,
+            "phases": phases,
+            "counters": counts,
+        }
     if simulator.config.check_sta_bounds:
         # Every execution path funnels through here — simulate(),
         # in-process batches, shard workers and service workers (the

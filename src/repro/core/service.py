@@ -53,7 +53,9 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 from ..circuit.netlist import Netlist
 from ..config import SimulationConfig
 from ..errors import ServiceError, SimulationError
-from .batch import BatchResult
+from ..obs.log import get_logger
+from ..obs.registry import MetricsRegistry, get_registry
+from .batch import BatchResult, _publish_batch_metrics
 from .engine import (
     ENGINE_KINDS,
     SimulationResult,
@@ -75,6 +77,68 @@ _POLL_SECONDS = 0.05
 
 #: Distinguishes the shm buffers of multiple services in one process.
 _SERVICE_SEQ = itertools.count()
+
+_LOG = get_logger("service")
+
+#: Chunk sizes are small integers, not latencies; bucket accordingly.
+_CHUNK_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class _ServiceMetrics:
+    """Parent-side instrument handles, resolved once per service.
+
+    Only constructed when ``config.collect_metrics`` is on and the
+    process registry is enabled; every call site guards on
+    ``self._metrics is not None`` so a disabled service pays a single
+    attribute test per event, never a metric lookup.
+    """
+
+    __slots__ = (
+        "registry", "tasks", "task_seconds", "queue_wait",
+        "chunk_vectors", "restarts", "requeued", "exhausted",
+        "shm_fallbacks",
+    )
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.tasks = registry.counter(
+            "halotis_service_tasks_total",
+            "Dispatched service chunks by outcome "
+            "(ok/error/requeued/exhausted).",
+            ("outcome",),
+        )
+        self.task_seconds = registry.histogram(
+            "halotis_service_task_seconds",
+            "Dispatch-to-result latency of one service chunk.",
+            ("outcome",),
+        )
+        self.queue_wait = registry.histogram(
+            "halotis_service_queue_wait_seconds",
+            "Time a chunk waited in the pending queue before dispatch.",
+        )
+        self.chunk_vectors = registry.histogram(
+            "halotis_service_chunk_vectors",
+            "Vectors per dispatched service chunk.",
+            buckets=_CHUNK_BUCKETS,
+        )
+        self.restarts = registry.counter(
+            "halotis_service_worker_restarts_total",
+            "Workers respawned after a crash.",
+        )
+        self.requeued = registry.counter(
+            "halotis_service_tasks_requeued_total",
+            "In-flight vectors requeued because their worker died.",
+        )
+        self.exhausted = registry.counter(
+            "halotis_service_retries_exhausted_total",
+            "Chunks that failed their job after exhausting the "
+            "crash-retry budget.",
+        )
+        self.shm_fallbacks = registry.counter(
+            "halotis_service_shm_fallbacks_total",
+            "Services that fell back from shared-memory to pickle "
+            "transport because the platform lacks shm.",
+        )
 
 
 def _shm_available() -> bool:
@@ -143,11 +207,16 @@ def _worker_main(
     Tasks are ``(generation, job_id, indices, stimuli, settle, seed)``
     tuples — one *chunk* of a batch, ``indices`` and ``stimuli`` running
     in parallel (length 1 unless the submitter chunked); ``None`` is the
-    shutdown pill.  Each chunk answers with exactly one message:
+    shutdown pill.  Each chunk answers with exactly one message (``snap``
+    is the worker registry's ``snapshot(reset=True)`` metrics delta, or
+    None when metrics collection is off):
 
-    * ``("shm", worker_id, generation, job_id, indices, segment, metas)``
-    * ``("pickle", worker_id, generation, job_id, indices, results)``
-    * ``("error", worker_id, generation, job_id, index, type_name, text)``
+    * ``("shm", worker_id, generation, job_id, indices, segment, metas,
+      snap)``
+    * ``("pickle", worker_id, generation, job_id, indices, results,
+      snap)``
+    * ``("error", worker_id, generation, job_id, index, type_name, text,
+      snap)``
 
     One message per chunk keeps the single shm buffer safe to reuse (the
     parent reads it before this worker gets its next task) and is the
@@ -162,6 +231,19 @@ def _worker_main(
         netlist, config=config, queue_kind=queue_kind, engine_kind=engine_kind
     )
     buffer = _WorkerShmBuffer(shm_base) if transport == "shm" else None
+    # Engine metrics published by run_stimulus land in this worker's own
+    # process-local registry; each result message carries the delta since
+    # the previous one (snapshot(reset=True)), which the parent folds
+    # into its registry — additive merge, so message order is irrelevant.
+    worker_registry = get_registry() if config.collect_metrics else None
+    if worker_registry is not None and not worker_registry.enabled:
+        worker_registry = None
+
+    def _snap():
+        if worker_registry is None:
+            return None
+        return worker_registry.snapshot(reset=True)
+
     try:
         while True:
             task = task_queue.get()
@@ -180,6 +262,7 @@ def _worker_main(
                         "error", worker_id, generation, job_id, index,
                         type(error).__name__,
                         "%s\n%s" % (error, _traceback.format_exc()),
+                        _snap(),
                     ))
                     failed = True
                     break
@@ -187,6 +270,11 @@ def _worker_main(
                 continue
             for result in results:
                 result.simulator = None
+                # Strip the per-result metrics annotation: the registry
+                # snapshot below carries the aggregates, and the two
+                # transports must return bit-identical results (shm
+                # packing would drop the dict; pickle would not).
+                result.metrics = None
             if buffer is not None:
                 payloads = []
                 metas = []
@@ -197,11 +285,12 @@ def _worker_main(
                 segment = buffer.write(b"".join(payloads))
                 result_queue.put((
                     "shm", worker_id, generation, job_id, indices,
-                    segment, metas,
+                    segment, metas, _snap(),
                 ))
             else:
                 result_queue.put((
-                    "pickle", worker_id, generation, job_id, indices, results
+                    "pickle", worker_id, generation, job_id, indices,
+                    results, _snap(),
                 ))
     finally:
         if buffer is not None:
@@ -217,7 +306,8 @@ class _Task:
     with its crash-retry accounting.  ``indices`` and ``stimuli`` run in
     parallel; both have length 1 unless the batch was chunked."""
 
-    __slots__ = ("job_id", "indices", "stimuli", "settle", "seed", "attempts")
+    __slots__ = ("job_id", "indices", "stimuli", "settle", "seed",
+                 "attempts", "submitted_at", "dispatched_at")
 
     def __init__(self, job_id, indices, stimuli, settle, seed):
         self.job_id = job_id
@@ -226,6 +316,10 @@ class _Task:
         self.settle = settle
         self.seed = seed
         self.attempts = 0
+        #: perf_counter stamps for the queue-wait / task-latency
+        #: histograms; None while metrics collection is off.
+        self.submitted_at: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
 
 
 class _Worker:
@@ -373,6 +467,24 @@ class SimulationService:
         #: in-flight vectors requeued because their worker died.
         self.tasks_requeued = 0
 
+        registry = get_registry()
+        self._metrics: Optional[_ServiceMetrics] = (
+            _ServiceMetrics(registry)
+            if self.config.collect_metrics and registry.enabled
+            else None
+        )
+        if shm_transport and self.transport == "pickle":
+            # Requested shared memory, got pickle: not an error (results
+            # are bit-identical) but an operational surprise worth a
+            # counter and a log line — the per-result copy cost differs.
+            if self._metrics is not None:
+                self._metrics.shm_fallbacks.inc()
+            _LOG.warning(
+                "shared-memory transport unavailable; falling back to "
+                "pickle",
+                extra={"engine_kind": self.engine_kind},
+            )
+
         # Fail before spawning anything — an unknown kind, or a backend
         # whose optional dependency is missing (the vector engine
         # without numpy), must raise here with the canonical message,
@@ -506,12 +618,15 @@ class SimulationService:
         job = BatchJob(self, job_id, len(stimuli))
         self._jobs[job_id] = job
         seed = dict(seed) if seed else None
+        submitted_at = (
+            _time.perf_counter() if self._metrics is not None else None
+        )
         for start in range(0, len(stimuli), chunk):
             indices = list(range(start, min(start + chunk, len(stimuli))))
-            self._pending.append(
-                _Task(job_id, indices, stimuli[start:start + chunk],
-                      settle, seed)
-            )
+            task = _Task(job_id, indices, stimuli[start:start + chunk],
+                         settle, seed)
+            task.submitted_at = submitted_at
+            self._pending.append(task)
         self._dispatch()
         return job
 
@@ -531,13 +646,16 @@ class SimulationService:
         lowering = self.lowering_seconds
         self.lowering_seconds = 0.0
         results = self.submit_batch(stimuli, settle=settle, seed=seed).wait()
-        return BatchResult(
+        batch = BatchResult(
             results=results,
             engine_kind=self.engine_kind,
             jobs=self.workers,
             lowering_seconds=lowering,
             wall_seconds=_time.perf_counter() - wall_start,
         )
+        if self._metrics is not None:
+            _publish_batch_metrics(batch, mode="service")
+        return batch
 
     # -- the pump ------------------------------------------------------
 
@@ -571,6 +689,12 @@ class SimulationService:
             if task is None:
                 break
             worker.current = task
+            if self._metrics is not None:
+                now = _time.perf_counter()
+                task.dispatched_at = now
+                if task.submitted_at is not None:
+                    self._metrics.queue_wait.observe(now - task.submitted_at)
+                self._metrics.chunk_vectors.observe(float(len(task.indices)))
             worker.task_queue.put((
                 worker.generation, task.job_id, task.indices,
                 task.stimuli, task.settle, task.seed,
@@ -588,6 +712,10 @@ class SimulationService:
     def _handle_message(self, message) -> None:
         kind, worker_id, generation = message[0], message[1], message[2]
         worker = self._workers[worker_id]
+        # Every message carries the worker's metrics delta as its last
+        # element; fold it in even for ghosts — the simulation work the
+        # delta describes really ran, whichever copy of the task wins.
+        self._merge_worker_snapshot(message[-1])
         if generation != worker.generation:
             # A ghost: the worker finished a task after we declared it
             # dead and requeued the work.  The requeued copy is (or will
@@ -605,6 +733,14 @@ class SimulationService:
             task = worker.current
             if task is not None and task.job_id == job_id and index in task.indices:
                 worker.current = None
+                self._observe_task(task, "error")
+            _LOG.warning(
+                "vector failed in worker",
+                extra={
+                    "worker_id": worker_id, "job_id": job_id,
+                    "index": index, "error_type": type_name,
+                },
+            )
             if job is not None:
                 job._fail(ServiceError(
                     "vector %d failed in worker %d: %s: %s"
@@ -616,6 +752,7 @@ class SimulationService:
         task = worker.current
         if task is not None and (task.job_id, task.indices) == (job_id, indices):
             worker.current = None
+            self._observe_task(task, "ok")
         if kind == "shm":
             segment, metas = message[5], message[6]
             if worker.last_segment not in (None, segment):
@@ -660,6 +797,29 @@ class SimulationService:
             offset += nbytes
         return results
 
+    # -- metrics plumbing ----------------------------------------------
+
+    def _merge_worker_snapshot(self, snap) -> None:
+        """Fold one worker's metrics delta into the parent registry."""
+        if snap is None or self._metrics is None:
+            return
+        try:
+            self._metrics.registry.merge_snapshot(snap)
+        except (ValueError, KeyError, TypeError):
+            # A malformed or incompatible delta must never fail the
+            # simulation result it rode in on.
+            _LOG.warning("dropping unmergeable worker metrics snapshot")
+
+    def _observe_task(self, task: _Task, outcome: str) -> None:
+        """Account one finished dispatch (latency + outcome counter)."""
+        if self._metrics is None:
+            return
+        self._metrics.tasks.inc(outcome=outcome)
+        if task.dispatched_at is not None:
+            self._metrics.task_seconds.observe(
+                _time.perf_counter() - task.dispatched_at, outcome=outcome
+            )
+
     # -- failure handling ----------------------------------------------
 
     def _reap_dead_workers(self) -> None:
@@ -676,6 +836,16 @@ class SimulationService:
         dead.task_queue.close()
         self._unlink_worker_segments(worker_id, dead)
         self.worker_restarts += 1
+        if self._metrics is not None:
+            self._metrics.restarts.inc()
+        _LOG.warning(
+            "worker died; respawning",
+            extra={
+                "worker_id": worker_id,
+                "exitcode": dead.process.exitcode,
+                "generation": dead.generation,
+            },
+        )
         replacement = self._spawn_worker(
             worker_id, generation=dead.generation + 1
         )
@@ -686,6 +856,17 @@ class SimulationService:
         task.attempts += 1
         job = self._jobs.get(task.job_id)
         if task.attempts > self.max_task_retries:
+            if self._metrics is not None:
+                self._metrics.exhausted.inc()
+            self._observe_task(task, "exhausted")
+            _LOG.error(
+                "crash-retry budget exhausted; failing job",
+                extra={
+                    "worker_id": worker_id, "job_id": task.job_id,
+                    "index": task.indices[0], "attempts": task.attempts,
+                    "max_task_retries": self.max_task_retries,
+                },
+            )
             if job is not None:
                 job._fail(ServiceError(
                     "vector %d crashed its worker %d times "
@@ -695,6 +876,16 @@ class SimulationService:
                 self._jobs.pop(task.job_id, None)
             return
         self.tasks_requeued += len(task.indices)
+        if self._metrics is not None:
+            self._metrics.requeued.inc(len(task.indices))
+        self._observe_task(task, "requeued")
+        _LOG.warning(
+            "requeueing in-flight chunk after worker crash",
+            extra={
+                "worker_id": worker_id, "job_id": task.job_id,
+                "indices": task.indices, "attempts": task.attempts,
+            },
+        )
         self._pending.appendleft(task)
 
     def _unlink_worker_segments(self, worker_id: int, dead: "_Worker") -> None:

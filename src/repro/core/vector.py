@@ -289,6 +289,10 @@ class _VectorKernel:
         self.pool = _EventPool()
         self.heaps: List[list] = [[] for _ in range(lanes)]
         self.toggles_dirty = False
+        # Observability: plain ints bumped once per wave (two adds; the
+        # registry is only touched after the run — docs/observability.md).
+        self.waves_executed = 0
+        self.lanes_executed = 0
         #: per lane: NetTrace list indexed by net id (None = not recording).
         self.trace_lists: List[Optional[list]] = [None] * lanes
         #: per lane: destination for FilteredEventRecords.
@@ -410,6 +414,8 @@ class _VectorKernel:
         for heap in self.heaps:
             heap.clear()
         self.toggles_dirty = False
+        self.waves_executed = 0
+        self.lanes_executed = 0
 
     # -- per-lane queue primitives -------------------------------------
 
@@ -457,6 +463,8 @@ class _VectorKernel:
         sequence per lane.  Thin waves fall through to the scalar
         per-event twin (same arithmetic, cheaper dispatch).
         """
+        self.waves_executed += 1
+        self.lanes_executed += int(lanes.size)
         if lanes.size <= _SCALAR_WAVE_CUTOFF:
             for lane, eid in zip(lanes.tolist(), eids.tolist()):
                 self.execute_scalar(lane, eid)
@@ -1015,6 +1023,39 @@ class _VectorKernel:
         )
 
 
+def _publish_lockstep_metrics(kernel: "_VectorKernel", wall: float) -> None:
+    """One batch's engine counters from the kernel's per-lane arrays.
+
+    Summing the numpy columns here (once per batch) keeps the wave loop
+    free of any observability work; lockstep bypasses ``run_stimulus``,
+    so this is its twin of that function's post-run publication.
+    """
+    from ..obs import get_registry
+    from .engine import publish_engine_metrics
+
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    counts = {
+        "events_executed": int(kernel.events_executed.sum()),
+        "events_scheduled": int(kernel.events_scheduled.sum()),
+        "events_filtered": int(kernel.events_filtered.sum()),
+        "late_events": int(kernel.late_events.sum()),
+        "transitions_emitted": int(kernel.transitions_emitted.sum()),
+        "source_transitions": int(kernel.source_transitions.sum()),
+        "transitions_degraded": int(kernel.transitions_degraded.sum()),
+        "transitions_fully_degraded": int(
+            kernel.transitions_fully_degraded.sum()
+        ),
+    }
+    publish_engine_metrics(
+        "vector", counts, runs=kernel.lanes, run_seconds=wall,
+        phases={"lockstep": wall},
+        waves=(kernel.waves_executed, kernel.lanes_executed),
+        registry=registry,
+    )
+
+
 # ----------------------------------------------------------------------
 # lockstep batch driver
 # ----------------------------------------------------------------------
@@ -1121,6 +1162,8 @@ class _LockstepDriver:
                 _np.array(wave_eids, _np.int64),
             )
         wall = _time.perf_counter() - wall_start
+        if self.config.collect_metrics:
+            _publish_lockstep_metrics(kernel, wall)
 
         results = []
         for lane in range(lanes):
@@ -1454,6 +1497,12 @@ class VectorSimulator(EngineBase):
         kernel = self._kernel
         kernel.execute_wave(self._lane0, _np.array([eid], _np.int64))
         self.now = float(kernel.now[0])
+
+    def _wave_counters(self):
+        kernel = self._kernel
+        if kernel is None:
+            return None
+        return (kernel.waves_executed, kernel.lanes_executed)
 
     def _after_run(self) -> None:
         # Mirror the kernel's per-lane counters into the result-facing

@@ -1,0 +1,132 @@
+"""Phase timers and a ``@timed`` decorator for hot-path-safe sampling.
+
+The discipline enforced across the codebase: time is *sampled* with
+``perf_counter()`` stamps at phase boundaries and *published* once per
+run/task/request.  Nothing here belongs inside a per-event loop.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
+
+from .registry import Histogram, MetricsRegistry, get_registry
+
+__all__ = ["PhaseTimer", "timed"]
+
+F = TypeVar("F", bound=Callable)
+
+
+class PhaseTimer:
+    """Accumulates named phase durations across one logical operation.
+
+    Usage::
+
+        timer = PhaseTimer(enabled=config.collect_metrics)
+        with timer.phase("initialize"):
+            ...
+        with timer.phase("stimulus"):
+            ...
+        timer.publish(histogram, engine=kind)   # one observe per phase
+
+    When disabled, ``phase()`` returns a shared no-op context manager
+    and the whole object costs two attribute checks per phase — cheap
+    enough to leave in the compiled hot path unconditionally.
+    """
+
+    __slots__ = ("enabled", "_phases", "_started")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._phases: List[Tuple[str, float]] = []
+        self._started = time.perf_counter() if enabled else 0.0
+
+    def phase(self, name: str) -> "_Phase":
+        if not self.enabled:
+            return _NOOP_PHASE
+        return _Phase(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        if self.enabled:
+            self._phases.append((name, seconds))
+
+    def elapsed(self) -> float:
+        if not self.enabled:
+            return 0.0
+        return time.perf_counter() - self._started
+
+    def phases(self) -> Dict[str, float]:
+        """Phase name -> accumulated seconds (same-name phases sum)."""
+        out: Dict[str, float] = {}
+        for name, seconds in self._phases:
+            out[name] = out.get(name, 0.0) + seconds
+        return out
+
+    def publish(self, histogram: Histogram, **labels: str) -> None:
+        """One ``observe`` per distinct phase, labelled ``phase=<name>``
+        on top of the caller's labels."""
+        if not self.enabled:
+            return
+        for name, seconds in self.phases().items():
+            histogram.observe(seconds, phase=name, **labels)
+
+
+class _Phase:
+    __slots__ = ("_timer", "_name", "_t0")
+
+    def __init__(self, timer: Optional[PhaseTimer], name: str = ""):
+        self._timer = timer
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Phase":
+        if self._timer is not None:
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._timer is not None:
+            self._timer.record(self._name, time.perf_counter() - self._t0)
+
+
+_NOOP_PHASE = _Phase(None)
+
+
+def timed(
+    name: str,
+    help_text: str = "",
+    registry: Optional[MetricsRegistry] = None,
+    **labels: str,
+) -> Callable[[F], F]:
+    """Decorator: observe the wrapped call's wall time into a histogram.
+
+    The histogram is resolved lazily on first call (so decorating at
+    import time never races registry setup) and the labels are fixed at
+    decoration time — use it on coarse operations (a CLI subcommand, a
+    maintenance sweep), never inside per-event code.
+    """
+
+    def decorate(func: F) -> F:
+        holder: List[Histogram] = []
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            target = registry if registry is not None else get_registry()
+            if not target.enabled:
+                return func(*args, **kwargs)
+            if not holder:
+                holder.append(
+                    target.histogram(
+                        name, help_text, label_names=tuple(sorted(labels))
+                    )
+                )
+            t0 = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                holder[0].observe(time.perf_counter() - t0, **labels)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

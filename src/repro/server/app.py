@@ -16,7 +16,8 @@ Because each frame is served by its own task, responses come back in
 **completion order**, not submission order — a client that pipelines
 requests (several in flight on one connection) matches responses by
 ``id``.  Ops: ``ping``, ``register``, ``unregister``, ``list``,
-``simulate``, ``batch``, ``stats``, ``shutdown``.
+``simulate``, ``batch``, ``sta``, ``faults``, ``stats``, ``metrics``,
+``shutdown``.
 
 Execution model: the event loop never simulates.  Each registered
 netlist (see :class:`~repro.server.registry.NetlistRegistry`) owns a
@@ -49,7 +50,12 @@ from ..errors import (
     StimulusError,
 )
 from ..io_formats import jsonl_protocol
+from ..obs.log import get_logger
+from ..obs.prometheus import render
+from ..obs.registry import MetricsRegistry, get_registry
 from .registry import NetlistEntry, NetlistRegistry
+
+_LOG = get_logger("server")
 
 #: How long graceful shutdown waits for in-flight frames/connections.
 _DRAIN_SECONDS = 10.0
@@ -74,6 +80,67 @@ def _error_kind(error: BaseException) -> str:
     if isinstance(error, ReproError):
         return "error"
     return "internal"
+
+
+class _ServerMetrics:
+    """The server's instrument handles, resolved once at construction.
+
+    Built only when ``config.collect_metrics`` is on and the process
+    registry is enabled; every call site guards on
+    ``self._metrics is not None``.  Label budgets are structurally
+    bounded — ``op`` comes from the fixed op table (anything else is
+    folded to ``(invalid)``), ``kind`` from the closed error-kind set,
+    ``netlist`` by the registry's ``max_netlists`` cap.
+    """
+
+    __slots__ = (
+        "registry", "requests", "request_seconds", "inflight",
+        "connections", "open_connections", "busy", "bad_frames",
+        "errors", "vectors",
+    )
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.requests = registry.counter(
+            "halotis_server_requests_total",
+            "Request frames served, by op and ok/error status.",
+            ("op", "status"),
+        )
+        self.request_seconds = registry.histogram(
+            "halotis_server_request_seconds",
+            "Frame-decode-to-response latency of one request, by op.",
+            ("op",),
+        )
+        self.inflight = registry.gauge(
+            "halotis_server_inflight_requests",
+            "Request frames currently being served.",
+        )
+        self.connections = registry.counter(
+            "halotis_server_connections_total",
+            "Client connections accepted over the server's lifetime.",
+        )
+        self.open_connections = registry.gauge(
+            "halotis_server_open_connections",
+            "Client connections currently open.",
+        )
+        self.busy = registry.counter(
+            "halotis_server_busy_rejections_total",
+            "Requests refused with a busy frame (backpressure).",
+        )
+        self.bad_frames = registry.counter(
+            "halotis_server_bad_frames_total",
+            "Frames that failed to parse or named an unknown op.",
+        )
+        self.errors = registry.counter(
+            "halotis_server_errors_total",
+            "Error response frames, by wire error kind.",
+            ("kind",),
+        )
+        self.vectors = registry.counter(
+            "halotis_server_vectors_total",
+            "Stimulus vectors completed, by netlist.",
+            ("netlist",),
+        )
 
 
 class SimulationServer:
@@ -129,6 +196,12 @@ class SimulationServer:
                 else self.config.server_queue_depth
             ),
             default_config=self.config,
+        )
+        registry = get_registry()
+        self._metrics: Optional[_ServerMetrics] = (
+            _ServerMetrics(registry)
+            if self.config.collect_metrics and registry.enabled
+            else None
         )
         #: vectors completed across all netlists (monitoring surface).
         self.vectors_served = 0
@@ -294,6 +367,13 @@ class SimulationServer:
             except OSError:  # pragma: no cover - transport without TCP
                 pass
         self._connections.add(writer)
+        if self._metrics is not None:
+            self._metrics.connections.inc()
+            self._metrics.open_connections.inc()
+        _LOG.debug(
+            "connection opened",
+            extra={"peer": str(writer.get_extra_info("peername"))},
+        )
         write_lock = asyncio.Lock()
         frame_tasks: Set[asyncio.Task] = set()
         try:
@@ -313,6 +393,8 @@ class SimulationServer:
                         },
                     })
                     self.bad_frames += 1
+                    if self._metrics is not None:
+                        self._metrics.bad_frames.inc()
                     break
                 except ConnectionError:
                     break
@@ -339,6 +421,12 @@ class SimulationServer:
                 await asyncio.gather(*frame_tasks, return_exceptions=True)
             self._close_writer(writer)
             self._connections.discard(writer)
+            if self._metrics is not None:
+                self._metrics.open_connections.dec()
+            _LOG.debug(
+                "connection closed",
+                extra={"peer": str(writer.get_extra_info("peername"))},
+            )
 
     async def _serve_frame(
         self,
@@ -348,6 +436,10 @@ class SimulationServer:
     ) -> None:
         frame_id: object = None
         op: object = None
+        metrics = self._metrics
+        start = time.perf_counter()
+        if metrics is not None:
+            metrics.inflight.inc()
         try:
             try:
                 frame = json.loads(line)
@@ -375,12 +467,34 @@ class SimulationServer:
             kind = _error_kind(error)
             if kind in ("bad-frame", "bad-op"):
                 self.bad_frames += 1
+                if metrics is not None:
+                    metrics.bad_frames.inc()
+            if kind == "internal":
+                _LOG.error(
+                    "internal error serving frame",
+                    extra={
+                        "op": op if isinstance(op, str) else None,
+                        "error_type": type(error).__name__,
+                    },
+                )
             response = {
                 "id": frame_id,
                 "ok": False,
                 "op": op if isinstance(op, str) else None,
                 "error": {"kind": kind, "message": str(error)},
             }
+        if metrics is not None:
+            metrics.inflight.dec()
+            # Clamp the op label to the fixed op table: the label set
+            # must not grow with whatever strings clients send.
+            op_label = op if isinstance(op, str) and op in self._OPS else "(invalid)"
+            ok = bool(response.get("ok"))
+            metrics.requests.inc(op=op_label, status="ok" if ok else "error")
+            metrics.request_seconds.observe(
+                time.perf_counter() - start, op=op_label
+            )
+            if not ok:
+                metrics.errors.inc(kind=str(response["error"]["kind"]))
         try:
             await self._write_frame(writer, write_lock, response)
         finally:
@@ -430,6 +544,16 @@ class SimulationServer:
         count = len(stimuli)
         if entry.pending and entry.pending + count > self.registry.queue_depth:
             self.busy_rejections += 1
+            if self._metrics is not None:
+                self._metrics.busy.inc()
+            _LOG.warning(
+                "rejecting request with busy frame",
+                extra={
+                    "netlist": entry.name, "pending": entry.pending,
+                    "vectors": count,
+                    "queue_depth": self.registry.queue_depth,
+                },
+            )
             raise ServerError(
                 "netlist %r is busy: %d vector(s) pending, queue depth %d "
                 "(retry, or raise --queue-depth)"
@@ -449,6 +573,8 @@ class SimulationServer:
             entry.pending -= count
         entry.vectors_served += count
         self.vectors_served += count
+        if self._metrics is not None:
+            self._metrics.vectors.inc(count, netlist=entry.name)
         return payload
 
     def _encode_result(
@@ -519,7 +645,24 @@ class SimulationServer:
             "max_netlists": self.registry.max_netlists,
             "queue_depth": self.registry.queue_depth,
             "netlists": self.registry.describe(),
+            "metrics": (
+                None if self._metrics is None
+                else self._metrics.registry.snapshot()
+            ),
         }
+
+    async def _op_metrics(self, _frame: dict) -> Dict[str, object]:
+        """Prometheus text exposition of the server's metrics registry.
+
+        The registry is process-wide, so the text covers every layer
+        living in the server process: request/connection metrics, each
+        netlist's warm-pool service metrics, and the engine counters the
+        workers ship back.  ``enabled`` is False (with empty text) when
+        the server runs with ``collect_metrics`` off.
+        """
+        if self._metrics is None:
+            return {"text": "", "enabled": False}
+        return {"text": render(self._metrics.registry), "enabled": True}
 
     async def _op_simulate(self, frame: dict) -> Dict[str, object]:
         entry = self.registry.get(str(frame.get("netlist", "")))
@@ -659,6 +802,7 @@ class SimulationServer:
         "unregister": _op_unregister,
         "list": _op_list,
         "stats": _op_stats,
+        "metrics": _op_metrics,
         "simulate": _op_simulate,
         "batch": _op_batch,
         "sta": _op_sta,

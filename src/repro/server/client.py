@@ -336,6 +336,14 @@ class SimulationClient:
     def stats(self) -> dict:
         return self.call("stats")  # type: ignore[return-value]
 
+    def metrics(self) -> str:
+        """The server's metrics in Prometheus text exposition format.
+
+        Empty when the server runs with ``collect_metrics`` off.
+        """
+        payload = self.call("metrics")
+        return payload["text"]  # type: ignore[index]
+
     def shutdown(self) -> dict:
         """Ask the server to stop (it finishes in-flight work first)."""
         return self.call("shutdown")  # type: ignore[return-value]

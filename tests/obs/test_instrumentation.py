@@ -1,0 +1,341 @@
+"""End-to-end instrumentation: engine, batch, service, server, CLI.
+
+The layers under test all publish to the *process-default* registry, so
+every assertion here works on deltas: drain the registry with
+``snapshot(reset=True)``, do the work, read the delta.  Presence and
+exact counts are pinned where the layer controls them (runs, vectors,
+task outcomes); wall-clock figures are only required to be positive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.config import ddm_config
+from repro.core.batch import simulate_batch
+from repro.core.engine import simulate
+from repro.core.service import SimulationService
+from repro.obs.prometheus import parse_text
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.stimuli.patterns import random_vector_batch, random_vectors
+
+
+def _drain():
+    get_registry().snapshot(reset=True)
+
+
+def _delta():
+    """Drain the default registry into an inspectable throwaway."""
+    inspect = MetricsRegistry()
+    inspect.merge_snapshot(get_registry().snapshot(reset=True))
+    return inspect
+
+
+def _stimulus(netlist, count=3, seed=11):
+    return random_vectors(
+        [net.name for net in netlist.primary_inputs],
+        count=count, period=5.0, seed=seed,
+    )
+
+
+def _stimuli(netlist, batch=6, seed=11):
+    return random_vector_batch(
+        [net.name for net in netlist.primary_inputs],
+        batch=batch, count=2, period=2.0, base_seed=seed, tail=2.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# engine layer
+# ----------------------------------------------------------------------
+
+def test_simulate_publishes_engine_metrics(c17):
+    config = ddm_config()
+    _drain()
+    result = simulate(
+        c17, _stimulus(c17), config=config, engine_kind="compiled"
+    )
+    delta = _delta()
+    assert delta.get("halotis_engine_runs_total").value(engine="compiled") == 1
+    executed = delta.get("halotis_engine_events_executed_total")
+    assert executed.value(engine="compiled") == result.stats.events_executed
+    run_seconds = delta.get("halotis_engine_run_seconds")
+    assert run_seconds.cumulative_counts(engine="compiled")[-1] == 1
+    phases = delta.get("halotis_engine_phase_seconds")
+    observed_phases = {key[1] for key in phases.series()}
+    assert {"initialize", "stimulus", "settle", "drain"} <= observed_phases
+
+
+def test_simulate_result_carries_metrics(c17):
+    result = simulate(
+        c17, _stimulus(c17), config=ddm_config(), engine_kind="compiled"
+    )
+    metrics = result.metrics
+    assert metrics["engine"] == "compiled"
+    assert metrics["wall_seconds"] > 0
+    assert metrics["counters"]["events_executed"] == (
+        result.stats.events_executed
+    )
+    assert set(metrics["phases"]) == {
+        "initialize", "stimulus", "settle", "drain",
+    }
+
+
+def test_collect_metrics_off_is_silent(c17):
+    config = ddm_config(collect_metrics=False)
+    _drain()
+    result = simulate(
+        c17, _stimulus(c17), config=config, engine_kind="compiled"
+    )
+    assert result.metrics is None
+    delta = get_registry().snapshot(reset=True)
+    recorded = [
+        name for name, entry in delta["metrics"].items() if entry["series"]
+    ]
+    assert recorded == []
+
+
+def test_vector_engine_publishes_lockstep_wave_metrics(mult4):
+    pytest.importorskip("numpy")
+    _drain()
+    batch = simulate_batch(
+        mult4, _stimuli(mult4), config=ddm_config(), engine_kind="vector"
+    )
+    delta = _delta()
+    runs = delta.get("halotis_engine_runs_total")
+    assert runs.value(engine="vector") == len(batch)
+    waves = delta.get("halotis_lockstep_waves_total")
+    lanes = delta.get("halotis_lockstep_lanes_total")
+    assert waves.value(engine="vector") > 0
+    assert lanes.value(engine="vector") >= waves.value(engine="vector")
+
+
+# ----------------------------------------------------------------------
+# batch layer
+# ----------------------------------------------------------------------
+
+def test_batch_metrics_inprocess(mult4):
+    _drain()
+    stimuli = _stimuli(mult4)
+    batch = simulate_batch(
+        mult4, stimuli, config=ddm_config(), engine_kind="compiled"
+    )
+    assert batch.metrics["mode"] == "inprocess"
+    assert batch.metrics["vectors"] == len(stimuli)
+    assert batch.metrics["wall_seconds"] > 0
+    delta = _delta()
+    vectors = delta.get("halotis_batch_vectors_total")
+    assert vectors.value(engine="compiled", mode="inprocess") == len(stimuli)
+    runs = delta.get("halotis_batch_runs_total")
+    assert runs.value(engine="compiled", mode="inprocess") == 1
+
+
+# ----------------------------------------------------------------------
+# service layer: worker deltas merge into the parent registry
+# ----------------------------------------------------------------------
+
+def test_service_merges_worker_engine_metrics(mult4):
+    stimuli = _stimuli(mult4, batch=8)
+    config = ddm_config(record_traces=False)
+    with SimulationService(
+        mult4, config=config, workers=2, engine_kind="compiled"
+    ) as service:
+        service.run_batch(stimuli)  # warm-up outside the measured delta
+        _drain()
+        batch = service.run_batch(stimuli)
+    assert batch.metrics["mode"] == "service"
+    delta = _delta()
+    # The engine runs happened in *worker processes*; their deltas were
+    # shipped on the result transport and merged here, exactly once.
+    runs = delta.get("halotis_engine_runs_total")
+    assert runs.value(engine="compiled") == len(stimuli)
+    tasks = delta.get("halotis_service_tasks_total")
+    assert tasks.value(outcome="ok") >= 1
+    queue_wait = delta.get("halotis_service_queue_wait_seconds")
+    assert queue_wait.cumulative_counts()[-1] >= 1
+    task_seconds = delta.get("halotis_service_task_seconds")
+    assert task_seconds.cumulative_counts(outcome="ok")[-1] >= 1
+    chunks = delta.get("halotis_service_chunk_vectors")
+    assert chunks.cumulative_counts()[-1] >= 1
+
+
+class _CrashOnceStimulus:
+    """Hard-crashes the first worker that touches it, then runs
+    normally (the flag file records the crash already happened).
+    Module-level: stimuli cross the process boundary by pickle."""
+
+    def __init__(self, inner, flag_path):
+        self._inner = inner
+        self._flag_path = flag_path
+        self.horizon = inner.horizon
+
+    def initial_values(self, netlist):
+        if not os.path.exists(self._flag_path):
+            with open(self._flag_path, "w") as handle:
+                handle.write("crashed")
+            os._exit(17)
+        return self._inner.initial_values(netlist)
+
+    def iter_changes(self):
+        return self._inner.iter_changes()
+
+
+def test_service_counts_crash_respawn_and_requeue(mult4, tmp_path):
+    stimuli = list(_stimuli(mult4, batch=4))
+    config = ddm_config(record_traces=False)
+    with SimulationService(
+        mult4, config=config, workers=1, engine_kind="compiled"
+    ) as service:
+        service.run_batch(stimuli[:2])  # warm-up
+        _drain()
+        poisoned = [
+            _CrashOnceStimulus(stimuli[0], str(tmp_path / "crashed"))
+        ] + stimuli[1:]
+        batch = service.run_batch(poisoned)
+    assert len(batch) == len(stimuli)
+    delta = _delta()
+    restarts = delta.get("halotis_service_worker_restarts_total")
+    assert restarts.value() >= 1
+    requeued = delta.get("halotis_service_tasks_requeued_total")
+    assert requeued.value() >= 1
+    tasks = delta.get("halotis_service_tasks_total")
+    assert tasks.value(outcome="requeued") >= 1
+
+
+def test_service_metrics_off_ships_no_snapshots(mult4):
+    config = ddm_config(record_traces=False, collect_metrics=False)
+    with SimulationService(
+        mult4, config=config, workers=1, engine_kind="compiled"
+    ) as service:
+        _drain()
+        batch = service.run_batch(_stimuli(mult4, batch=4))
+    assert batch.metrics is None
+    for result in batch:
+        assert result.metrics is None
+    delta = get_registry().snapshot(reset=True)
+    recorded = [
+        name for name, entry in delta["metrics"].items() if entry["series"]
+    ]
+    assert recorded == []
+
+
+# ----------------------------------------------------------------------
+# server layer + CLI stats front end
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def server():
+    from repro.server.app import SimulationServer
+
+    server = SimulationServer(port=0, pool_workers=2).start_background(15.0)
+    yield server
+    assert server.stop_and_join(30.0), "server did not shut down"
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    from repro.server.client import SimulationClient
+
+    with SimulationClient(server.host, server.port) as client:
+        client.register("c17", {"kind": "builtin", "name": "c17"})
+        yield client
+
+
+def _scrape(client):
+    text = client.metrics()
+    return text, parse_text(text)
+
+
+def test_server_scrape_covers_every_layer(client, c17):
+    client.simulate("c17", _stimulus(c17))
+    text, families = _scrape(client)
+    # request layer
+    requests = families["halotis_server_requests_total"]
+    assert requests["type"] == "counter"
+    ops = {labels["op"] for _, labels, _ in requests["samples"]}
+    assert {"register", "simulate", "metrics"} & ops
+    latency = families["halotis_server_request_seconds"]
+    assert latency["type"] == "histogram"
+    # per-netlist throughput
+    vectors = families["halotis_server_vectors_total"]
+    served = {
+        labels["netlist"]: value
+        for _, labels, value in vectors["samples"]
+    }
+    assert served["c17"] >= 1
+    # service + engine metrics from the netlist's warm pool surface in
+    # the same scrape (the registry is process-wide)
+    assert "halotis_service_task_seconds" in families
+    assert "halotis_engine_runs_total" in families
+    # gauges
+    assert "halotis_server_open_connections" in families
+    assert "halotis_server_inflight_requests" in families
+
+
+def test_server_counts_error_requests(client):
+    from repro.errors import ServerError
+
+    with pytest.raises(ServerError):
+        client.call("simulate", netlist="no-such-netlist", vector={})
+    _, families = _scrape(client)
+    statuses = {
+        (labels["op"], labels["status"]): value
+        for _, labels, value in (
+            families["halotis_server_requests_total"]["samples"]
+        )
+    }
+    assert statuses.get(("simulate", "error"), 0) >= 1
+    errors = families["halotis_server_errors_total"]
+    assert sum(value for _, _, value in errors["samples"]) >= 1
+
+
+def test_server_clamps_unknown_op_label(client):
+    from repro.errors import ServerError
+
+    with pytest.raises(ServerError):
+        client.call("definitely-not-an-op-%d" % 0)
+    with pytest.raises(ServerError):
+        client.call("definitely-not-an-op-%d" % 1)
+    _, families = _scrape(client)
+    ops = {
+        labels["op"]
+        for _, labels, _ in (
+            families["halotis_server_requests_total"]["samples"]
+        )
+    }
+    # Client-chosen op strings must not mint label values.
+    assert "(invalid)" in ops
+    assert not any(op.startswith("definitely-not-an-op") for op in ops)
+
+
+def test_stats_op_carries_metrics_snapshot(client):
+    stats = client.stats()
+    snapshot = stats["metrics"]
+    assert snapshot["schema"] == 1
+    assert "halotis_server_requests_total" in snapshot["metrics"]
+
+
+def test_cli_stats_table(server, capsys):
+    address = "%s:%d" % (server.host, server.port)
+    assert main(["stats", "--connect", address]) == 0
+    out = capsys.readouterr().out
+    assert "vectors served" in out
+    assert "metric families" in out
+
+
+def test_cli_stats_json(server, capsys):
+    address = "%s:%d" % (server.host, server.port)
+    assert main(["stats", "--connect", address, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["metrics"]["schema"] == 1
+
+
+def test_cli_stats_prometheus(server, capsys):
+    address = "%s:%d" % (server.host, server.port)
+    assert main(["stats", "--connect", address, "--prometheus"]) == 0
+    families = parse_text(capsys.readouterr().out)
+    assert "halotis_server_requests_total" in families

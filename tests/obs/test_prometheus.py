@@ -1,0 +1,141 @@
+"""Prometheus text exposition and the minimal parser.
+
+Pins the exposition format the server's ``metrics`` op serves (version
+0.0.4: HELP/TYPE headers, escaped label values, cumulative buckets with
+``+Inf``, ``_sum``/``_count``) and the strict parser the CI smoke job
+uses to validate a live scrape — including that the two roundtrip.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.prometheus import parse_text, render, render_snapshot
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_and_gauge_exposition(registry):
+    registry.counter("runs_total", "Completed runs.", ("engine",)).inc(
+        3, engine="compiled"
+    )
+    registry.gauge("inflight", "In-flight requests.").set(2.0)
+    text = render(registry)
+    assert "# HELP runs_total Completed runs." in text
+    assert "# TYPE runs_total counter" in text
+    assert 'runs_total{engine="compiled"} 3' in text
+    assert "# TYPE inflight gauge" in text
+    assert "inflight 2" in text
+    assert text.endswith("\n")
+
+
+def test_histogram_exposition_is_cumulative(registry):
+    histogram = registry.histogram("h_seconds", "", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        histogram.observe(value)
+    text = render(registry)
+    assert 'h_seconds_bucket{le="0.1"} 1' in text
+    assert 'h_seconds_bucket{le="1"} 2' in text
+    assert 'h_seconds_bucket{le="+Inf"} 3' in text
+    assert "h_seconds_count 3" in text
+    assert "h_seconds_sum 5.55" in text
+
+
+def test_label_value_escaping_roundtrips(registry):
+    tricky = 'quote " slash \\ newline \n end'
+    registry.counter("c_total", "", ("name",)).inc(name=tricky)
+    text = render(registry)
+    parsed = parse_text(text)
+    [(sample, labels, value)] = parsed["c_total"]["samples"]
+    assert sample == "c_total"
+    assert labels == {"name": tricky}
+    assert value == 1.0
+
+
+def test_help_newlines_are_escaped(registry):
+    registry.counter("c_total", "line one\nline two").inc()
+    text = render(registry)
+    assert "# HELP c_total line one\\nline two" in text
+    assert parse_text(text)["c_total"]["help"] == "line one\\nline two"
+
+
+def test_parse_roundtrips_a_mixed_registry(registry):
+    registry.counter("runs_total", "runs", ("engine",)).inc(
+        5, engine="vector"
+    )
+    registry.gauge("open_connections").set(1.0)
+    histogram = registry.histogram(
+        "latency_seconds", "lat", ("op",), buckets=(0.01, 0.1)
+    )
+    histogram.observe(0.05, op="simulate")
+    histogram.observe(0.05, op="simulate")
+    parsed = parse_text(render(registry))
+    assert parsed["runs_total"]["type"] == "counter"
+    assert parsed["open_connections"]["type"] == "gauge"
+    assert parsed["latency_seconds"]["type"] == "histogram"
+    samples = parsed["latency_seconds"]["samples"]
+    by_name = {}
+    for sample_name, labels, value in samples:
+        by_name.setdefault(sample_name, []).append((labels, value))
+    assert by_name["latency_seconds_count"] == [({"op": "simulate"}, 2.0)]
+    inf_buckets = [
+        value for labels, value in by_name["latency_seconds_bucket"]
+        if labels["le"] == "+Inf"
+    ]
+    assert inf_buckets == [2.0]
+
+
+def test_render_snapshot_matches_render(registry):
+    registry.counter("c_total", "", ("k",)).inc(k="v")
+    registry.histogram("h", "", buckets=(1.0,)).observe(0.5)
+    assert render_snapshot(registry.snapshot()) == render(registry)
+
+
+def test_render_snapshot_rejects_non_snapshots():
+    with pytest.raises(ValueError, match="missing 'metrics'"):
+        render_snapshot({"schema": 1})
+
+
+def test_special_float_values(registry):
+    gauge = registry.gauge("g")
+    gauge.set(math.inf)
+    parsed = parse_text(render(registry))
+    [(_, _, value)] = parsed["g"]["samples"]
+    assert value == math.inf
+
+
+def test_parser_rejects_malformed_samples():
+    with pytest.raises(ValueError, match="malformed sample"):
+        parse_text("this is { not a metric\n")
+    with pytest.raises(ValueError, match="malformed label set"):
+        parse_text('c_total{name=unquoted} 1\n')
+    with pytest.raises(ValueError, match="unknown metric type"):
+        parse_text("# TYPE c_total chart\n")
+
+
+def test_parser_validates_histogram_consistency():
+    header = "# TYPE h histogram\n"
+    with pytest.raises(ValueError, match=r"lacks a \+Inf bucket"):
+        parse_text(header + 'h_bucket{le="1"} 1\nh_count 1\n')
+    with pytest.raises(ValueError, match="not cumulative"):
+        parse_text(
+            header
+            + 'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\nh_count 3\n'
+        )
+    with pytest.raises(ValueError, match="!= _count"):
+        parse_text(
+            header
+            + 'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 2\nh_count 9\n'
+        )
+
+
+def test_parser_ignores_plain_comments_and_blank_lines():
+    parsed = parse_text("\n# a free-form comment\nc_total 1\n\n")
+    assert parsed["c_total"]["type"] == "untyped"
+    assert parsed["c_total"]["samples"] == [("c_total", {}, 1.0)]

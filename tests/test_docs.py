@@ -27,7 +27,8 @@ def test_repo_markdown_links_resolve(capsys):
 
 def test_docs_exist_and_are_linked_from_readme():
     readme = (REPO_ROOT / "README.md").read_text()
-    for doc in ("docs/architecture.md", "docs/performance.md"):
+    for doc in ("docs/architecture.md", "docs/performance.md",
+                "docs/observability.md"):
         assert (REPO_ROOT / doc).exists(), doc
         assert doc in readme, "README does not link %s" % doc
 
@@ -44,9 +45,41 @@ def test_architecture_doc_names_every_layer():
     architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
     for anchor in ("Netlist.compile()", "ENGINE_KINDS", "simulate_batch",
                    "SimulationService", "fanout_offsets", "arc_rise",
-                   "test_backend_parity", "test_service"):
+                   "test_backend_parity", "test_service", "repro.obs"):
         assert anchor in architecture, (
             "architecture.md does not mention %s" % anchor
+        )
+
+
+def test_observability_doc_covers_the_monitoring_surface():
+    """The metric catalogue must track the code: one row per published
+    metric family, plus every scraping surface and CLI flag."""
+    observability = (REPO_ROOT / "docs" / "observability.md").read_text()
+    from repro.core import service as service_module
+    from repro.server import app as app_module
+    import inspect
+
+    published = set()
+    for module in (service_module, app_module):
+        published.update(
+            name
+            for name in inspect.getsource(module).split('"')
+            if name.startswith("halotis_")
+        )
+    for name in ("halotis_engine_runs_total", "halotis_engine_run_seconds",
+                 "halotis_engine_phase_seconds",
+                 "halotis_lockstep_waves_total",
+                 "halotis_batch_vectors_total"):
+        published.add(name)
+    for name in sorted(published):
+        assert name in observability, (
+            "observability.md does not document %s" % name
+        )
+    for surface in ("--prometheus", "--json", "--log-level", "--log-json",
+                    "collect_metrics", "result.metrics", "batch.metrics",
+                    "parse_text", "(overflow)", "check_bench.py"):
+        assert surface in observability, (
+            "observability.md does not cover %s" % surface
         )
 
 
