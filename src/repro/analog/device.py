@@ -36,11 +36,11 @@ class MosfetParams:
     kv: float
 
     @classmethod
-    def nmos(cls, tech: Technology) -> "MosfetParams":
+    def nmos(cls, tech: Technology) -> MosfetParams:
         return cls(vth=tech.vth_n, alpha=tech.alpha_n, k=tech.k_n, kv=tech.kv_n)
 
     @classmethod
-    def pmos(cls, tech: Technology) -> "MosfetParams":
+    def pmos(cls, tech: Technology) -> MosfetParams:
         return cls(vth=tech.vth_p, alpha=tech.alpha_p, k=tech.k_p, kv=tech.kv_p)
 
 

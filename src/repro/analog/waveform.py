@@ -42,7 +42,7 @@ class AnalogWaveform:
         """Linearly interpolated voltage at ``time``."""
         return float(np.interp(time, self.times, self.values))
 
-    def window(self, t_start: float, t_end: float) -> "AnalogWaveform":
+    def window(self, t_start: float, t_end: float) -> AnalogWaveform:
         """Sub-waveform restricted to ``[t_start, t_end]``."""
         mask = (self.times >= t_start) & (self.times <= t_end)
         if mask.sum() < 2:

@@ -9,10 +9,11 @@ because dynamic power is proportional to activity.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.stats import SimulationStatistics, overestimation_percent
 from ..core.trace import NetTrace, TraceSet
+from ..errors import SimulationError
 
 try:  # pragma: no cover - numpy present in CI
     import numpy as _np
@@ -35,7 +36,7 @@ class ActivitySummary:
     total_transitions: int
     per_net: Dict[str, int]
 
-    def top_nets(self, count: int = 10) -> list:
+    def top_nets(self, count: int = 10) -> List[Tuple[str, int]]:
         """The ``count`` most active nets as (name, toggles) pairs."""
         return sorted(
             self.per_net.items(), key=lambda item: (-item[1], item[0])
@@ -56,7 +57,7 @@ def activity_summary(
 
 
 def packed_activity_summary(
-    packed: Mapping[str, Sequence],
+    packed: Mapping[str, Sequence[Any]],
 ) -> ActivitySummary:
     """Activity summary straight from lane-packed toggle counters.
 
@@ -69,7 +70,7 @@ def packed_activity_summary(
     materialise per-lane counters at all.
     """
     if _np is None:  # pragma: no cover - numpy present in CI
-        raise RuntimeError("packed_activity_summary requires numpy")
+        raise SimulationError("packed_activity_summary requires numpy")
     per_net: Dict[str, int] = {}
     for name, planes in packed.items():
         total = 0
@@ -82,7 +83,7 @@ def packed_activity_summary(
     )
 
 
-def _popcount_words(words) -> int:
+def _popcount_words(words: Any) -> int:
     """Total set bits of a ``uint64`` word array."""
     if hasattr(_np, "bitwise_count"):
         return int(_np.bitwise_count(words).sum())
@@ -111,7 +112,7 @@ class ActivityComparison:
     def toggle_overestimation_percent(self) -> float:
         return overestimation_percent(self.ddm_toggles, self.cdm_toggles)
 
-    def as_row(self) -> list:
+    def as_row(self) -> List[object]:
         """Row in the paper's Table 1 column order."""
         return [
             self.label,

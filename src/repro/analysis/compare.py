@@ -13,7 +13,7 @@ waveforms):
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..errors import AnalysisError
 
@@ -90,7 +90,7 @@ def match_edges(
 
 
 def settled_words(
-    word_at,
+    word_at: Callable[[float, str, int], int],
     sample_times: Sequence[float],
     prefix: str,
     width: int,
@@ -118,8 +118,8 @@ def edge_lists_equal(
 
 def compare_trace_sets(
     names: Sequence[str],
-    edges_of_a,
-    edges_of_b,
+    edges_of_a: Callable[[str], Sequence[Edge]],
+    edges_of_b: Callable[[str], Sequence[Edge]],
     tolerance: float,
 ) -> Dict[str, EdgeMatch]:
     """Match edges net-by-net through two ``name -> edge list`` callables."""

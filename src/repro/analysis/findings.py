@@ -1,11 +1,16 @@
 """Shared finding/report model for every static check.
 
 The electrical rule checks (:mod:`repro.circuit.validate`), the static
-timing analyzer (:mod:`repro.analysis.sta`) and the hazard pass
-(:mod:`repro.analysis.hazards`) all report through one :class:`Finding`
-type, so ``repro lint`` can merge them into a single
-:class:`FindingReport` with one exit-code contract (errors → 2,
-warnings → 0 unless ``--strict``) and one JSON schema.
+timing analyzer (:mod:`repro.analysis.sta`), the hazard pass
+(:mod:`repro.analysis.hazards`) and the project linter
+(``tools/halolint``) all report through one :class:`Finding` type, so
+``repro lint`` can merge them into a single :class:`FindingReport` with
+one exit-code contract (errors → 2, warnings → 0 unless ``--strict``)
+and one JSON schema.
+
+Circuit checks locate a finding with ``net``/``gate``; source-code
+checks locate it with ``file``/``line`` instead.  Both kinds share the
+severity contract and the JSON shape.
 """
 
 from __future__ import annotations
@@ -29,8 +34,9 @@ class Finding:
     """One rule violation or notable static-analysis fact.
 
     ``net``/``gate`` locate the finding in the circuit when a single
-    object is responsible; ``data`` carries rule-specific numbers (path
-    skew, arrival bounds, ...) for the JSON output.
+    object is responsible; ``file``/``line`` locate it in source code
+    (the ``tools/halolint`` rules); ``data`` carries rule-specific
+    numbers (path skew, arrival bounds, ...) for the JSON output.
     """
 
     severity: Severity
@@ -39,9 +45,19 @@ class Finding:
     net: Optional[str] = None
     gate: Optional[str] = None
     data: Optional[Dict[str, object]] = None
+    file: Optional[str] = None
+    line: Optional[int] = None
 
     def __str__(self) -> str:
-        return "[%s] %s: %s" % (self.severity.value, self.rule, self.message)
+        location = ""
+        if self.file is not None:
+            location = self.file
+            if self.line is not None:
+                location += ":%d" % self.line
+            location += ": "
+        return "%s[%s] %s: %s" % (
+            location, self.severity.value, self.rule, self.message
+        )
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready primitive form (stable key order)."""
@@ -54,6 +70,10 @@ class Finding:
             payload["net"] = self.net
         if self.gate is not None:
             payload["gate"] = self.gate
+        if self.file is not None:
+            payload["file"] = self.file
+        if self.line is not None:
+            payload["line"] = self.line
         if self.data is not None:
             payload["data"] = dict(self.data)
         return payload
@@ -96,7 +116,7 @@ class FindingReport:
     ) -> None:
         self.findings.append(Finding(severity, rule, message, net, gate, data))
 
-    def extend(self, findings: Iterable[Finding]) -> "FindingReport":
+    def extend(self, findings: Iterable[Finding]) -> FindingReport:
         """Append findings (e.g. merge ERC + hazard passes); returns self."""
         self.findings.extend(findings)
         return self

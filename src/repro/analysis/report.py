@@ -24,7 +24,7 @@ class Table:
         self.headers = [str(h) for h in headers]
         self.rows: List[List[str]] = []
 
-    def add_row(self, cells: Sequence) -> None:
+    def add_row(self, cells: Sequence[object]) -> None:
         if len(cells) != len(self.headers):
             raise AnalysisError(
                 "row has %d cells, table has %d columns"
@@ -58,7 +58,7 @@ class Table:
         return "\n".join(parts)
 
 
-def _format_cell(cell) -> str:
+def _format_cell(cell: object) -> str:
     if isinstance(cell, float):
         return "%.4g" % cell
     return str(cell)
@@ -70,7 +70,7 @@ def _render_line(cells: Sequence[str], widths: Sequence[int]) -> str:
 
 def paper_comparison(
     title: str,
-    rows: Sequence[Sequence],
+    rows: Sequence[Sequence[object]],
     headers: Optional[Sequence[str]] = None,
 ) -> str:
     """Render a "paper vs measured" block for EXPERIMENTS.md."""

@@ -32,6 +32,7 @@ transitioning pins — the reconvergence sites the hazard pass
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time as _time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -576,10 +577,8 @@ def windows_for(
             k_paths=0,
         )
         cache[key] = report
-        try:
+        with contextlib.suppress(AttributeError):  # slotted stand-ins
             netlist._sta_window_cache = cache
-        except AttributeError:  # pragma: no cover - slotted stand-ins
-            pass
     return report
 
 

@@ -25,7 +25,7 @@ import dataclasses
 from typing import Dict, Tuple
 
 from ..errors import LibraryError
-from .logic import GateFunction
+from .logic import GateFunctionLike
 
 
 @dataclasses.dataclass(frozen=True)
@@ -101,7 +101,7 @@ class TimingArcSpec:
             raise LibraryError("load coefficients must be non-negative")
         self.degradation.validate()
 
-    def scaled(self, factor: float) -> "TimingArcSpec":
+    def scaled(self, factor: float) -> TimingArcSpec:
         """Return a copy with all delay/slew coefficients scaled.
 
         Used to derive sized variants (e.g. a 2x drive cell) from a base
@@ -160,7 +160,7 @@ class CellSpec:
     """
 
     name: str
-    function: GateFunction
+    function: GateFunctionLike
     pins: Tuple[PinSpec, ...]
     arcs: Dict[ArcKey, TimingArcSpec]
     output_cap: float = 0.0
@@ -199,7 +199,7 @@ class CellSpec:
             for rising in (False, True):
                 self.arc(pin_index, rising).validate()
 
-    def with_thresholds(self, name: str, vt: float, description: str = "") -> "CellSpec":
+    def with_thresholds(self, name: str, vt: float, description: str = "") -> CellSpec:
         """Derive a variant cell whose every input threshold is ``vt``.
 
         This is how the Figure 1 experiment obtains the low/high threshold
@@ -212,7 +212,7 @@ class CellSpec:
             self, name=name, pins=new_pins, description=description or self.description
         )
 
-    def scaled_drive(self, name: str, factor: float) -> "CellSpec":
+    def scaled_drive(self, name: str, factor: float) -> CellSpec:
         """Derive a drive-strength variant: delays/slews scaled by
         ``1/factor``, input caps scaled by ``factor``."""
         if factor <= 0.0:

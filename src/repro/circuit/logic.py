@@ -8,7 +8,7 @@ event is processed, and events always carry a defined new value.
 from __future__ import annotations
 
 import enum
-from typing import Sequence
+from typing import Sequence, Union
 
 
 class GateFunction(enum.Enum):
@@ -113,6 +113,13 @@ class TableFunction:
 
     def __repr__(self) -> str:
         return "TableFunction(%s, arity=%d)" % (self.name, self.arity)
+
+
+#: What a gate-function slot may hold: the enum member for healthy
+#: cells, a :class:`TableFunction` stand-in for mutated ones.  This is
+#: the element type of ``CompiledNetlist.gate_functions`` and of
+#: ``CellSpec.function`` under fault injection.
+GateFunctionLike = Union[GateFunction, TableFunction]
 
 
 def evaluate(function, values: Sequence[int]) -> int:

@@ -16,10 +16,13 @@ values, last output transition, pending events) lives in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
 
 from ..errors import ConnectivityError, NetlistError
 from .cells import CellSpec
+
+if TYPE_CHECKING:
+    from ..core.compiled import CompiledNetlist
 
 
 class Net:
@@ -93,7 +96,7 @@ class GateInput:
 
     __slots__ = ("gate", "index", "net", "vt", "cap", "uid")
 
-    def __init__(self, gate: "Gate", index: int, net: Net, vt: float, cap: float):
+    def __init__(self, gate: Gate, index: int, net: Net, vt: float, cap: float):
         self.gate = gate
         self.index = index
         self.net = net
@@ -286,7 +289,7 @@ class Netlist:
         """
         self._structure_version += 1
 
-    def compile(self):
+    def compile(self) -> CompiledNetlist:
         """Lower this netlist into struct-of-arrays form.
 
         Returns a :class:`repro.core.compiled.CompiledNetlist` snapshot

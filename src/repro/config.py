@@ -238,7 +238,7 @@ class SimulationConfig:
         if self.collect_metrics not in (True, False):
             raise ValueError("collect_metrics must be True or False")
 
-    def with_mode(self, delay_mode: DelayMode) -> "SimulationConfig":
+    def with_mode(self, delay_mode: DelayMode) -> SimulationConfig:
         """Return a copy differing only in ``delay_mode``.
 
         This is how the Table 1 / Table 2 experiments build their matched

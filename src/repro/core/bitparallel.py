@@ -487,7 +487,7 @@ class _LaneCountsView:
         "late_events", "transitions_emitted", "source_transitions",
     )
 
-    def __init__(self, kernel: "_WordKernel"):
+    def __init__(self, kernel: _WordKernel):
         self._mask_lists = [
             list(kernel.executed_masks), list(kernel.scheduled_masks),
             list(kernel.filtered_masks), list(kernel.late_masks),
@@ -511,7 +511,7 @@ class _LaneCountsView:
 class _LaneToggleView:
     """Frozen toggle log, expanded to per-lane dicts on demand."""
 
-    def __init__(self, kernel: "_WordKernel"):
+    def __init__(self, kernel: _WordKernel):
         # Snapshot the log: the kernel may be reset and rerun later.
         self._events = list(kernel.toggle_events)
         self._names = kernel.compiled.net_names
@@ -534,7 +534,7 @@ class _LaneToggleView:
 class _LaneFinalsView:
     """Frozen final net words, expanded to per-lane dicts on demand."""
 
-    def __init__(self, kernel: "_WordKernel"):
+    def __init__(self, kernel: _WordKernel):
         self._net_val = list(kernel.net_val)
         self._names = kernel.compiled.net_names
         self._lanes = kernel.lanes
@@ -1221,7 +1221,7 @@ class _WordKernel:
         a gate beyond the truth-table cap, evaluated per lane)."""
         return dict(zip(self.compiled.gate_names, self._program_ops))
 
-    def packed_toggle_words(self) -> Dict[str, List["object"]]:
+    def packed_toggle_words(self) -> Dict[str, List[object]]:
         """Per-net toggle counters as packed numpy ``uint64`` words.
 
         Plane ``p`` of net ``n`` holds bit ``p`` of every lane's toggle
@@ -1231,7 +1231,7 @@ class _WordKernel:
         """
         names = self.compiled.net_names
         matrix = self.toggle_matrix()
-        packed: Dict[str, List["object"]] = {}
+        packed: Dict[str, List[object]] = {}
         for index in _np.flatnonzero(matrix.any(axis=1)).tolist():
             packed[names[index]] = _counts_to_planes(matrix[index])
         return packed

@@ -42,7 +42,11 @@ from math import exp as _exp
 from typing import Dict, List, Optional, Tuple
 
 from ..circuit.evaluate import evaluate_netlist
-from ..circuit.logic import evaluate as evaluate_function, truth_table
+from ..circuit.logic import (
+    GateFunctionLike,
+    evaluate as evaluate_function,
+    truth_table,
+)
 from ..circuit.netlist import Net, Netlist
 from ..config import DelayMode, InertialPolicy, SimulationConfig
 from ..errors import SimulationError, SimulationLimitError
@@ -140,7 +144,9 @@ class CompiledNetlist:
 
         # --- gates ---------------------------------------------------
         self.gate_names: List[str] = [gate.name for gate in gates]
-        self.gate_functions = [gate.cell.function for gate in gates]
+        self.gate_functions: List[GateFunctionLike] = [
+            gate.cell.function for gate in gates
+        ]
         self.gate_output_net = array("q", [gate.output.index for gate in gates])
         # Dense uids are assigned gate-by-gate (Netlist._renumber_inputs),
         # so each gate's pins occupy a contiguous uid range.
@@ -337,7 +343,7 @@ class CompiledNetlist:
                     tau_max = tau_out
         return tp_min, tp_max, tau_min, tau_max
 
-    def as_numpy(self) -> Dict[str, "object"]:
+    def as_numpy(self) -> Dict[str, object]:
         """The complete lowering as **read-only** numpy arrays (optional dep).
 
         Raises :class:`SimulationError` when numpy is unavailable.  This

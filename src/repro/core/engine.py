@@ -83,7 +83,7 @@ class FilteredEventRecord:
 #: Registry of simulation backends, mirroring ``QUEUE_KINDS``.  Keys are
 #: the values accepted by ``SimulationConfig.engine_kind``, ``simulate()``
 #: and the CLI's ``--engine`` option.
-ENGINE_KINDS: Dict[str, Type["EngineBase"]] = {}
+ENGINE_KINDS: Dict[str, Type[EngineBase]] = {}
 
 
 def register_engine(kind: str) -> Callable[[type], type]:
@@ -109,7 +109,7 @@ def _ensure_backends_registered() -> None:
     from . import vector  # noqa: F401
 
 
-def resolve_engine_class(engine_kind: str) -> Type["EngineBase"]:
+def resolve_engine_class(engine_kind: str) -> Type[EngineBase]:
     """Look a backend up in the registry, with the canonical error.
 
     The single home of the unknown-kind message — :func:`make_engine`,
@@ -132,7 +132,7 @@ def make_engine(
     config: Optional[SimulationConfig] = None,
     queue_kind: str = "heap",
     engine_kind: Optional[str] = None,
-) -> "EngineBase":
+) -> EngineBase:
     """Instantiate a simulation backend by name.
 
     ``engine_kind=None`` defers to ``config.engine_kind`` (and to
@@ -763,7 +763,9 @@ def publish_engine_metrics(
     for field, name, help_text in _ENGINE_COUNTERS:
         value = counts.get(field, 0)
         if value:
-            registry.counter(name, help_text, ("engine",)).inc(
+            # Names come from the _ENGINE_COUNTERS literal table above;
+            # the doc drift guard covers them there.
+            registry.counter(name, help_text, ("engine",)).inc(  # halolint: allow(HL003)
                 value, engine=engine_kind
             )
     if run_seconds is not None:

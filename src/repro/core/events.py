@@ -47,8 +47,8 @@ class Event:
         self,
         time: float,
         seq: int,
-        gate_input: "GateInput",
-        transition: "Transition",
+        gate_input: GateInput,
+        transition: Transition,
         value: int,
     ):
         self.time = time

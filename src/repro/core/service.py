@@ -43,6 +43,7 @@ service=service)``.
 from __future__ import annotations
 
 import collections
+import contextlib
 import itertools
 import os
 import queue as _queue
@@ -184,10 +185,8 @@ class _WorkerShmBuffer:
     def destroy(self) -> None:
         if self._shm is not None:
             self._shm.close()
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - parent raced us
-                pass
+            with contextlib.suppress(FileNotFoundError):
+                self._shm.unlink()  # pragma: no cover - parent may race us
             self._shm = None
 
 
@@ -346,7 +345,7 @@ class BatchJob:
     waits), :meth:`wait` blocks for the full input-order list.
     """
 
-    def __init__(self, service: "SimulationService", job_id: int, count: int):
+    def __init__(self, service: SimulationService, job_id: int, count: int):
         self._service = service
         self._job_id = job_id
         self._count = count
@@ -502,14 +501,13 @@ class SimulationService:
             # Start the resource tracker in the parent so every worker
             # (forked or spawned) shares it: segment ownership can then
             # move between processes without leak warnings at shutdown.
-            try:  # pragma: no cover - tracker is posix-only
+            with contextlib.suppress(ImportError, AttributeError):
+                # pragma: no cover - tracker is posix-only
                 from multiprocessing import resource_tracker
                 resource_tracker.ensure_running()
-            except (ImportError, AttributeError):
-                pass
         self._shm_base = "hal%dx%d" % (os.getpid(), next(_SERVICE_SEQ))
         self._result_queue = self._ctx.Queue()
-        self._pending: "collections.deque[_Task]" = collections.deque()
+        self._pending: collections.deque[_Task] = collections.deque()
         self._jobs: Dict[int, BatchJob] = {}
         self._job_seq = itertools.count()
         # Append as we spawn: if worker k fails to start, workers 0..k-1
@@ -523,17 +521,15 @@ class SimulationService:
 
     # -- lifecycle -----------------------------------------------------
 
-    def __enter__(self) -> "SimulationService":
+    def __enter__(self) -> SimulationService:
         return self
 
     def __exit__(self, *_exc_info) -> None:
         self.close()
 
     def __del__(self):  # pragma: no cover - GC timing is interpreter's
-        try:
+        with contextlib.suppress(Exception):
             self.close()
-        except Exception:
-            pass
 
     @property
     def closed(self) -> bool:
@@ -554,10 +550,8 @@ class SimulationService:
             return
         self._closed = True
         for worker in self._workers:
-            try:
-                worker.task_queue.put(None)
-            except (OSError, ValueError):  # pragma: no cover - queue gone
-                pass
+            with contextlib.suppress(OSError, ValueError):
+                worker.task_queue.put(None)  # pragma: no cover - queue gone
         deadline = _time.monotonic() + max(0.0, timeout)
         #: Per-escalation grace; a terminated/killed process reaps in
         #: well under this unless the host is in serious trouble.
@@ -888,7 +882,7 @@ class SimulationService:
         )
         self._pending.appendleft(task)
 
-    def _unlink_worker_segments(self, worker_id: int, dead: "_Worker") -> None:
+    def _unlink_worker_segments(self, worker_id: int, dead: _Worker) -> None:
         """Clean up a dead worker's shm buffer, wherever growth left it.
 
         A worker holds at most one live segment (growth unlinks the old
@@ -923,10 +917,8 @@ class SimulationService:
         except FileNotFoundError:
             return
         victim.close()
-        try:
-            victim.unlink()
-        except FileNotFoundError:  # pragma: no cover - tracker raced us
-            pass
+        with contextlib.suppress(FileNotFoundError):
+            victim.unlink()  # pragma: no cover - tracker may race us
 
     # -- worker spawning -----------------------------------------------
 

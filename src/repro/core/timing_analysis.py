@@ -123,7 +123,7 @@ def analyze(netlist: Netlist, input_slew: float = 0.20) -> TimingReport:
     try:
         order = netlist.topological_gates()
     except Exception as exc:
-        raise AnalysisError("STA requires an acyclic netlist: %s" % exc)
+        raise AnalysisError("STA requires an acyclic netlist: %s" % exc) from exc
 
     timing: Dict[str, Tuple[EdgeTiming, EdgeTiming]] = {}
     # (gate, producing edge) that set each net's worst arrival — for path

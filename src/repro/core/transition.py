@@ -122,7 +122,7 @@ class Transition:
     # pulse algebra
     # ------------------------------------------------------------------
 
-    def pulse_peak_fraction(self, successor: "Transition") -> float:
+    def pulse_peak_fraction(self, successor: Transition) -> float:
         """Peak (or trough depth) of the pulse formed with ``successor``.
 
         When this ramp is interrupted by an opposite ramp starting at

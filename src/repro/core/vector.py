@@ -113,7 +113,7 @@ def _check_queue_kind(queue_kind: str) -> None:
         )
 
 
-def _sorted_queue_key(entry) -> "tuple":
+def _sorted_queue_key(entry) -> tuple:
     return (-entry[0], -entry[1])
 
 
@@ -150,7 +150,7 @@ class _EventPool:
     def reset(self) -> None:
         self.size = 0
 
-    def alloc(self, count: int) -> "slice":
+    def alloc(self, count: int) -> slice:
         """Reserve ``count`` fresh event ids; returns their slice."""
         need = self.size + count
         if need > self._cap:
@@ -1023,7 +1023,7 @@ class _VectorKernel:
         )
 
 
-def _publish_lockstep_metrics(kernel: "_VectorKernel", wall: float) -> None:
+def _publish_lockstep_metrics(kernel: _VectorKernel, wall: float) -> None:
     """One batch's engine counters from the kernel's per-lane arrays.
 
     Summing the numpy columns here (once per batch) keeps the wave loop
@@ -1296,7 +1296,7 @@ class _LaneZeroQueue:
     "events" are pool event ids (plain ints).
     """
 
-    def __init__(self, simulator: "VectorSimulator"):
+    def __init__(self, simulator: VectorSimulator):
         self._simulator = simulator
 
     def _kernel(self) -> Optional[_VectorKernel]:

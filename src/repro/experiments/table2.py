@@ -100,11 +100,15 @@ def run(logic_repeats: int = 3, analog_dt: float = common.ANALOG_DT) -> Table2Re
     rows: Dict[int, Table2Row] = {}
     for which in (1, 2):
         ddm_seconds = _best_of(
-            lambda: common.run_halotis(which, DelayMode.DDM, record_traces=False),
+            lambda which=which: common.run_halotis(
+                which, DelayMode.DDM, record_traces=False
+            ),
             logic_repeats,
         )
         cdm_seconds = _best_of(
-            lambda: common.run_halotis(which, DelayMode.CDM, record_traces=False),
+            lambda which=which: common.run_halotis(
+                which, DelayMode.CDM, record_traces=False
+            ),
             logic_repeats,
         )
         start = _time.perf_counter()

@@ -30,15 +30,20 @@ from __future__ import annotations
 
 import dataclasses
 import time as _time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Netlist
 from ..config import SimulationConfig
 from ..core.batch import simulate_batch
 from ..core.engine import SimulationResult, simulate
+from ..core.trace import NetTrace
 from ..errors import FaultError
+from ..stimuli.vectors import VectorSequence
 from .faultload import FaultSpec, Faultload
 from .inject import FaultedStimulus
+
+if TYPE_CHECKING:
+    from ..core.service import SimulationService
 
 #: classification labels, in report order.
 CLASSIFICATIONS = ("silent", "detected", "latent", "masked")
@@ -82,7 +87,9 @@ class MutantOutcome:
         }
 
 
-def _edges_match(golden_trace, mutant_trace, epsilon: float) -> bool:
+def _edges_match(
+    golden_trace: NetTrace, mutant_trace: NetTrace, epsilon: float
+) -> bool:
     if golden_trace.initial_value != mutant_trace.initial_value:
         return False
     golden_edges = golden_trace.edges()
@@ -233,7 +240,7 @@ class DependabilityReport:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "DependabilityReport":
+    def from_dict(cls, data: Dict[str, object]) -> DependabilityReport:
         try:
             outcomes = [
                 MutantOutcome(
@@ -326,13 +333,13 @@ def classify_results(
 def run_campaign(
     netlist: Netlist,
     faultload: Faultload,
-    stimulus,
+    stimulus: VectorSequence,
     config: Optional[SimulationConfig] = None,
     engine_kind: Optional[str] = None,
     via: str = "local",
     jobs: int = 1,
     workers: Optional[int] = None,
-    service=None,
+    service: Optional[SimulationService] = None,
     settle: Optional[float] = None,
     epsilon: Optional[float] = None,
 ) -> DependabilityReport:

@@ -132,7 +132,7 @@ class FaultSpec:
         return data
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+    def from_dict(cls, data: Dict[str, object]) -> FaultSpec:
         try:
             kind = FaultKind(data["kind"])
             net = data["net"]
@@ -190,7 +190,7 @@ class Faultload:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "Faultload":
+    def from_dict(cls, data: Dict[str, object]) -> Faultload:
         try:
             circuit = str(data["circuit"])
             seed = int(data["seed"])  # type: ignore[arg-type]
@@ -206,7 +206,7 @@ class Faultload:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
-    def from_json(cls, text: str) -> "Faultload":
+    def from_json(cls, text: str) -> Faultload:
         try:
             data = json.loads(text)
         except json.JSONDecodeError as exc:

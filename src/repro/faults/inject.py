@@ -33,15 +33,21 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
-from ..circuit.logic import TableFunction
-from ..circuit.netlist import Netlist
+from ..circuit.cells import CellSpec
+from ..circuit.logic import GateFunctionLike, TableFunction
+from ..circuit.netlist import Gate, Netlist
 from ..core.engine import EngineBase, SimulationResult, run_stimulus
 from ..core.stats import SimulationStatistics
 from ..core.transition import Transition
 from ..errors import FaultError
+from ..stimuli.vectors import VectorSequence
 from .faultload import FaultKind, FaultSpec
+
+#: One lowered timing arc: (tp0, d_slew, tau, s_slew, tau_deg, t0_coef),
+#: the shape ``CompiledNetlist.arc_rise`` / ``arc_fall`` store per pin.
+_Arc = Tuple[float, float, float, float, float, float]
 
 #: Test seam (the "teeth" check): when True, :meth:`FaultInjection.restore`
 #: deliberately leaks the patch.  Exists so the suite can prove that a
@@ -78,14 +84,14 @@ class FaultedStimulus:
 
     __slots__ = ("stimulus", "fault")
 
-    def __init__(self, stimulus, fault: FaultSpec):
+    def __init__(self, stimulus: VectorSequence, fault: FaultSpec):
         self.stimulus = stimulus
         self.fault = fault
 
     def initial_values(self, netlist: Netlist) -> Dict[str, int]:
         return self.stimulus.initial_values(netlist)
 
-    def iter_changes(self):
+    def iter_changes(self) -> Iterator[Tuple[float, Dict[str, int], Optional[float]]]:
         return self.stimulus.iter_changes()
 
     @property
@@ -111,18 +117,18 @@ class FaultInjection:
         self.netlist = netlist
         self.fault = fault
         self.applied = False
-        self._saved_cell = None
+        self._saved_cell: Optional[CellSpec] = None
         self._saved_table: Optional[List[int]] = None
-        self._saved_function = None
-        self._saved_arcs: List[Tuple[int, Tuple, Tuple]] = []
+        self._saved_function: Optional[GateFunctionLike] = None
+        self._saved_arcs: List[Tuple[int, _Arc, _Arc]] = []
 
     # -- lifecycle -----------------------------------------------------
 
-    def __enter__(self) -> "FaultInjection":
+    def __enter__(self) -> FaultInjection:
         self.apply()
         return self
 
-    def __exit__(self, *_exc_info) -> None:
+    def __exit__(self, *_exc_info: object) -> None:
         self.restore()
 
     @property
@@ -135,7 +141,7 @@ class FaultInjection:
             FaultKind.DELAY_DRIFT,
         )
 
-    def _driver(self):
+    def _driver(self) -> Gate:
         net = self.netlist.nets.get(self.fault.net)
         if net is None:
             raise FaultError(
@@ -227,8 +233,9 @@ class FaultInjection:
             return
         gate = self._driver()
         compiled = self.netlist.compile()
-        gate.cell = self._saved_cell
-        if self._saved_table is not None:
+        if self._saved_cell is not None:
+            gate.cell = self._saved_cell
+        if self._saved_table is not None and self._saved_function is not None:
             compiled.gate_tables[gate.index] = self._saved_table
             compiled.gate_functions[gate.index] = self._saved_function
             self._saved_table = None
@@ -285,7 +292,7 @@ def run_faulted_stimulus(
 
 def _run_with_pulse(
     simulator: EngineBase,
-    stimulus,
+    stimulus: VectorSequence,
     fault: FaultSpec,
     settle: float,
     seed: Optional[Mapping[str, int]],

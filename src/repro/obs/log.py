@@ -19,7 +19,7 @@ import json
 import logging
 import sys
 import time
-from typing import Optional
+from typing import Optional, TextIO
 
 __all__ = ["JsonLogFormatter", "configure_logging", "get_logger"]
 
@@ -89,7 +89,7 @@ class _TextFormatter(logging.Formatter):
 def configure_logging(
     level: str = "warning",
     json_mode: bool = False,
-    stream=None,
+    stream: Optional[TextIO] = None,
 ) -> logging.Logger:
     """(Re)configure the ``repro`` logger tree; returns the root logger.
 

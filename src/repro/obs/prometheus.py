@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Dict, List, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:
+    from .registry import MetricsRegistry
 
 __all__ = ["render", "render_snapshot", "parse_text"]
 
@@ -113,7 +116,7 @@ def render_snapshot(snapshot: Mapping[str, object]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def render(registry=None) -> str:
+def render(registry: Optional[MetricsRegistry] = None) -> str:
     """Render a registry (default: the process-default one)."""
     from .registry import get_registry
 

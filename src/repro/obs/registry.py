@@ -39,7 +39,18 @@ publishes to and what the server's ``metrics``/``stats`` ops expose.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+)
 
 __all__ = [
     "Counter",
@@ -90,6 +101,9 @@ def _label_key(
         ) from None
 
 
+_M = TypeVar("_M", bound="_Metric")
+
+
 class _Metric:
     """Shared machinery: series map, lock, cardinality guard."""
 
@@ -101,7 +115,7 @@ class _Metric:
         name: str,
         help_text: str,
         label_names: Sequence[str] = (),
-        registry: "Optional[MetricsRegistry]" = None,
+        registry: Optional[MetricsRegistry] = None,
         max_series: int = _DEFAULT_MAX_SERIES,
     ):
         self.name = name
@@ -245,7 +259,7 @@ class Histogram(_Metric):
         name: str,
         help_text: str,
         label_names: Sequence[str] = (),
-        registry: "Optional[MetricsRegistry]" = None,
+        registry: Optional[MetricsRegistry] = None,
         max_series: int = _DEFAULT_MAX_SERIES,
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
     ):
@@ -327,12 +341,12 @@ class MetricsRegistry:
 
     def _get_or_create(
         self,
-        cls,
+        cls: Type[_M],
         name: str,
         help_text: str,
         label_names: Sequence[str],
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> _M:
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:

@@ -9,13 +9,13 @@ from __future__ import annotations
 
 import functools
 import time
-from typing import Callable, Dict, List, Optional, Tuple, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar
 
 from .registry import Histogram, MetricsRegistry, get_registry
 
 __all__ = ["PhaseTimer", "timed"]
 
-F = TypeVar("F", bound=Callable)
+F = TypeVar("F", bound=Callable[..., Any])
 
 
 class PhaseTimer:
@@ -42,7 +42,7 @@ class PhaseTimer:
         self._phases: List[Tuple[str, float]] = []
         self._started = time.perf_counter() if enabled else 0.0
 
-    def phase(self, name: str) -> "_Phase":
+    def phase(self, name: str) -> _Phase:
         if not self.enabled:
             return _NOOP_PHASE
         return _Phase(self, name)
@@ -80,12 +80,12 @@ class _Phase:
         self._name = name
         self._t0 = 0.0
 
-    def __enter__(self) -> "_Phase":
+    def __enter__(self) -> _Phase:
         if self._timer is not None:
             self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self._timer is not None:
             self._timer.record(self._name, time.perf_counter() - self._t0)
 
@@ -111,7 +111,7 @@ def timed(
         holder: List[Histogram] = []
 
         @functools.wraps(func)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             target = registry if registry is not None else get_registry()
             if not target.enabled:
                 return func(*args, **kwargs)

@@ -33,6 +33,7 @@ Full-fidelity results make the wire *bit-identical* to a local
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import socket as _socket
 import threading
@@ -270,13 +271,11 @@ class SimulationServer:
                 self._close_writer(writer)
             while self._connections and time.monotonic() < deadline:
                 await asyncio.sleep(0.02)
-            try:
+            with contextlib.suppress(TimeoutError):  # wedged client
                 await asyncio.wait_for(
                     server.wait_closed(),
                     max(0.1, deadline - time.monotonic()),
                 )
-            except asyncio.TimeoutError:  # pragma: no cover - wedged client
-                pass
             await asyncio.to_thread(self.registry.close)
             self._ready.clear()
             self._stopped.set()
@@ -294,16 +293,14 @@ class SimulationServer:
         loop, event = self._loop, self._stop_event
         if loop is None or event is None or loop.is_closed():
             return
-        try:
-            loop.call_soon_threadsafe(event.set)
-        except RuntimeError:  # pragma: no cover - loop torn down racing us
-            pass
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(event.set)  # pragma: no cover - races
 
     def wait_stopped(self, timeout: float = 30.0) -> bool:
         """Block until :meth:`serve` finished tearing down (thread-safe)."""
         return self._stopped.wait(timeout)
 
-    def start_background(self, timeout: float = 30.0) -> "SimulationServer":
+    def start_background(self, timeout: float = 30.0) -> SimulationServer:
         """Run the server on a daemon thread; returns once it is bound.
 
         The one blessed way to host a server inside another process
@@ -350,10 +347,8 @@ class SimulationServer:
     # -- connection handling -------------------------------------------
 
     def _close_writer(self, writer: asyncio.StreamWriter) -> None:
-        try:
-            writer.close()
-        except Exception:  # pragma: no cover - transport already gone
-            pass
+        with contextlib.suppress(Exception):
+            writer.close()  # pragma: no cover - transport already gone
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -362,10 +357,8 @@ class SimulationServer:
         # behind each other (the client pipelines; see client.py).
         sock = writer.get_extra_info("socket")
         if sock is not None:
-            try:
+            with contextlib.suppress(OSError):  # transport without TCP
                 sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
-            except OSError:  # pragma: no cover - transport without TCP
-                pass
         self._connections.add(writer)
         if self._metrics is not None:
             self._metrics.connections.inc()
@@ -436,6 +429,9 @@ class SimulationServer:
     ) -> None:
         frame_id: object = None
         op: object = None
+        # The bounded error kind (closed set from _error_kind) for the
+        # metrics label; the raw frame value must never label a series.
+        error_kind: Optional[str] = None
         metrics = self._metrics
         start = time.perf_counter()
         if metrics is not None:
@@ -464,7 +460,7 @@ class SimulationServer:
             result = await handler(self, frame)
             response = {"id": frame_id, "ok": True, "op": op, "result": result}
         except Exception as error:  # noqa: BLE001 - mapped to a frame
-            kind = _error_kind(error)
+            kind = error_kind = _error_kind(error)
             if kind in ("bad-frame", "bad-op"):
                 self.bad_frames += 1
                 if metrics is not None:
@@ -494,7 +490,7 @@ class SimulationServer:
                 time.perf_counter() - start, op=op_label
             )
             if not ok:
-                metrics.errors.inc(kind=str(response["error"]["kind"]))
+                metrics.errors.inc(kind=error_kind or "internal")
         try:
             await self._write_frame(writer, write_lock, response)
         finally:
@@ -515,13 +511,11 @@ class SimulationServer:
     ) -> None:
         """Serialise and send one response frame; a vanished client is
         not an error (there is nobody left to tell)."""
-        payload = json.dumps(response).encode("utf-8") + b"\n"
-        try:
+        payload = json.dumps(response).encode() + b"\n"
+        with contextlib.suppress(ConnectionError, RuntimeError):
             async with write_lock:
                 writer.write(payload)
                 await writer.drain()
-        except (ConnectionError, RuntimeError):
-            pass
 
     # -- execution -----------------------------------------------------
 

@@ -24,6 +24,7 @@ Typical use::
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import json
 import socket
@@ -39,7 +40,7 @@ from ..stimuli.vectors import VectorSequence
 
 def parse_address(
     text: str, default_port: Optional[int] = None
-) -> "tuple[str, int]":
+) -> tuple[str, int]:
     """Split ``HOST:PORT`` (or bare ``HOST`` with a default port).
 
     The CLI's ``--connect`` argument format.  IPv6 literals follow the
@@ -86,7 +87,7 @@ def parse_address(
 
 def wait_for_server(
     host: str, port: int, timeout: float = 10.0
-) -> "SimulationClient":
+) -> SimulationClient:
     """Poll until a server answers ``ping``; returns a connected client.
 
     Raises :class:`ServerError` (kind ``connection``) when the deadline
@@ -150,17 +151,15 @@ class SimulationClient:
         # Request frames are small; without TCP_NODELAY a pipelined
         # second frame can sit out a full delayed-ACK interval (~40 ms)
         # behind the first — Nagle buys nothing on this protocol.
-        try:
+        with contextlib.suppress(OSError):  # e.g. AF_UNIX some day
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        except OSError:  # pragma: no cover - e.g. AF_UNIX some day
-            pass
         self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rwb")
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------
 
-    def __enter__(self) -> "SimulationClient":
+    def __enter__(self) -> SimulationClient:
         return self
 
     def __exit__(self, *_exc_info) -> None:
@@ -176,10 +175,8 @@ class SimulationClient:
             return
         self._closed = True
         for resource in (self._file, self._sock):
-            try:
-                resource.close()
-            except OSError:  # pragma: no cover - peer already gone
-                pass
+            with contextlib.suppress(OSError):
+                resource.close()  # pragma: no cover - peer already gone
 
     # -- the wire ------------------------------------------------------
 
@@ -201,7 +198,7 @@ class SimulationClient:
         frame: Dict[str, object] = {"id": request_id, "op": op}
         frame.update(fields)
         try:
-            self._file.write(json.dumps(frame).encode("utf-8") + b"\n")
+            self._file.write(json.dumps(frame).encode() + b"\n")
             self._file.flush()
         except OSError as error:
             raise self._broken(

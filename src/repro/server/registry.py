@@ -82,7 +82,7 @@ def _source_fingerprint(source: Mapping[str, object]) -> str:
         return "builtin:%s" % source.get("name")
     text = source.get("text")
     digest = hashlib.sha256(
-        text.encode("utf-8") if isinstance(text, str) else b""
+        text.encode() if isinstance(text, str) else b""
     ).hexdigest()
     return "bench:%s" % digest
 
@@ -216,14 +216,18 @@ class NetlistRegistry:
         self.default_workers = default_workers
         self.queue_depth = queue_depth
         self.default_config = default_config
-        self._entries: Dict[str, NetlistEntry] = {}
+        self._entries: Dict[str, NetlistEntry] = {}  # halolint: guarded-by(_lock)
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # register() mutates from a worker thread (asyncio.to_thread);
+        # even size/membership reads must synchronise with it.
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._entries
+        with self._lock:
+            return name in self._entries
 
     def names(self) -> List[str]:
         # register() mutates from a worker thread; never iterate the
@@ -240,7 +244,7 @@ class NetlistRegistry:
         workers: Optional[int] = None,
         shm_transport: Optional[bool] = None,
         record_traces: bool = True,
-    ) -> "tuple[NetlistEntry, bool]":
+    ) -> tuple[NetlistEntry, bool]:
         """Register ``name``; returns ``(entry, created)``.
 
         Re-registering an identical (source, knobs) pair is an idempotent
@@ -273,8 +277,7 @@ class NetlistRegistry:
             shm_transport, record_traces,
         )
 
-        def _check_existing() -> "Optional[NetlistEntry]":
-            # Lock held by the caller.
+        def _check_existing() -> Optional[NetlistEntry]:  # halolint: locked(_lock)
             existing = self._entries.get(name)
             if existing is None:
                 if len(self._entries) >= self.max_netlists:
@@ -336,14 +339,17 @@ class NetlistRegistry:
             return entry, True
 
     def get(self, name: str) -> NetlistEntry:
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise ServerError(
-                "no netlist registered as %r (registered: %s)"
-                % (name, self.names() or "none"),
-                kind="unknown-netlist",
-            ) from None
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is not None:
+            return entry
+        # Build the error message after releasing: names() re-takes the
+        # (non-reentrant) lock.
+        raise ServerError(
+            "no netlist registered as %r (registered: %s)"
+            % (name, self.names() or "none"),
+            kind="unknown-netlist",
+        )
 
     def unregister(self, name: str, wait: bool = False) -> None:
         """Drop ``name`` and tear its pool down.

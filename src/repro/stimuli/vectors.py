@@ -151,7 +151,7 @@ class VectorSequence:
         period: float,
         slew: Optional[float] = None,
         tail: float = 5.0,
-    ) -> "VectorSequence":
+    ) -> VectorSequence:
         """Build a sequence from per-bus word lists.
 
         ``buses`` maps a bus prefix to ``(width, words)``; all word lists
@@ -190,7 +190,7 @@ class VectorSequence:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, object]) -> "VectorSequence":
+    def from_dict(cls, payload: Mapping[str, object]) -> VectorSequence:
         """Build a sequence from the plain-data form of :meth:`to_dict`.
 
         ``payload`` needs a ``steps`` list of ``[time, {name: value}]``
@@ -234,7 +234,7 @@ class VectorSequence:
         )
 
 
-def load_vector_batches(source) -> List["VectorSequence"]:
+def load_vector_batches(source) -> List[VectorSequence]:
     """Read a batch of vector sequences from a JSON file.
 
     ``source`` is a path or an open text handle.  The document is a JSON

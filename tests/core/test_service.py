@@ -171,11 +171,13 @@ def test_chunked_batches_bit_identical_to_unchunked(mult4, shm):
 
 def test_chunk_must_be_positive(mult4):
     stimuli = common.paper_stimulus_batch()
-    with SimulationService(
-        mult4, config=ddm_config(), workers=1, engine_kind="compiled"
-    ) as service:
-        with pytest.raises(ServiceError, match="chunk"):
-            service.submit_batch(stimuli, chunk=0)
+    with (
+        SimulationService(
+            mult4, config=ddm_config(), workers=1, engine_kind="compiled"
+        ) as service,
+        pytest.raises(ServiceError, match="chunk"),
+    ):
+        service.submit_batch(stimuli, chunk=0)
 
 
 def test_error_mid_chunk_fails_the_batch_cleanly(mult4):
@@ -543,9 +545,11 @@ def test_context_manager_closes_on_exit(mult4):
 def test_submit_rejects_empty_and_bad_workers(mult4):
     with pytest.raises(ServiceError):
         SimulationService(mult4, workers=0)
-    with SimulationService(mult4, workers=1) as service:
-        with pytest.raises(ServiceError):
-            service.submit_batch([])
+    with (
+        SimulationService(mult4, workers=1) as service,
+        pytest.raises(ServiceError),
+    ):
+        service.submit_batch([])
 
 
 def test_config_service_knobs_flow_through(mult4):

@@ -226,9 +226,8 @@ def test_injection_rejects_unknown_nets(c17):
 def test_double_apply_is_rejected(c17):
     fault = FaultSpec(kind=FaultKind.STUCK_AT_0, net=_any_gate_net(c17))
     injection = FaultInjection(c17, fault)
-    with injection:
-        with pytest.raises(FaultError, match="already applied"):
-            injection.apply()
+    with injection, pytest.raises(FaultError, match="already applied"):
+        injection.apply()
     assert not injection.applied
 
 

@@ -61,9 +61,8 @@ def test_phase_timer_publish_labels_each_phase():
 
 def test_phase_timer_records_on_exception():
     timer = PhaseTimer()
-    with pytest.raises(RuntimeError):
-        with timer.phase("doomed"):
-            raise RuntimeError("boom")
+    with pytest.raises(RuntimeError), timer.phase("doomed"):
+        raise RuntimeError("boom")
     assert "doomed" in timer.phases()
 
 

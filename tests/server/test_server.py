@@ -409,7 +409,7 @@ def _raw_exchange(server, lines):
     ) as sock:
         file = sock.makefile("rwb")
         for line in lines:
-            file.write(line.encode("utf-8") + b"\n")
+            file.write(line.encode() + b"\n")
         file.flush()
         return [json.loads(file.readline()) for _ in lines]
 
@@ -450,7 +450,7 @@ def test_oversized_frame_gets_error_then_disconnect():
                 "id": 1, "op": "register", "name": "big",
                 "source": {"kind": "bench", "text": "x" * 10000},
             })
-            file.write(huge.encode("utf-8") + b"\n")
+            file.write(huge.encode() + b"\n")
             file.flush()
             reply = json.loads(file.readline())
             assert reply["ok"] is False

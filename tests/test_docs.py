@@ -15,6 +15,7 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "tools"))
+sys.path.insert(0, str(REPO_ROOT))
 
 import check_links  # noqa: E402
 
@@ -28,7 +29,7 @@ def test_repo_markdown_links_resolve(capsys):
 def test_docs_exist_and_are_linked_from_readme():
     readme = (REPO_ROOT / "README.md").read_text()
     for doc in ("docs/architecture.md", "docs/performance.md",
-                "docs/observability.md"):
+                "docs/observability.md", "docs/static_analysis.md"):
         assert (REPO_ROOT / doc).exists(), doc
         assert doc in readme, "README does not link %s" % doc
 
@@ -81,6 +82,43 @@ def test_observability_doc_covers_the_monitoring_surface():
         assert surface in observability, (
             "observability.md does not cover %s" % surface
         )
+
+
+def test_static_analysis_doc_tracks_the_rule_registry():
+    """docs/static_analysis.md is the halolint rule catalogue: every
+    registered rule appears (id, name, invariant anchor), no retired
+    rule id lingers, and the directive grammar is spelled out."""
+    import re
+
+    from tools.halolint.registry import RULES, load_rules
+
+    load_rules()
+    doc = (REPO_ROOT / "docs" / "static_analysis.md").read_text()
+    assert RULES, "no halolint rules registered"
+    for rule in RULES.values():
+        assert rule.id in doc, (
+            "static_analysis.md does not document %s" % rule.id
+        )
+        assert rule.name in doc, (
+            "static_analysis.md does not name %s (%s)"
+            % (rule.id, rule.name)
+        )
+        assert ("### %s — %s" % (rule.id, rule.name)) in doc, (
+            "static_analysis.md has no section for %s" % rule.id
+        )
+    documented = set(re.findall(r"\bHL\d{3}\b", doc))
+    stale = documented - set(RULES) - {"HL000"}
+    assert not stale, (
+        "static_analysis.md mentions unregistered rule ids: %s"
+        % sorted(stale)
+    )
+    for directive in ("halolint: allow(", "halolint: guarded-by(",
+                      "halolint: locked("):
+        assert directive in doc, (
+            "static_analysis.md does not document the %r directive"
+            % directive
+        )
+    assert "baseline.json" in doc
 
 
 def test_checker_flags_broken_links(tmp_path, capsys):

@@ -1,0 +1,76 @@
+"""Small AST helpers shared by the halolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+
+def const_str(node: ast.AST) -> Optional[str]:
+    """The string a Constant node holds, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def attr_name(node: ast.AST) -> Optional[str]:
+    """``x`` for an ``<expr>.x`` attribute node, else None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def is_self_attr(node: ast.AST, name: Optional[str] = None) -> bool:
+    """True for ``self.<name>`` (any attribute of ``self`` when
+    ``name`` is None)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (name is None or node.attr == name)
+    )
+
+
+def subscript_base(node: ast.AST) -> ast.AST:
+    """Peel subscripts: the object ``x`` of ``x[i][j]...``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[tuple[List[ast.AST], ast.AST]]:
+    """Yield ``(ancestors, func)`` for every function/class-scoped def.
+
+    ``ancestors`` is the chain of enclosing ClassDef/FunctionDef nodes,
+    outermost first (module level = empty chain).
+    """
+
+    def visit(node: ast.AST, chain: List[ast.AST]) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield chain, child
+                yield from visit(child, chain + [child])
+            else:
+                yield from visit(child, chain)
+
+    yield from visit(tree, [])
+
+
+def is_public_context(chain: List[ast.AST], func: ast.AST) -> bool:
+    """True when ``func`` is part of the public API surface.
+
+    Private is anything reached through a ``_name`` (but not dunder)
+    function or class anywhere in the nesting chain.
+    """
+    for node in list(chain) + [func]:
+        name = getattr(node, "name", "")
+        if name.startswith("_") and not (
+            name.startswith("__") and name.endswith("__")
+        ):
+            return False
+    return True

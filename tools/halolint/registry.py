@@ -1,0 +1,81 @@
+"""The halolint rule registry.
+
+Each rule module registers itself with the :func:`rule` decorator; the
+CLI runs every registered rule and ``docs/static_analysis.md``'s drift
+guard (``tests/test_docs.py``) checks the catalogue against this
+registry, mirroring the observability-doc guard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, Iterator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.findings import Finding
+
+    from .engine import Project
+
+    CheckFunction = Callable[["Project"], Iterator["Finding"]]
+else:
+    CheckFunction = Callable
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One registered invariant check.
+
+    ``invariant`` is the one-line contract the rule enforces (quoted in
+    the doc catalogue); ``rationale`` says why the invariant exists —
+    usually the bug that motivated it.
+    """
+
+    id: str
+    name: str
+    invariant: str
+    rationale: str
+    check: CheckFunction
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "invariant": self.invariant,
+            "rationale": self.rationale,
+        }
+
+
+#: rule id → :class:`Rule`; populated by importing :mod:`tools.halolint.rules`.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(
+    id: str, name: str, invariant: str, rationale: str
+) -> Callable[[CheckFunction], CheckFunction]:
+    """Register ``check`` under ``id``; the decorator the rule modules use."""
+
+    def register(check: CheckFunction) -> CheckFunction:
+        if id in RULES:
+            raise ValueError("duplicate halolint rule id %r" % id)
+        RULES[id] = Rule(
+            id=id, name=name, invariant=invariant,
+            rationale=rationale, check=check,
+        )
+        return check
+
+    return register
+
+
+def load_rules() -> Dict[str, Rule]:
+    """Import every rule module (idempotent) and return the registry."""
+    from . import rules  # noqa: F401  (import populates RULES)
+
+    return RULES
+
+
+def iter_rules(disabled: Iterable[str] = ()) -> Iterator[Rule]:
+    """Registered rules in id order, minus ``disabled`` ids."""
+    skip = set(disabled)
+    for rule_id in sorted(load_rules()):
+        if rule_id not in skip:
+            yield RULES[rule_id]

@@ -1,0 +1,11 @@
+"""Importing this package registers every halolint rule."""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401
+    hl001_frozen_lowering,
+    hl002_lock_discipline,
+    hl003_metrics,
+    hl004_protocol,
+    hl005_exceptions,
+)

@@ -1,0 +1,180 @@
+"""HL002 — lock discipline on declared-shared attributes.
+
+The concurrent layers (``SimulationService`` pools, the
+``NetlistRegistry`` routing table, the ``SimulationServer`` event loop)
+share state between threads.  An attribute declared shared via::
+
+    self._entries: Dict[str, Entry] = {}  # halolint: guarded-by(_lock)
+
+may only be read or written
+
+* inside a ``with self._lock:`` block (lexically),
+* in ``__init__`` (construction happens-before sharing),
+* in a function annotated ``# halolint: locked(_lock)`` — the
+  caller-holds-the-lock / owning-dispatch-thread seam.
+
+Everything else is a finding: exactly the class of race the PR 3/4
+close-hang and Nagle-stall bugs came from, where an attribute was safe
+on one thread until a later PR touched it from another.
+
+The check is lexical, not interprocedural, by design: a human can
+verify a ``locked()`` annotation in review, while an unannotated access
+outside any ``with`` block is never provably safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.findings import Finding, Severity
+
+from ..engine import Project, SourceFile
+from ..registry import rule
+
+
+def _with_locks(node: ast.AST) -> Set[str]:
+    """Lock attribute names a ``with`` statement acquires via ``self.X``."""
+    locks: Set[str] = set()
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            expr = item.context_expr
+            # ``with self._lock:`` — also accept ``self._lock.acquire_x()``
+            # style context helpers like ``self._lock.read_locked()``.
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+                if isinstance(expr, ast.Attribute) and isinstance(
+                    expr.value, ast.Attribute
+                ):
+                    expr = expr.value
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                locks.add(expr.attr)
+    return locks
+
+
+class _ClassScanner:
+    """Check one class body against its guarded-by declarations."""
+
+    def __init__(self, source: SourceFile, class_node: ast.ClassDef):
+        self.source = source
+        self.class_node = class_node
+        self.findings: List[Finding] = []
+        #: attribute name → lock name.
+        self.guarded: Dict[str, str] = {}
+        self._collect_declarations()
+
+    def _collect_declarations(self) -> None:
+        for node in ast.walk(self.class_node):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            lock = self.source.guarded_by.get(node.lineno)
+            if lock is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    self.guarded[target.attr] = lock
+                    break
+            else:
+                self.findings.append(Finding(
+                    severity=Severity.ERROR,
+                    rule="HL002",
+                    message="guarded-by(%s) annotation is not attached "
+                    "to a self-attribute assignment" % lock,
+                    file=self.source.rel,
+                    line=node.lineno,
+                ))
+
+    def _function_locks(self, func: ast.AST) -> Set[str]:
+        """Locks a ``locked()`` annotation grants this function."""
+        granted: Set[str] = set()
+        for line in (func.lineno, func.lineno - 1):
+            lock = self.source.locked.get(line)
+            if lock is not None:
+                granted.add(lock)
+        return granted
+
+    def scan(self) -> List[Finding]:
+        if not self.guarded:
+            return self.findings
+        for node in self.class_node.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name == "__init__":
+                    continue
+                self._scan_function(node, self._function_locks(node))
+        return self.findings
+
+    def _scan_function(self, func: ast.AST, held: Set[str]) -> None:
+        for statement in getattr(func, "body", []):
+            self._scan_node(statement, held)
+
+    def _scan_node(self, node: ast.AST, held: Set[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def runs later, possibly without the lock; it
+            # holds only what its own annotation grants.
+            self._scan_function(node, self._function_locks(node))
+            return
+        if isinstance(node, ast.Lambda):
+            self._scan_node(node.body, set())
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = _with_locks(node)
+            for item in node.items:
+                self._scan_node(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self._scan_node(item.optional_vars, held)
+            for statement in node.body:
+                self._scan_node(statement, held | acquired)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self.guarded
+        ):
+            lock = self.guarded[node.attr]
+            if lock not in held:
+                self.findings.append(Finding(
+                    severity=Severity.ERROR,
+                    rule="HL002",
+                    message="access to %s.%s (guarded by self.%s) outside "
+                    "a 'with self.%s' block; annotate the function "
+                    "'# halolint: locked(%s)' if the caller holds it"
+                    % (self.class_node.name, node.attr, lock, lock, lock),
+                    file=self.source.rel,
+                    line=node.lineno,
+                ))
+            # fall through: still visit children (subscripts etc.)
+        for child in ast.iter_child_nodes(node):
+            self._scan_node(child, held)
+
+
+@rule(
+    id="HL002",
+    name="lock-discipline",
+    invariant="A self-attribute annotated '# halolint: guarded-by(L)' "
+    "is only accessed inside 'with self.L', in __init__, or in a "
+    "function annotated '# halolint: locked(L)'.",
+    rationale="The service/server layers share state across the event "
+    "loop, dispatch threads and worker pools; the PR 3-4 concurrency "
+    "bugs were unguarded accesses that were safe until another layer "
+    "touched the attribute from a second thread.",
+)
+def check(project: Project) -> Iterator[Finding]:
+    for source in project.files:
+        if not source.guarded_by and not source.locked:
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from _ClassScanner(source, node).scan()

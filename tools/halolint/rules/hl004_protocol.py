@@ -1,0 +1,366 @@
+"""HL004 — JSONL protocol-frame consistency.
+
+The wire protocol has no schema; the client (``server/client.py``) and
+the server (``server/app.py``) only agree because two hand-written
+halves happen to match.  This rule diffs them statically:
+
+* every op the client sends (literal first argument of ``self.call`` /
+  ``self._send``) must be dispatched by the server's ``_OPS`` table,
+  and every dispatched op must be exercised by the client;
+* every request field the client writes for an op must be read by that
+  op's handler, and every field a handler *requires* (``frame["k"]``,
+  no default) must be written by the client;
+* response envelopes the server builds (dict literals carrying both
+  ``"id"`` and ``"ok"``) may only use the envelope keys, error payloads
+  only ``kind``/``message``, and the client may only read keys the
+  server writes.
+
+Convention the extraction leans on: the client binds response frames to
+a local named ``frame`` and error payloads to ``error``; handlers take
+the request as their first non-``self`` parameter.  The payload *codec*
+(``io_formats/jsonl_protocol.py``) is shared by import, so only the
+envelope can drift — which is exactly what this rule pins.
+
+The rule is inert when either file is absent from the scanned tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+
+from ..astutil import const_str
+from ..engine import Project, SourceFile
+from ..registry import rule
+
+#: Keys of the frame envelope itself.  ``id`` and ``op`` are written by
+#: the client request path and echoed by the server; they are
+#: structural, not per-op payload.
+ENVELOPE_KEYS = {"id", "ok", "op", "result", "error"}
+ERROR_KEYS = {"kind", "message"}
+STRUCTURAL_KEYS = {"id", "op"}
+
+
+def _finding(source: SourceFile, line: int, message: str) -> Finding:
+    return Finding(
+        severity=Severity.ERROR,
+        rule="HL004",
+        message=message,
+        file=source.rel,
+        line=line,
+    )
+
+
+# -- client side -------------------------------------------------------
+
+
+def _dict_literal_keys(node: ast.AST) -> Optional[Set[str]]:
+    if not isinstance(node, ast.Dict):
+        return None
+    keys: Set[str] = set()
+    for key in node.keys:
+        name = const_str(key) if key is not None else None
+        if name is None:
+            return None
+        keys.add(name)
+    return keys
+
+
+def _starred_fields(func: ast.AST, var: str) -> Set[str]:
+    """Keys flowing into ``**var`` within ``func``.
+
+    Tracks ``var = {"k": ...}`` dict literals and ``var["k"] = ...``
+    conditional additions — the ``register()`` builder pattern.
+    """
+    fields: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == var:
+                    literal = _dict_literal_keys(node.value)
+                    if literal is not None:
+                        fields |= literal
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == var
+                ):
+                    key = const_str(target.slice)
+                    if key is not None:
+                        fields.add(key)
+    return fields
+
+
+def _client_requests(
+    source: SourceFile,
+) -> Tuple[Dict[str, Set[str]], Dict[str, int], List[Finding]]:
+    """(op → sent field names, op → first call line, findings)."""
+    sent: Dict[str, Set[str]] = {}
+    lines: Dict[str, int] = {}
+    findings: List[Finding] = []
+    for func in ast.walk(source.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if not (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in ("call", "_send")
+                and isinstance(callee.value, ast.Name)
+                and callee.value.id == "self"
+            ):
+                continue
+            if not node.args:
+                continue
+            op = const_str(node.args[0])
+            if op is None:
+                # The call()/_send() shims forward a variable op —
+                # fine; anything else computed defeats the diff.
+                if not isinstance(node.args[0], ast.Name):
+                    findings.append(_finding(
+                        source, node.lineno,
+                        "op passed to %s() must be a string literal "
+                        "so the protocol diff can see it" % callee.attr,
+                    ))
+                continue
+            fields = sent.setdefault(op, set())
+            lines.setdefault(op, node.lineno)
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    fields.add(keyword.arg)
+                elif isinstance(keyword.value, ast.Name):
+                    fields |= _starred_fields(func, keyword.value.id)
+                else:
+                    findings.append(_finding(
+                        source, node.lineno,
+                        "request fields for op %r expanded from a "
+                        "non-local **expression; the field set must be "
+                        "statically visible" % op,
+                    ))
+    return sent, lines, findings
+
+
+def _client_reads(source: SourceFile) -> Tuple[Set[str], Set[str]]:
+    """Envelope keys / error keys the client reads from responses."""
+    envelope: Set[str] = set()
+    error: Set[str] = set()
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.args
+        ):
+            key = const_str(node.args[0])
+            if key is None:
+                continue
+            if node.func.value.id == "frame":
+                envelope.add(key)
+            elif node.func.value.id == "error":
+                error.add(key)
+    return envelope, error
+
+
+# -- server side -------------------------------------------------------
+
+
+def _server_ops(
+    source: SourceFile,
+) -> Tuple[Dict[str, str], int, List[Finding]]:
+    """(op → handler name, _OPS line) from the ``_OPS`` dict literal."""
+    ops: Dict[str, str] = {}
+    ops_line = 1
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "_OPS"
+            for t in node.targets
+        ):
+            continue
+        ops_line = node.lineno
+        if not isinstance(node.value, ast.Dict):
+            findings.append(_finding(
+                source, node.lineno,
+                "_OPS must be a dict literal of op-name → handler",
+            ))
+            continue
+        for key, value in zip(node.value.keys, node.value.values):
+            op = const_str(key) if key is not None else None
+            handler = None
+            if isinstance(value, ast.Name):
+                handler = value.id
+            elif isinstance(value, ast.Attribute):
+                handler = value.attr
+            if op is None or handler is None:
+                findings.append(_finding(
+                    source, node.lineno,
+                    "_OPS entries must map literal op names to handler "
+                    "references",
+                ))
+                continue
+            ops[op] = handler
+    return ops, ops_line, findings
+
+
+def _handler_reads(
+    source: SourceFile,
+) -> Dict[str, Tuple[Set[str], Dict[str, int]]]:
+    """handler name → (optional ``.get`` keys, required ``[...]`` keys)."""
+    reads: Dict[str, Tuple[Set[str], Dict[str, int]]] = {}
+    for func in ast.walk(source.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = [a.arg for a in func.args.args if a.arg != "self"]
+        if not params:
+            continue
+        frame_param = params[0]
+        optional: Set[str] = set()
+        required: Dict[str, int] = {}
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == frame_param
+                and node.args
+            ):
+                key = const_str(node.args[0])
+                if key is not None:
+                    optional.add(key)
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == frame_param
+                and isinstance(node.ctx, ast.Load)
+            ):
+                key = const_str(node.slice)
+                if key is not None:
+                    required.setdefault(key, node.lineno)
+        reads[func.name] = (optional, required)
+    return reads
+
+
+def _server_responses(
+    source: SourceFile,
+) -> Tuple[Set[str], Set[str], List[Finding]]:
+    """Envelope/error keys written by response dict literals."""
+    envelope: Set[str] = set()
+    error: Set[str] = set()
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        keys = _dict_literal_keys(node)
+        if keys is None or not {"id", "ok"} <= keys:
+            continue
+        envelope |= keys
+        extra = keys - ENVELOPE_KEYS
+        if extra:
+            findings.append(_finding(
+                source, node.lineno,
+                "response envelope writes non-envelope key(s) %s; the "
+                "envelope is %s"
+                % (sorted(extra), sorted(ENVELOPE_KEYS)),
+            ))
+        assert isinstance(node, ast.Dict)
+        for key, value in zip(node.keys, node.values):
+            if key is not None and const_str(key) == "error":
+                error_keys = _dict_literal_keys(value)
+                if error_keys is None:
+                    continue
+                error |= error_keys
+                if not error_keys <= ERROR_KEYS or "message" not in error_keys:
+                    findings.append(_finding(
+                        source, node.lineno,
+                        "error payload keys %s must be exactly within %s "
+                        "and include 'message'"
+                        % (sorted(error_keys), sorted(ERROR_KEYS)),
+                    ))
+    return envelope, error, findings
+
+
+# -- the rule ----------------------------------------------------------
+
+
+@rule(
+    id="HL004",
+    name="protocol-frame-consistency",
+    invariant="Every op and request field the client writes is "
+    "dispatched/read by the server, every required server read is "
+    "written by the client, and both sides agree on the response "
+    "envelope and error payload keys.",
+    rationale="The JSONL protocol is schema-less; the two hand-written "
+    "halves in client.py and app.py can only drift silently — a "
+    "renamed field degrades into a default-value read, not an error.",
+)
+def check(project: Project) -> Iterator[Finding]:
+    clients = project.files_matching("server/client.py")
+    apps = project.files_matching("server/app.py")
+    if not clients or not apps:
+        return
+    client, app = clients[0], apps[0]
+
+    sent, sent_lines, findings = _client_requests(client)
+    yield from findings
+    ops, ops_line, findings = _server_ops(app)
+    yield from findings
+    handler_reads = _handler_reads(app)
+    envelope_written, error_written, findings = _server_responses(app)
+    yield from findings
+
+    for op in sorted(sent):
+        if op not in ops:
+            yield _finding(
+                client, sent_lines[op],
+                "client sends op %r but the server's _OPS table does "
+                "not dispatch it" % op,
+            )
+    for op in sorted(ops):
+        if op not in sent:
+            yield _finding(
+                app, ops_line,
+                "server dispatches op %r but the client never sends "
+                "it — dead or drifted protocol surface" % op,
+            )
+
+    for op in sorted(set(sent) & set(ops)):
+        optional, required = handler_reads.get(ops[op], (set(), {}))
+        handler_keys = optional | set(required)
+        for field in sorted(sent[op] - handler_keys - STRUCTURAL_KEYS):
+            yield _finding(
+                client, sent_lines[op],
+                "client writes field %r for op %r but handler %s never "
+                "reads it" % (field, op, ops[op]),
+            )
+        for field in sorted(
+            set(required) - sent[op] - STRUCTURAL_KEYS
+        ):
+            yield _finding(
+                app, required[field],
+                "handler %s requires frame[%r] but the client never "
+                "writes it for op %r" % (ops[op], field, op),
+            )
+
+    client_envelope, client_error = _client_reads(client)
+    for key in sorted(client_envelope - envelope_written):
+        yield _finding(
+            client, 1,
+            "client reads envelope key %r that no server response "
+            "literal writes" % key,
+        )
+    for key in sorted(client_error - error_written):
+        yield _finding(
+            client, 1,
+            "client reads error-payload key %r that no server error "
+            "literal writes" % key,
+        )

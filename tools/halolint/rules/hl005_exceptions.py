@@ -1,0 +1,122 @@
+"""HL005 — public exception contract.
+
+``repro.errors`` defines the project's error family (``ReproError`` /
+``SimulationError`` and friends) so callers can catch one hierarchy.
+A public entry point that raises a bare builtin (``ValueError``,
+``RuntimeError``, ...) leaks an undocumented exception type past every
+``except SimulationError`` in the service, campaign and CLI layers —
+the PR 6 campaign classifier only stays honest because engine failures
+arrive as the repro family.
+
+Flagged: ``raise <Builtin>(...)`` / ``raise <Builtin>`` reachable from
+a public context — no ``_name`` (non-dunder) function or class on the
+lexical nesting chain.  Exempt:
+
+* private helpers (callers wrap at the boundary),
+* dunder methods (``__getitem__`` raising ``KeyError`` etc. is the
+  language protocol, not this project's API),
+* re-raising a caught object (``raise err``), bare ``raise``,
+* control-flow builtins (``StopIteration``, ``NotImplementedError``,
+  ``SystemExit``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.findings import Finding, Severity
+
+from ..engine import Project, SourceFile
+from ..registry import rule
+
+#: Builtin exception types a public repro API must not raise directly.
+FORBIDDEN_BUILTINS: Set[str] = {
+    "ArithmeticError", "AssertionError", "AttributeError",
+    "BaseException", "BrokenPipeError", "BufferError",
+    "ConnectionError", "ConnectionResetError", "EOFError", "Exception",
+    "FileExistsError", "FileNotFoundError", "IOError", "IndexError",
+    "IsADirectoryError", "KeyError", "LookupError", "MemoryError",
+    "NotADirectoryError", "OSError", "OverflowError",
+    "PermissionError", "RecursionError", "ReferenceError",
+    "RuntimeError", "TimeoutError", "TypeError", "UnicodeDecodeError",
+    "UnicodeEncodeError", "ValueError", "ZeroDivisionError",
+}
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not _is_dunder(name)
+
+
+def _raised_builtin(node: ast.Raise) -> tuple[str, bool] | None:
+    """(builtin name, is_call) when the raise targets a forbidden
+    builtin, else None."""
+    exc = node.exc
+    if exc is None:  # bare re-raise
+        return None
+    if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+        name = exc.func.id
+        if name in FORBIDDEN_BUILTINS:
+            return name, True
+        return None
+    if isinstance(exc, ast.Name) and exc.id in FORBIDDEN_BUILTINS:
+        return exc.id, False
+    return None
+
+
+def _scan(source: SourceFile) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def visit(node: ast.AST, public: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                child_public = public and not _is_private(child.name)
+                if (
+                    isinstance(child, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))
+                    and _is_dunder(child.name)
+                ):
+                    # Language-protocol contract, not project API.
+                    continue
+                visit(child, child_public)
+                continue
+            if isinstance(child, ast.Raise):
+                hit = _raised_builtin(child)
+                if hit is not None and public:
+                    findings.append(Finding(
+                        severity=Severity.ERROR,
+                        rule="HL005",
+                        message="public API raises builtin %s; raise a "
+                        "repro error (SimulationError family / "
+                        "ReproError) so callers can catch one "
+                        "hierarchy" % hit[0],
+                        file=source.rel,
+                        line=child.lineno,
+                    ))
+            visit(child, public)
+
+    visit(source.tree, True)
+    return findings
+
+
+@rule(
+    id="HL005",
+    name="exception-contract",
+    invariant="Public repro.* entry points raise only the "
+    "ReproError/SimulationError family, never bare builtin exceptions.",
+    rationale="The service, campaign and oracle layers catch the repro "
+    "hierarchy at their boundaries; a bare ValueError from a public "
+    "path bypasses them all and surfaces as an unclassified crash.",
+)
+def check(project: Project) -> Iterator[Finding]:
+    for source in project.files:
+        if source.rel.endswith("errors.py"):
+            continue  # the hierarchy's own module bootstraps itself
+        yield from _scan(source)
